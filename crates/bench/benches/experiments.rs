@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the end-to-end experiments at a reduced scale —
+//! one benchmark per reproduced table/figure, so regressions in any layer
+//! show up against the artifact that matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smith85_core::experiments::{
+    ablations, calibration_report, clark_validation, fig2, fig3_fig4, interface_effects,
+    line_size, m68020, multiprocessor, multiprogramming, perturbations, prefetch, table1,
+    table2, table3, table5, trace_length, traffic_ratio, z80000, ExperimentConfig,
+};
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        trace_len: 10_000,
+        sizes: vec![256, 4096],
+        threads: 1, // single-threaded for stable timing
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| table1::run(&cfg).rows.len()));
+    group.bench_function("table2", |b| b.iter(|| table2::run(&cfg).rows.len()));
+    group.bench_function("fig2", |b| b.iter(|| fig2::run(&cfg).sizes.len()));
+    group.bench_function("table3", |b| b.iter(|| table3::run(&cfg).rows.len()));
+    group.bench_function("fig3_fig4", |b| b.iter(|| fig3_fig4::run(&cfg).rows.len()));
+    group.bench_function("prefetch_fig5_to_10_table4", |b| {
+        b.iter(|| prefetch::run(&cfg).rows.len())
+    });
+    group.bench_function("table5", |b| b.iter(|| table5::run(&cfg).rows.len()));
+    group.bench_function("clark_validation", |b| {
+        b.iter(|| clark_validation::run(&cfg).rows.len())
+    });
+    group.bench_function("z80000", |b| b.iter(|| z80000::run(&cfg).rows.len()));
+    group.bench_function("m68020", |b| b.iter(|| m68020::run(&cfg).rows.len()));
+    group.bench_function("ablations", |b| b.iter(|| ablations::run(&cfg).purge.len()));
+    group.bench_function("traffic_ratio", |b| b.iter(|| traffic_ratio::run(&cfg).rows.len()));
+    group.bench_function("perturbations", |b| b.iter(|| perturbations::run(&cfg).rows.len()));
+    group.bench_function("interface_effects", |b| {
+        b.iter(|| interface_effects::run(&cfg).rows.len())
+    });
+    group.bench_function("multiprocessor", |b| b.iter(|| multiprocessor::run(&cfg).rows.len()));
+    group.bench_function("multiprogramming", |b| {
+        b.iter(|| multiprogramming::run(&cfg).rows.len())
+    });
+    group.bench_function("trace_length", |b| b.iter(|| trace_length::run(&cfg).rows.len()));
+    group.bench_function("line_size", |b| b.iter(|| line_size::run(&cfg).rows.len()));
+    group.bench_function("calibration_report", |b| {
+        b.iter(|| calibration_report::run(&cfg).table3.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Criterion micro-benchmarks of the cache simulator itself: the access
+//! path per configuration, and the Mattson stack analyzer against direct
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smith85_cachesim::{
+    AssocAnalyzer, Cache, CacheConfig, FetchPolicy, Mapping, Replacement, SectorCache,
+    SectorCacheConfig, Simulator, SplitCache, StackAnalyzer, UnifiedCache, WriteBuffer,
+};
+use smith85_synth::catalog;
+use smith85_trace::Trace;
+
+const REFS: usize = 50_000;
+
+fn workload() -> Trace {
+    catalog::by_name("VCCOM").expect("catalog trace").generate(REFS)
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("access_path");
+    group.throughput(Throughput::Elements(REFS as u64));
+
+    let configs = [
+        (
+            "fully_assoc_lru_16k",
+            CacheConfig::builder(16 * 1024).build().unwrap(),
+        ),
+        (
+            "direct_mapped_16k",
+            CacheConfig::builder(16 * 1024)
+                .mapping(Mapping::Direct)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "4way_lru_16k",
+            CacheConfig::builder(16 * 1024)
+                .mapping(Mapping::SetAssociative(4))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "4way_fifo_16k",
+            CacheConfig::builder(16 * 1024)
+                .mapping(Mapping::SetAssociative(4))
+                .replacement(Replacement::Fifo)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "4way_plru_16k",
+            CacheConfig::builder(16 * 1024)
+                .mapping(Mapping::SetAssociative(4))
+                .replacement(Replacement::TreePlru)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "prefetch_always_16k",
+            CacheConfig::builder(16 * 1024)
+                .fetch_policy(FetchPolicy::PrefetchAlways)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "purged_16k",
+            CacheConfig::builder(16 * 1024)
+                .purge_interval(Some(20_000))
+                .build()
+                .unwrap(),
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(config).expect("valid config");
+                for access in &trace {
+                    cache.access(*access);
+                }
+                cache.stats().total_misses()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_organisations(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("organisation");
+    group.throughput(Throughput::Elements(REFS as u64));
+    group.bench_function("unified_16k", |b| {
+        b.iter(|| {
+            let mut sys =
+                UnifiedCache::new(CacheConfig::paper_purged(16 * 1024, 20_000).unwrap()).unwrap();
+            sys.run(trace.iter().copied());
+            sys.stats().total_misses()
+        })
+    });
+    group.bench_function("split_16k_16k", |b| {
+        b.iter(|| {
+            let mut sys = SplitCache::paper_split(16 * 1024, 20_000).unwrap();
+            sys.run(trace.iter().copied());
+            sys.total_stats().total_misses()
+        })
+    });
+    group.finish();
+}
+
+fn bench_stack_analyzer(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("stack_vs_direct");
+    group.throughput(Throughput::Elements(REFS as u64));
+    group.bench_function("mattson_all_sizes", |b| {
+        b.iter(|| {
+            let mut a = StackAnalyzer::new();
+            for access in &trace {
+                a.observe(*access);
+            }
+            a.finish().miss_ratio(16 * 1024)
+        })
+    });
+    for size in [1024usize, 16 * 1024, 64 * 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("direct_one_size", size),
+            &size,
+            |b, &size| {
+                b.iter(|| {
+                    let mut cache =
+                        Cache::new(CacheConfig::paper_table1(size).unwrap()).unwrap();
+                    for access in &trace {
+                        cache.access(*access);
+                    }
+                    cache.stats().miss_ratio()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analyzers_and_buffers(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("analyzers");
+    group.throughput(Throughput::Elements(REFS as u64));
+    group.bench_function("assoc_analyzer_64_sets", |b| {
+        b.iter(|| {
+            let mut a = AssocAnalyzer::new(64);
+            for access in &trace {
+                a.observe(*access);
+            }
+            a.finish().miss_ratio(4)
+        })
+    });
+    group.bench_function("sector_cache_z80000", |b| {
+        b.iter(|| {
+            let mut cache = SectorCache::new(SectorCacheConfig::z80000(4)).unwrap();
+            cache.run(trace.iter().copied());
+            cache.stats().total_misses()
+        })
+    });
+    group.bench_function("write_buffer_4x8", |b| {
+        b.iter(|| {
+            let mut wb = WriteBuffer::new(4, 8);
+            wb.run(trace.iter().copied());
+            wb.stats().memory_writes
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_access_path, bench_organisations, bench_stack_analyzer,
+        bench_analyzers_and_buffers
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the design-choice ablations (line size, mapping,
+//! replacement, write policy, purge interval).
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::ablations::run(&config).render());
+}

@@ -1,0 +1,36 @@
+//! Runs every experiment in sequence — the full reproduction in one go.
+
+use smith85_core::experiments::*;
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    eprintln!(
+        "running all experiments: {} refs/workload, {} sizes, {} threads",
+        config.trace_len,
+        config.sizes.len(),
+        config.threads
+    );
+    println!("{}", table2::run(&config).render());
+    let t1 = table1::run(&config);
+    println!("{}", t1.render());
+    println!("{}", fig2::run(&config).render());
+    println!("{}", table3::run(&config).render());
+    let f34 = fig3_fig4::run(&config);
+    println!("{}", f34.render());
+    println!("{}", prefetch::run(&config).render());
+    println!("{}", table5::from_results(&config, &t1, &f34).render());
+    println!("{}", clark_validation::run(&config).render());
+    println!("{}", z80000::run(&config).render());
+    println!("{}", m68020::run(&config).render());
+    println!("{}", traffic_ratio::run(&config).render());
+    println!("{}", trace_length::run(&config).render());
+    println!("{}", multiprocessor::run(&config).render());
+    println!("{}", calibration_report::run(&config).render());
+    println!("{}", multiprogramming::run(&config).render());
+    println!("{}", line_size::run(&config).render());
+    println!("{}", fudge_validation::run(&config).render());
+    println!("{}", perturbations::run(&config).render());
+    println!("{}", interface_effects::run(&config).render());
+    println!("{}", ablations::run(&config).render());
+    println!("{}", conclusions::run(&config).render());
+}

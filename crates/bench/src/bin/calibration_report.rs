@@ -1,0 +1,9 @@
+//! Prints the calibration audit: every published paper number vs measured.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::calibration_report::run(&config).render()
+    );
+}

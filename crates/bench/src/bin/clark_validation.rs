@@ -1,0 +1,9 @@
+//! Regenerates the §4.1 validation against Clark's VAX-11/780 data.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::clark_validation::run(&config).render()
+    );
+}

@@ -1,0 +1,11 @@
+//! Re-derives the paper's §5 conclusions from the reproduction and prints
+//! the pass/fail checklist.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    let c = smith85_core::experiments::conclusions::run(&config);
+    println!("{}", c.render());
+    if !c.all_hold() {
+        std::process::exit(1);
+    }
+}

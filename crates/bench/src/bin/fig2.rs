@@ -1,0 +1,6 @@
+//! Regenerates Figure 2: the \[Hard80\] supervisor/problem miss-ratio curves.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::fig2::run(&config).render());
+}

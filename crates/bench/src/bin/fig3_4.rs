@@ -1,0 +1,6 @@
+//! Regenerates Figures 3 & 4: split instruction/data miss ratios vs size.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::fig3_fig4::run(&config).render());
+}

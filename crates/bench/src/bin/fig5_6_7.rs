@@ -1,0 +1,7 @@
+//! Regenerates Figures 5-7: prefetch/demand miss-ratio factors.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    let study = smith85_core::experiments::prefetch::run(&config);
+    println!("{}", study.render_miss_factors());
+}

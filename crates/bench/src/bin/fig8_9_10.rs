@@ -1,0 +1,7 @@
+//! Regenerates Figures 8-10 and Table 4: prefetch/demand traffic factors.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    let study = smith85_core::experiments::prefetch::run(&config);
+    println!("{}", study.render_traffic_factors());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §4.3 fudge-factor cross-architecture validation.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::fudge_validation::run(&config).render()
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §1.1 memory-interface (design architecture) study.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::interface_effects::run(&config).render()
+    );
+}

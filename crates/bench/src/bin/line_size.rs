@@ -1,0 +1,9 @@
+//! Regenerates the §5 future-work line-size study.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::line_size::run(&config).render()
+    );
+}

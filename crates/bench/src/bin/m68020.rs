@@ -1,0 +1,6 @@
+//! Regenerates the M68020 instruction-cache speculation (§3.4).
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::m68020::run(&config).render());
+}

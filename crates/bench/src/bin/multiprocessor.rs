@@ -1,0 +1,9 @@
+//! Regenerates the §3.5.2 shared-bus multiprocessor trade study.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::multiprocessor::run(&config).render()
+    );
+}

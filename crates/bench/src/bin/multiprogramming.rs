@@ -1,0 +1,9 @@
+//! Regenerates the §3.2 multiprogramming-degree study.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::multiprogramming::run(&config).render()
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §1.1 perturbation study (interrupts, DMA, purging).
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::perturbations::run(&config).render()
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 / Figure 1: overall miss ratios for all 57 rows.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::table1::run(&config).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2: per-trace characteristics.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::table2::run(&config).render());
+}

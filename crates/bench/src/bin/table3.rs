@@ -1,0 +1,6 @@
+//! Regenerates Table 3: fraction of pushed data lines that are dirty.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::table3::run(&config).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 5: design-target miss ratios vs the paper's targets.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::table5::run(&config).render());
+}

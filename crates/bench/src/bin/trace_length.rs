@@ -1,0 +1,9 @@
+//! Regenerates the §3.2 trace-length sensitivity study.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::trace_length::run(&config).render()
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §5 / \[Hil84\] traffic-ratio study.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::traffic_ratio::run(&config).render()
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Z80000 sector-cache workload comparison (§1.2, §4.1).
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!("{}", smith85_core::experiments::z80000::run(&config).render());
+}

@@ -1,0 +1,76 @@
+//! Shared command-line plumbing for the experiment binaries.
+//!
+//! Every binary regenerating a paper table/figure accepts the same
+//! arguments:
+//!
+//! ```text
+//! cargo run --release -p smith85-bench --bin table1 [-- quick|paper] [TRACE_LEN]
+//! ```
+//!
+//! `quick` runs a reduced sweep (for smoke tests); `paper` (the default)
+//! uses the paper's 250,000-reference traces and the full 32 B – 64 KiB
+//! size sweep. A trailing integer overrides the per-workload trace length.
+
+use smith85_core::experiments::ExperimentConfig;
+
+/// Parses an [`ExperimentConfig`] from `std::env::args`.
+pub fn config_from_args() -> ExperimentConfig {
+    config_from(std::env::args().skip(1))
+}
+
+/// Parses a configuration from an explicit argument list.
+pub fn config_from<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper();
+    for arg in args {
+        match arg.as_str() {
+            "quick" => {
+                let quick = ExperimentConfig::quick();
+                config.trace_len = quick.trace_len;
+                config.sizes = quick.sizes;
+            }
+            "paper" => {
+                let paper = ExperimentConfig::paper();
+                config.trace_len = paper.trace_len;
+                config.sizes = paper.sizes;
+            }
+            other => {
+                if let Ok(len) = other.parse::<usize>() {
+                    config.trace_len = len;
+                } else {
+                    eprintln!("ignoring unrecognized argument {other:?}");
+                }
+            }
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_scale() {
+        let c = config_from(Vec::<String>::new());
+        assert_eq!(c.trace_len, 250_000);
+        assert_eq!(c.sizes.len(), 12);
+    }
+
+    #[test]
+    fn quick_shrinks() {
+        let c = config_from(vec!["quick".to_string()]);
+        assert!(c.trace_len < 250_000);
+    }
+
+    #[test]
+    fn trailing_length_overrides() {
+        let c = config_from(vec!["quick".to_string(), "12345".to_string()]);
+        assert_eq!(c.trace_len, 12345);
+    }
+
+    #[test]
+    fn junk_is_ignored() {
+        let c = config_from(vec!["wat".to_string()]);
+        assert_eq!(c.trace_len, 250_000);
+    }
+}

@@ -1,0 +1,77 @@
+//! Calibration scratchpad: prints Table 1-style miss ratios per catalog
+//! trace so profile parameters can be tuned against the paper's values.
+
+use smith85_cachesim::StackAnalyzer;
+use smith85_synth::catalog;
+
+fn main() {
+    let len: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let sizes = [256usize, 1024, 4096, 16384, 65536];
+    println!(
+        "{:<10} {:>9} | {}",
+        "trace",
+        "group",
+        sizes
+            .iter()
+            .map(|s| format!("{:>7}", s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let mut groups: std::collections::BTreeMap<String, (Vec<f64>, u32)> = Default::default();
+    for spec in catalog::all() {
+        let mut a = StackAnalyzer::new();
+        for acc in spec.stream().take(len) {
+            a.observe(acc);
+        }
+        let p = a.finish();
+        let curve: Vec<f64> = sizes.iter().map(|&s| p.miss_ratio(s)).collect();
+        if std::env::var("SPLIT").is_ok() {
+            use smith85_trace::AccessKind;
+            let i: Vec<String> = sizes
+                .iter()
+                .map(|&s| format!("{:>7.4}", p.miss_ratio_of(s, AccessKind::InstructionFetch)))
+                .collect();
+            let d: Vec<String> = sizes
+                .iter()
+                .map(|&s| {
+                    let misses = p.misses_of(s, AccessKind::Read) + p.misses_of(s, AccessKind::Write);
+                    let refs = p.refs_of(AccessKind::Read) + p.refs_of(AccessKind::Write);
+                    format!("{:>7.4}", misses as f64 / refs as f64)
+                })
+                .collect();
+            println!("  I: {}", i.join(" "));
+            println!("  D: {}", d.join(" "));
+        }
+        println!(
+            "{:<10} {:>9} | {}",
+            spec.name(),
+            format!("{}", spec.group()),
+            curve
+                .iter()
+                .map(|m| format!("{:>7.4}", m))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let e = groups
+            .entry(spec.group().to_string())
+            .or_insert((vec![0.0; sizes.len()], 0));
+        for (i, m) in curve.iter().enumerate() {
+            e.0[i] += m;
+        }
+        e.1 += 1;
+    }
+    println!("\ngroup averages:");
+    for (g, (sums, n)) in groups {
+        println!(
+            "{:<12} | {}",
+            g,
+            sums.iter()
+                .map(|s| format!("{:>7.4}", s / n as f64))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}

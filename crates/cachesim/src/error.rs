@@ -1,0 +1,78 @@
+//! Error types for cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// A cache configuration that cannot be realized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A size that must be a positive power of two was not.
+    NotPowerOfTwo {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// The cache is smaller than one line.
+    CacheSmallerThanLine {
+        /// Cache size in bytes.
+        cache: usize,
+        /// Line size in bytes.
+        line: usize,
+    },
+    /// The requested associativity exceeds the number of lines.
+    AssociativityTooLarge {
+        /// Requested ways per set.
+        ways: usize,
+        /// Total lines in the cache.
+        lines: usize,
+    },
+    /// A sector cache's fetch (subblock) size does not divide its sector.
+    BadSubblock {
+        /// Sector size in bytes.
+        sector: usize,
+        /// Fetch size in bytes.
+        fetch: usize,
+    },
+    /// A purge interval of zero was requested.
+    ZeroPurgeInterval,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a positive power of two, got {value}")
+            }
+            ConfigError::CacheSmallerThanLine { cache, line } => {
+                write!(f, "cache of {cache} bytes cannot hold one {line}-byte line")
+            }
+            ConfigError::AssociativityTooLarge { ways, lines } => {
+                write!(f, "{ways}-way associativity exceeds the {lines} lines available")
+            }
+            ConfigError::BadSubblock { sector, fetch } => {
+                write!(f, "fetch size {fetch} must divide sector size {sector}")
+            }
+            ConfigError::ZeroPurgeInterval => write!(f, "purge interval must be nonzero"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ConfigError::NotPowerOfTwo {
+            what: "line size",
+            value: 24,
+        };
+        assert!(e.to_string().contains("line size"));
+        assert!(e.to_string().contains("24"));
+        let e = ConfigError::CacheSmallerThanLine { cache: 8, line: 16 };
+        assert!(e.to_string().contains("16"));
+    }
+}

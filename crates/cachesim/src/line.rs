@@ -1,0 +1,27 @@
+//! Line state shared by the cache cores.
+
+use smith85_trace::LineAddr;
+
+/// A line evicted from the cache (a "push" in the paper's terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The line that was pushed out.
+    pub line: LineAddr,
+    /// Whether it had been written to since it was fetched.
+    pub dirty: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicted_is_plain_data() {
+        let e = Evicted {
+            line: LineAddr::new(3),
+            dirty: true,
+        };
+        assert_eq!(e, e);
+        assert!(format!("{e:?}").contains("dirty: true"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests of the simulator cores against each other: different
+//! implementations of the same policy must agree exactly.
+
+use proptest::prelude::*;
+use smith85_cachesim::{
+    AssocAnalyzer, Cache, CacheConfig, FetchPolicy, Mapping, Replacement, SectorCache,
+    SectorCacheConfig, WriteBuffer,
+};
+use smith85_trace::{AccessKind, Addr, MemoryAccess};
+
+fn arb_access() -> impl Strategy<Value = MemoryAccess> {
+    (
+        0u64..0x2000,
+        prop_oneof![
+            Just(AccessKind::InstructionFetch),
+            Just(AccessKind::Read),
+            Just(AccessKind::Write),
+        ],
+    )
+        .prop_map(|(addr, kind)| MemoryAccess::new(kind, Addr::new(addr & !3), 4))
+}
+
+fn arb_stream(max: usize) -> impl Strategy<Value = Vec<MemoryAccess>> {
+    prop::collection::vec(arb_access(), 1..max)
+}
+
+fn run_cache(config: CacheConfig, stream: &[MemoryAccess]) -> u64 {
+    let mut cache = Cache::new(config).expect("valid config");
+    for a in stream {
+        cache.access(*a);
+    }
+    cache.stats().total_misses()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The O(1) fully-associative LRU core and the scanning set-
+    /// associative core (as one giant set) agree exactly. The scanning
+    /// path is forced through `SetAssociative(lines)`, which builds one
+    /// set holding every line.
+    #[test]
+    fn full_lru_equals_one_set_scan(stream in arb_stream(500)) {
+        let size = 512; // 32 lines
+        let fast = run_cache(CacheConfig::paper_table1(size).unwrap(), &stream);
+        let slow_cfg = CacheConfig::builder(size)
+            .mapping(Mapping::SetAssociative(32))
+            .build()
+            .unwrap();
+        // Sanity: that config really is one set.
+        prop_assert_eq!(slow_cfg.sets(), 1);
+        prop_assert_eq!(fast, run_cache(slow_cfg, &stream));
+    }
+
+    /// A sector cache whose transfer unit equals its sector behaves
+    /// exactly like a plain fully-associative LRU cache of the same
+    /// geometry, on read-only streams (the plain cache's fetch-on-write
+    /// matches too, since both count the same misses).
+    #[test]
+    fn whole_sector_cache_equals_plain_cache(stream in arb_stream(400)) {
+        let mut sector = SectorCache::new(SectorCacheConfig {
+            size_bytes: 256,
+            sector_bytes: 16,
+            fetch_bytes: 16,
+        })
+        .unwrap();
+        let mut plain = Cache::new(CacheConfig::paper_table1(256).unwrap()).unwrap();
+        for a in &stream {
+            sector.access(*a);
+            plain.access(*a);
+        }
+        prop_assert_eq!(
+            sector.stats().total_misses(),
+            plain.stats().total_misses()
+        );
+    }
+
+    /// The all-associativity analyzer agrees with direct simulation at
+    /// every power-of-two way count.
+    #[test]
+    fn assoc_analyzer_matches_direct(stream in arb_stream(400)) {
+        let sets = 8usize;
+        let mut analyzer = AssocAnalyzer::new(sets);
+        for a in &stream {
+            analyzer.observe(*a);
+        }
+        let profile = analyzer.finish();
+        for ways in [1usize, 2, 4] {
+            let mapping = if ways == 1 {
+                Mapping::Direct
+            } else {
+                Mapping::SetAssociative(ways)
+            };
+            let cfg = CacheConfig::builder(sets * ways * 16)
+                .mapping(mapping)
+                .build()
+                .unwrap();
+            prop_assert_eq!(profile.misses(ways), run_cache(cfg, &stream), "{} ways", ways);
+        }
+    }
+
+    /// Prefetch-always can change *which* lines miss but never changes
+    /// the reference count, and prefetched bytes always cover the extra
+    /// traffic exactly.
+    #[test]
+    fn prefetch_accounting(stream in arb_stream(400)) {
+        let cfg = CacheConfig::builder(512)
+            .fetch_policy(FetchPolicy::PrefetchAlways)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(cfg).unwrap();
+        for a in &stream {
+            cache.access(*a);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.total_refs(), stream.len() as u64);
+        prop_assert_eq!(s.bytes_fetched, 16 * (s.demand_fetches + s.prefetch_fetches));
+        // Every reference performs exactly one prefetch check.
+        prop_assert_eq!(
+            s.prefetch_fetches + s.prefetch_hits,
+            stream.len() as u64
+        );
+    }
+
+    /// Replacement policies all keep the cache within capacity and count
+    /// consistently.
+    #[test]
+    fn every_policy_is_bounded(stream in arb_stream(400), policy in 0usize..4) {
+        let replacement = [
+            Replacement::Lru,
+            Replacement::Fifo,
+            Replacement::Random { seed: 11 },
+            Replacement::TreePlru,
+        ][policy];
+        let cfg = CacheConfig::builder(256)
+            .mapping(Mapping::SetAssociative(4))
+            .replacement(replacement)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(cfg).unwrap();
+        for a in &stream {
+            cache.access(*a);
+        }
+        prop_assert!(cache.resident_lines() <= 16);
+        let s = cache.stats();
+        prop_assert!(s.total_misses() <= s.total_refs());
+        prop_assert!(s.pushes <= s.total_misses());
+    }
+
+    /// Write-buffer conservation: every store ends up either combined or
+    /// written to memory (after a flush), never both, never lost.
+    #[test]
+    fn write_buffer_conserves_stores(stream in arb_stream(400)) {
+        let mut wb = WriteBuffer::new(4, 4);
+        let stores = stream.iter().filter(|a| a.kind.is_write()).count() as u64;
+        for a in &stream {
+            if a.kind.is_write() {
+                wb.write(*a);
+            }
+        }
+        wb.flush();
+        let s = wb.stats();
+        prop_assert_eq!(s.stores, stores);
+        // 4-byte aligned 4-byte stores occupy exactly one unit each.
+        prop_assert_eq!(s.combined + s.memory_writes, stores);
+        prop_assert_eq!(wb.occupancy(), 0);
+    }
+}

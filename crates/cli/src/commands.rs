@@ -1,0 +1,486 @@
+//! Subcommand implementations.
+
+use crate::{CliError, Opts};
+use smith85_cachesim::{
+    CacheConfig, FetchPolicy, Mapping, Replacement, Simulator, SplitCache, StackAnalyzer,
+    UnifiedCache, WritePolicy, PAPER_SIZES,
+};
+use smith85_core::experiments::{self, ExperimentConfig};
+use smith85_core::targets::{design_target, traffic_factor, CacheKind};
+use smith85_synth::catalog;
+use smith85_trace::{io as trace_io, Trace};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Read as _;
+
+/// Usage text.
+pub(crate) fn help() -> String {
+    "\
+smith85 — trace-driven cache evaluation (Smith, ISCA 1985 reproduction)
+
+USAGE:
+  smith85 list
+      List the 49-trace workload catalog.
+  smith85 generate --trace NAME --len N --out FILE [--format text|binary|dinero]
+      Generate a synthetic trace and write it to disk.
+  smith85 characterize (--trace NAME [--len N] | --file FILE)
+      Print the Table 2 characteristics of a workload.
+  smith85 simulate (--trace NAME [--len N] | --file FILE) --size BYTES
+          [--line BYTES] [--ways N|full] [--replacement lru|plru|fifo|random]
+          [--write cb|cb-nofetch|wt|wt-noalloc] [--fetch demand|prefetch]
+          [--purge N] [--org unified|split]
+      Run one cache configuration and print its statistics.
+  smith85 sweep (--trace NAME [--len N] | --file FILE) [--sizes a,b,c]
+      Miss ratio at every cache size in one stack-analysis pass.
+  smith85 assoc (--trace NAME [--len N] | --file FILE) [--sets N] [--line BYTES]
+      Miss ratio at every associativity for a fixed set count, one pass.
+  smith85 target --size BYTES [--kind unified|instruction|data]
+      Look up the paper's Table 5 design target and Table 4 traffic factor.
+  smith85 custom --ifetch F --read F --branch F --code-kb N --data-kb N
+          [--instr-alpha F] [--data-alpha F] [--seq F] [--stack F]
+          [--arch vax|ibm370|z8000|cdc6400|m68000] [--len N] [--seed N]
+      Build a custom workload profile, characterize it and sweep it.
+  smith85 experiment NAME [--quick true]
+      Run a paper experiment (table1, table2, fig2, table3, fig3_4,
+      prefetch, table5, clark, z80000, m68020, traffic_ratio,
+      trace_length, multiprocessor, multiprogramming, calibration,
+      perturbations, interface, line_size, fudge, conclusions,
+      ablations).
+"
+    .to_string()
+}
+
+fn load_workload(opts: &Opts) -> Result<Trace, CliError> {
+    match (opts.get("trace"), opts.get("file")) {
+        (Some(name), None) => {
+            let spec =
+                catalog::by_name(name).ok_or_else(|| CliError::UnknownTrace(name.to_string()))?;
+            let len = opts.get_parse("len", 100_000usize)?;
+            Ok(spec.generate(len))
+        }
+        (None, Some(path)) => {
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            let trace = if bytes.starts_with(&trace_io::BINARY_MAGIC) {
+                trace_io::read_binary(bytes.as_slice())?
+            } else {
+                trace_io::read_text(bytes.as_slice())?
+            };
+            let len = opts.get_parse("len", trace.len())?;
+            let mut trace = trace;
+            trace.truncate(len);
+            Ok(trace)
+        }
+        (Some(_), Some(_)) => Err(CliError::usage("give either --trace or --file, not both")),
+        (None, None) => Err(CliError::usage("need a workload: --trace NAME or --file PATH")),
+    }
+}
+
+pub(crate) fn list(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&[])?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<12} {:<10} {:<9} description",
+        "name", "group", "arch", "language"
+    );
+    for spec in catalog::all() {
+        let p = spec.profile();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<12} {:<10} {:<9} {}",
+            spec.name(),
+            spec.group().to_string(),
+            p.arch.to_string(),
+            p.language.to_string(),
+            p.description
+        );
+    }
+    Ok(out)
+}
+
+pub(crate) fn generate(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["trace", "len", "out", "format"])?;
+    let name = opts.require("trace")?;
+    let spec = catalog::by_name(name).ok_or_else(|| CliError::UnknownTrace(name.to_string()))?;
+    let len = opts.get_parse("len", 250_000usize)?;
+    let out_path = opts.require("out")?;
+    let trace = spec.generate(len);
+    let file = File::create(out_path)?;
+    match opts.get("format").unwrap_or("text") {
+        "text" => trace_io::write_text(file, &trace)?,
+        "binary" => trace_io::write_binary(file, &trace)?,
+        "dinero" => trace_io::write_dinero(file, &trace)?,
+        other => return Err(CliError::usage(format!("unknown format {other:?}"))),
+    }
+    Ok(format!("wrote {} references of {} to {}\n", len, spec.name(), out_path))
+}
+
+pub(crate) fn characterize(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["trace", "file", "len"])?;
+    let trace = load_workload(opts)?;
+    let s = trace.characteristics();
+    Ok(format!(
+        "refs      {}\nifetch    {:.1}%\nread      {:.1}%\nwrite     {:.1}%\nbranch    {:.1}% of ifetches\n#Ilines   {}\n#Dlines   {}\nAspace    {} bytes\n",
+        s.total_refs(),
+        100.0 * s.ifetch_fraction(),
+        100.0 * s.read_fraction(),
+        100.0 * s.write_fraction(),
+        100.0 * s.branch_fraction(),
+        s.instruction_lines(),
+        s.data_lines(),
+        s.address_space_bytes()
+    ))
+}
+
+fn parse_config(opts: &Opts) -> Result<CacheConfig, CliError> {
+    let size = opts.get_parse("size", 0usize)?;
+    if size == 0 {
+        return Err(CliError::usage("missing required --size BYTES"));
+    }
+    let mapping = match opts.get("ways") {
+        None | Some("full") => Mapping::FullyAssociative,
+        Some("1") => Mapping::Direct,
+        Some(w) => Mapping::SetAssociative(
+            w.parse()
+                .map_err(|_| CliError::usage(format!("bad --ways {w:?}")))?,
+        ),
+    };
+    let replacement = match opts.get("replacement").unwrap_or("lru") {
+        "lru" => Replacement::Lru,
+        "fifo" => Replacement::Fifo,
+        "random" => Replacement::Random { seed: 85 },
+        "plru" => Replacement::TreePlru,
+        other => return Err(CliError::usage(format!("unknown replacement {other:?}"))),
+    };
+    let write = match opts.get("write").unwrap_or("cb") {
+        "cb" => WritePolicy::CopyBack {
+            fetch_on_write: true,
+        },
+        "cb-nofetch" => WritePolicy::CopyBack {
+            fetch_on_write: false,
+        },
+        "wt" => WritePolicy::WriteThrough { allocate: true },
+        "wt-noalloc" => WritePolicy::WriteThrough { allocate: false },
+        other => return Err(CliError::usage(format!("unknown write policy {other:?}"))),
+    };
+    let fetch = match opts.get("fetch").unwrap_or("demand") {
+        "demand" => FetchPolicy::Demand,
+        "prefetch" => FetchPolicy::PrefetchAlways,
+        other => return Err(CliError::usage(format!("unknown fetch policy {other:?}"))),
+    };
+    let purge = match opts.get("purge") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::usage(format!("bad --purge {v:?}")))?,
+        ),
+    };
+    Ok(CacheConfig::builder(size)
+        .line_size(opts.get_parse("line", 16usize)?)
+        .mapping(mapping)
+        .replacement(replacement)
+        .write_policy(write)
+        .fetch_policy(fetch)
+        .purge_interval(purge)
+        .build()?)
+}
+
+fn render_stats(stats: &smith85_cachesim::CacheStats) -> String {
+    format!(
+        "refs          {}\nmisses        {}\nmiss ratio    {:.4}\n  instruction {:.4}\n  data        {:.4}\ntraffic       {} bytes ({:.3}x demanded)\npushes        {} ({:.0}% dirty)\nprefetches    {} issued, {} already resident\npurges        {}\n",
+        stats.total_refs(),
+        stats.total_misses(),
+        stats.miss_ratio(),
+        stats.instruction_miss_ratio(),
+        stats.data_miss_ratio(),
+        stats.traffic_bytes(),
+        stats.traffic_ratio(),
+        stats.pushes,
+        100.0 * stats.dirty_push_fraction(),
+        stats.prefetch_fetches,
+        stats.prefetch_hits,
+        stats.purges,
+    )
+}
+
+pub(crate) fn simulate(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&[
+        "trace", "file", "len", "size", "line", "ways", "replacement", "write", "fetch", "purge",
+        "org",
+    ])?;
+    let trace = load_workload(opts)?;
+    let config = parse_config(opts)?;
+    match opts.get("org").unwrap_or("unified") {
+        "unified" => {
+            let mut cache = UnifiedCache::new(config)?;
+            cache.run(trace.iter().copied());
+            Ok(format!("{}\n{}", config, render_stats(cache.stats())))
+        }
+        "split" => {
+            let purge = config.purge_interval();
+            let mut cache = SplitCache::new(config, config, purge)?;
+            cache.run(trace.iter().copied());
+            Ok(format!(
+                "{} (split)\n--- instruction ---\n{}--- data ---\n{}",
+                config,
+                render_stats(cache.instruction_stats()),
+                render_stats(cache.data_stats())
+            ))
+        }
+        other => Err(CliError::usage(format!("unknown organisation {other:?}"))),
+    }
+}
+
+pub(crate) fn sweep(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["trace", "file", "len", "sizes", "line"])?;
+    let trace = load_workload(opts)?;
+    let sizes: Vec<usize> = match opts.get("sizes") {
+        None => PAPER_SIZES.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad size {s:?} in --sizes")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let line = opts.get_parse("line", 16usize)?;
+    let mut analyzer = StackAnalyzer::with_line_size(line);
+    for access in &trace {
+        analyzer.observe(*access);
+    }
+    let profile = analyzer.finish();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10}  {:>9}  (fully associative LRU, {line}-byte lines)", "size", "miss");
+    for size in sizes {
+        let _ = writeln!(out, "{:>10}  {:>9.4}", size, profile.miss_ratio(size));
+    }
+    Ok(out)
+}
+
+pub(crate) fn assoc(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["trace", "file", "len", "sets", "line"])?;
+    let trace = load_workload(opts)?;
+    let sets = opts.get_parse("sets", 64usize)?;
+    let line = opts.get_parse("line", 16usize)?;
+    if !sets.is_power_of_two() || sets == 0 {
+        return Err(CliError::usage("--sets must be a positive power of two"));
+    }
+    let mut analyzer = smith85_cachesim::AssocAnalyzer::with_line_size(sets, line);
+    for access in &trace {
+        analyzer.observe(*access);
+    }
+    let profile = analyzer.finish();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>9}  (LRU, {sets} sets, {line}-byte lines; one pass)",
+        "ways", "size", "miss"
+    );
+    for (ways, miss) in profile.curve(64) {
+        let _ = writeln!(out, "{:>6} {:>10} {:>9.4}", ways, profile.cache_bytes(ways), miss);
+    }
+    Ok(out)
+}
+
+pub(crate) fn target(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["size", "kind"])?;
+    let size = opts.get_parse("size", 0usize)?;
+    if size == 0 {
+        return Err(CliError::usage("missing required --size BYTES"));
+    }
+    let kinds: Vec<CacheKind> = match opts.get("kind") {
+        None => CacheKind::ALL.to_vec(),
+        Some("unified") => vec![CacheKind::Unified],
+        Some("instruction") => vec![CacheKind::Instruction],
+        Some("data") => vec![CacheKind::Data],
+        Some(other) => return Err(CliError::usage(format!("unknown kind {other:?}"))),
+    };
+    let mut out = String::new();
+    for kind in kinds {
+        let _ = writeln!(
+            out,
+            "{:<12} design-target miss {:.2}, prefetch traffic factor {:.3}",
+            kind.label(),
+            design_target(size, kind),
+            traffic_factor(size, kind)
+        );
+    }
+    Ok(out)
+}
+
+pub(crate) fn custom(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&[
+        "ifetch", "read", "branch", "code-kb", "data-kb", "instr-alpha", "data-alpha", "seq",
+        "stack", "arch", "len", "seed",
+    ])?;
+    let arch = match opts.get("arch").unwrap_or("vax") {
+        "vax" => smith85_trace::MachineArch::Vax,
+        "ibm370" | "370" => smith85_trace::MachineArch::Ibm370,
+        "z8000" => smith85_trace::MachineArch::Z8000,
+        "cdc6400" | "cdc" => smith85_trace::MachineArch::Cdc6400,
+        "m68000" | "68000" => smith85_trace::MachineArch::M68000,
+        other => return Err(CliError::usage(format!("unknown arch {other:?}"))),
+    };
+    let ifetch = opts.get_parse("ifetch", 0.50f64)?;
+    let read = opts.get_parse("read", 0.33f64)?;
+    if !(0.0..=1.0).contains(&ifetch) || !(0.0..=1.0).contains(&read) || ifetch + read > 1.0 {
+        return Err(CliError::usage(
+            "--ifetch and --read must be fractions with ifetch + read <= 1",
+        ));
+    }
+    let profile = smith85_synth::ProgramProfile {
+        name: "CUSTOM".to_string(),
+        arch,
+        language: smith85_trace::SourceLanguage::C,
+        description: "user-defined workload".to_string(),
+        ifetch_fraction: ifetch,
+        read_fraction: read,
+        branch_fraction: opts.get_parse("branch", 0.17f64)?,
+        code_bytes: (opts.get_parse("code-kb", 12.0f64)? * 1024.0) as u64,
+        data_bytes: (opts.get_parse("data-kb", 12.0f64)? * 1024.0) as u64,
+        locality: smith85_synth::Locality {
+            instr_alpha: opts.get_parse("instr-alpha", 1.5f64)?,
+            data_alpha: opts.get_parse("data-alpha", 1.4f64)?,
+            seq_fraction: opts.get_parse("seq", 0.15f64)?,
+            stack_fraction: opts.get_parse("stack", 0.3f64)?,
+            ..Default::default()
+        },
+        seed: opts.get_parse("seed", 85u64)?,
+        paper_length: 250_000,
+    };
+    let len = opts.get_parse("len", 100_000usize)?;
+    let trace = profile.generate(len);
+    let stats = trace.characteristics();
+    let mut analyzer = StackAnalyzer::new();
+    for access in &trace {
+        analyzer.observe(*access);
+    }
+    let p = analyzer.finish();
+    let mut out = format!("custom profile on {}\ncharacteristics: {stats}\n\n", arch);
+    let _ = writeln!(out, "{:>10}  {:>9}", "size", "miss");
+    for size in PAPER_SIZES {
+        let _ = writeln!(out, "{:>10}  {:>9.4}", size, p.miss_ratio(size));
+    }
+    Ok(out)
+}
+
+pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["quick", "len", "csv"])?;
+    let name = opts
+        .positional()
+        .first()
+        .ok_or_else(|| CliError::usage("which experiment? (e.g. `smith85 experiment table1`)"))?;
+    let mut config = if opts.get("quick").is_some() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    if let Some(len) = opts.get("len") {
+        config.trace_len = len
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad --len {len:?}")))?;
+    }
+    let csv = opts.get("csv").is_some();
+    let out = match name.as_str() {
+        "table1" | "fig1" => {
+            let t = experiments::table1::run(&config);
+            if csv {
+                t.to_csv()
+            } else {
+                t.render()
+            }
+        }
+        "table2" => experiments::table2::run(&config).render(),
+        "fig2" => experiments::fig2::run(&config).render(),
+        "table3" => experiments::table3::run(&config).render(),
+        "fig3_4" | "fig3" | "fig4" => experiments::fig3_fig4::run(&config).render(),
+        "prefetch" | "fig5_6_7" | "fig8_9_10" | "table4" => {
+            experiments::prefetch::run(&config).render()
+        }
+        "table5" => experiments::table5::run(&config).render(),
+        "clark" => experiments::clark_validation::run(&config).render(),
+        "z80000" => experiments::z80000::run(&config).render(),
+        "m68020" => experiments::m68020::run(&config).render(),
+        "traffic_ratio" => experiments::traffic_ratio::run(&config).render(),
+        "trace_length" => experiments::trace_length::run(&config).render(),
+        "multiprocessor" => experiments::multiprocessor::run(&config).render(),
+        "calibration" => experiments::calibration_report::run(&config).render(),
+        "multiprogramming" => experiments::multiprogramming::run(&config).render(),
+        "conclusions" => experiments::conclusions::run(&config).render(),
+        "line_size" => experiments::line_size::run(&config).render(),
+        "fudge" => experiments::fudge_validation::run(&config).render(),
+        "perturbations" => experiments::perturbations::run(&config).render(),
+        "interface" => experiments::interface_effects::run(&config).render(),
+        "ablations" => experiments::ablations::run(&config).render(),
+        other => return Err(CliError::UnknownExperiment(other.to_string())),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Opts::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn parse_config_defaults_to_paper_shape() {
+        let c = parse_config(&opts(&["--size", "1024"])).unwrap();
+        assert_eq!(c.line_size(), 16);
+        assert_eq!(c.mapping(), Mapping::FullyAssociative);
+        assert_eq!(c.replacement(), Replacement::Lru);
+    }
+
+    #[test]
+    fn parse_config_full_grid() {
+        let c = parse_config(&opts(&[
+            "--size", "8192", "--line", "32", "--ways", "4", "--replacement", "fifo", "--write",
+            "wt", "--fetch", "prefetch", "--purge", "20000",
+        ]))
+        .unwrap();
+        assert_eq!(c.ways(), 4);
+        assert_eq!(c.replacement(), Replacement::Fifo);
+        assert_eq!(c.write_policy(), WritePolicy::WriteThrough { allocate: true });
+        assert_eq!(c.fetch_policy(), FetchPolicy::PrefetchAlways);
+        assert_eq!(c.purge_interval(), Some(20_000));
+    }
+
+    #[test]
+    fn parse_config_rejects_nonsense() {
+        assert!(parse_config(&opts(&["--size", "1024", "--replacement", "clock"])).is_err());
+        assert!(parse_config(&opts(&["--size", "1024", "--write", "wb"])).is_err());
+        assert!(parse_config(&opts(&[])).is_err());
+    }
+
+    #[test]
+    fn split_simulation_prints_both_halves() {
+        let out = simulate(&opts(&[
+            "--trace", "ZGREP", "--len", "4000", "--size", "1024", "--org", "split",
+        ]))
+        .unwrap();
+        assert!(out.contains("instruction"));
+        assert!(out.contains("data"));
+    }
+
+    #[test]
+    fn sweep_accepts_custom_sizes() {
+        let out = sweep(&opts(&["--trace", "PL0", "--len", "4000", "--sizes", "64,256"])).unwrap();
+        assert!(out.contains("64"));
+        assert!(out.contains("256"));
+        assert!(!out.contains("65536"));
+    }
+
+    #[test]
+    fn target_kind_filter() {
+        let out = target(&opts(&["--size", "256", "--kind", "instruction"])).unwrap();
+        assert!(out.contains("instruction"));
+        assert!(!out.contains("unified"));
+        assert!(out.contains("0.25"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Library backing the `smith85` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed options to an output
+//! string, so the whole surface is unit-testable without spawning
+//! processes. See [`run`] for dispatch and `smith85 help` for usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commands;
+mod opts;
+
+pub use opts::Opts;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the command line.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the message explains what to fix.
+    Usage(String),
+    /// A named trace is not in the catalog.
+    UnknownTrace(String),
+    /// A named experiment does not exist.
+    UnknownExperiment(String),
+    /// Reading or writing a trace file failed.
+    Io(smith85_trace::TraceIoError),
+    /// A cache configuration was invalid.
+    Config(smith85_cachesim::ConfigError),
+    /// A plain file-system error.
+    File(std::io::Error),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::UnknownTrace(n) => {
+                write!(f, "no trace named {n:?} in the catalog (try `smith85 list`)")
+            }
+            CliError::UnknownExperiment(n) => {
+                write!(f, "no experiment named {n:?} (try `smith85 help`)")
+            }
+            CliError::Io(e) => e.fmt(f),
+            CliError::Config(e) => e.fmt(f),
+            CliError::File(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Config(e) => Some(e),
+            CliError::File(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smith85_trace::TraceIoError> for CliError {
+    fn from(e: smith85_trace::TraceIoError) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<smith85_cachesim::ConfigError> for CliError {
+    fn from(e: smith85_cachesim::ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::File(e)
+    }
+}
+
+/// Dispatches a full argument vector (without the program name) and
+/// returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad usage, unknown names, I/O
+/// failures or invalid configurations.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = match args.split_first() {
+        None => return Ok(commands::help()),
+        Some((c, rest)) => (c.as_str(), rest),
+    };
+    let opts = Opts::parse(rest)?;
+    match command {
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        "list" => commands::list(&opts),
+        "generate" => commands::generate(&opts),
+        "characterize" => commands::characterize(&opts),
+        "simulate" => commands::simulate(&opts),
+        "sweep" => commands::sweep(&opts),
+        "assoc" => commands::assoc(&opts),
+        "target" => commands::target(&opts),
+        "custom" => commands::custom(&opts),
+        "experiment" => commands::experiment(&opts),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn empty_and_help_print_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run_str(&["help"]).unwrap().contains("simulate"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(run_str(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn list_names_all_traces() {
+        let out = run_str(&["list"]).unwrap();
+        for name in ["MVS1", "VSPICE", "ZGREP", "TWOD", "PL0", "VAXIMA"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn simulate_runs_a_catalog_trace() {
+        let out = run_str(&[
+            "simulate", "--trace", "VCCOM", "--len", "5000", "--size", "4096",
+        ])
+        .unwrap();
+        assert!(out.contains("miss ratio"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_trace() {
+        assert!(matches!(
+            run_str(&["simulate", "--trace", "NOPE", "--size", "1024"]),
+            Err(CliError::UnknownTrace(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_produces_a_curve() {
+        let out = run_str(&["sweep", "--trace", "ZGREP", "--len", "5000"]).unwrap();
+        assert!(out.contains("1024"));
+        assert!(out.lines().count() > 10);
+    }
+
+    #[test]
+    fn assoc_sweeps_way_counts() {
+        let out = run_str(&["assoc", "--trace", "VCCOM", "--len", "6000", "--sets", "16"]).unwrap();
+        assert!(out.contains("ways"));
+        assert!(out.lines().count() > 5);
+        assert!(run_str(&["assoc", "--trace", "VCCOM", "--sets", "12"]).is_err());
+    }
+
+    #[test]
+    fn target_looks_up_table5() {
+        let out = run_str(&["target", "--size", "8192"]).unwrap();
+        assert!(out.contains("0.08"), "{out}");
+    }
+
+    #[test]
+    fn generate_and_characterize_roundtrip() {
+        let dir = std::env::temp_dir().join("smith85-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_str = path.to_str().unwrap();
+        let out = run_str(&[
+            "generate", "--trace", "PL0", "--len", "3000", "--out", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("3000"));
+        let out = run_str(&["characterize", "--file", path_str]).unwrap();
+        assert!(out.contains("ifetch"), "{out}");
+    }
+
+    #[test]
+    fn custom_profile_sweeps() {
+        let out = run_str(&[
+            "custom", "--ifetch", "0.6", "--read", "0.3", "--code-kb", "4", "--data-kb", "4",
+            "--len", "8000",
+        ])
+        .unwrap();
+        assert!(out.contains("characteristics"));
+        assert!(out.contains("65536"));
+    }
+
+    #[test]
+    fn custom_rejects_bad_fractions() {
+        assert!(run_str(&["custom", "--ifetch", "0.9", "--read", "0.5"]).is_err());
+    }
+
+    #[test]
+    fn experiment_dispatch() {
+        let out = run_str(&["experiment", "fig2"]).unwrap();
+        assert!(out.contains("supervisor"));
+        assert!(matches!(
+            run_str(&["experiment", "nope"]),
+            Err(CliError::UnknownExperiment(_))
+        ));
+    }
+}

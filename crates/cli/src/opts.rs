@@ -1,0 +1,135 @@
+//! Minimal `--flag value` option parsing (no external dependencies).
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed options: a set of `--key value` pairs plus positional arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Opts {
+    /// Parses `args`, treating every `--key` as taking one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a trailing `--key` with no value or a repeated
+    /// key.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut opts = Opts::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
+                if opts
+                    .flags
+                    .insert(key.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(CliError::usage(format!("--{key} given twice")));
+                }
+            } else {
+                opts.positional.push(arg.clone());
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error naming the missing flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::usage(format!("missing required --{key}")))
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error if the value does not parse.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("--{key} {v:?} is not a valid value"))),
+        }
+    }
+
+    /// Rejects any option not in `allowed` (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error naming the unknown flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::usage(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = Opts::parse(&args(&["pos1", "--size", "4096", "pos2"])).unwrap();
+        assert_eq!(o.get("size"), Some("4096"));
+        assert_eq!(o.positional(), &["pos1".to_string(), "pos2".to_string()]);
+    }
+
+    #[test]
+    fn numeric_defaults_and_parsing() {
+        let o = Opts::parse(&args(&["--len", "100"])).unwrap();
+        assert_eq!(o.get_parse("len", 5usize).unwrap(), 100);
+        assert_eq!(o.get_parse("other", 7usize).unwrap(), 7);
+        assert!(o.get_parse::<usize>("len", 0).is_ok());
+        let bad = Opts::parse(&args(&["--len", "x"])).unwrap();
+        assert!(bad.get_parse::<usize>("len", 0).is_err());
+    }
+
+    #[test]
+    fn missing_value_and_duplicates_rejected() {
+        assert!(Opts::parse(&args(&["--size"])).is_err());
+        assert!(Opts::parse(&args(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_caught() {
+        let o = Opts::parse(&args(&["--sizee", "4096"])).unwrap();
+        assert!(o.expect_only(&["size"]).is_err());
+        assert!(o.expect_only(&["sizee"]).is_ok());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let o = Opts::parse(&[]).unwrap();
+        let err = o.require("trace").unwrap_err();
+        assert!(err.to_string().contains("--trace"));
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end tests of the `smith85` binary itself (exit codes, stdout,
+//! stderr), via the path Cargo bakes in for integration tests.
+
+use std::process::Command;
+
+fn smith85(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_smith85"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = smith85(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn bad_command_exits_nonzero_with_hint() {
+    let out = smith85(&["bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("smith85:"), "{err}");
+    assert!(err.contains("help"), "{err}");
+}
+
+#[test]
+fn simulate_pipeline_end_to_end() {
+    let out = smith85(&[
+        "simulate", "--trace", "ZGREP", "--len", "4000", "--size", "1024",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("miss ratio"), "{text}");
+    assert!(text.contains("traffic"), "{text}");
+}
+
+#[test]
+fn generate_then_consume_file() {
+    let dir = std::env::temp_dir().join("smith85-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e.strc");
+    let path_str = path.to_str().unwrap();
+    let out = smith85(&[
+        "generate", "--trace", "VCAT", "--len", "2000", "--out", path_str, "--format", "binary",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let out = smith85(&["sweep", "--file", path_str, "--sizes", "64,1024"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1024"), "{text}");
+}
+
+#[test]
+fn list_is_stable_output() {
+    let a = smith85(&["list"]);
+    let b = smith85(&["list"]);
+    assert_eq!(a.stdout, b.stdout);
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout)
+            .lines()
+            .count(),
+        50 // header + 49 traces
+    );
+}

@@ -1,0 +1,185 @@
+//! One module per reproduced table or figure.
+//!
+//! Every experiment follows the same shape: `run(&ExperimentConfig)`
+//! produces a serializable result struct, and the result's `render()`
+//! returns the plain-text table/series the paper printed. The binaries in
+//! `smith85-bench` are thin wrappers over these.
+
+pub mod ablations;
+pub mod calibration_report;
+pub mod clark_validation;
+pub mod conclusions;
+pub mod fig2;
+pub mod fig3_fig4;
+pub mod fudge_validation;
+pub mod interface_effects;
+pub mod line_size;
+pub mod m68020;
+pub mod multiprocessor;
+pub mod multiprogramming;
+pub mod perturbations;
+pub mod prefetch;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table5;
+pub mod trace_length;
+pub mod traffic_ratio;
+pub mod z80000;
+
+use crate::sweep;
+use smith85_cachesim::PAPER_SIZES;
+use smith85_synth::{catalog, ProgramProfile};
+use smith85_trace::mix::RoundRobinMix;
+use smith85_trace::{MachineArch, MemoryAccess, PAPER_PURGE_INTERVAL, PAPER_PURGE_INTERVAL_M68000};
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// References simulated per workload.
+    pub trace_len: usize,
+    /// Cache sizes swept.
+    pub sizes: Vec<usize>,
+    /// Worker threads for the simulation grid.
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's scale: 250,000 references, the full 32 B – 64 KiB sweep.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            trace_len: 250_000,
+            sizes: PAPER_SIZES.to_vec(),
+            threads: sweep::default_threads(),
+        }
+    }
+
+    /// A reduced configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            trace_len: 30_000,
+            sizes: vec![64, 256, 1024, 4096, 16384],
+            threads: sweep::default_threads(),
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A workload for the multiprogramming experiments: either a single trace
+/// or a round-robin mix of several (Table 3's four "assorted" rows).
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// One program.
+    Single(ProgramProfile),
+    /// A round-robin multiprogramming mix.
+    Mix {
+        /// Display name, e.g. `"Z8000 - Assorted"`.
+        name: String,
+        /// The member programs.
+        members: Vec<ProgramProfile>,
+    },
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Single(p) => &p.name,
+            Workload::Mix { name, .. } => name,
+        }
+    }
+
+    /// The purge / task-switch interval the paper uses for this workload
+    /// (15,000 for the short M68000 traces, 20,000 otherwise).
+    pub fn purge_interval(&self) -> u64 {
+        let m68k = match self {
+            Workload::Single(p) => p.arch == MachineArch::M68000,
+            Workload::Mix { members, .. } => {
+                members.iter().all(|p| p.arch == MachineArch::M68000)
+            }
+        };
+        if m68k {
+            PAPER_PURGE_INTERVAL_M68000
+        } else {
+            PAPER_PURGE_INTERVAL
+        }
+    }
+
+    /// An infinite access stream (mixes switch programs every
+    /// [`purge_interval`](Self::purge_interval) references, like the
+    /// paper's simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a profile is inconsistent (see
+    /// [`ProgramProfile::generator`]).
+    pub fn stream(&self) -> Box<dyn Iterator<Item = MemoryAccess> + Send> {
+        match self {
+            Workload::Single(p) => Box::new(p.generator()),
+            Workload::Mix { members, .. } => {
+                let streams: Vec<_> = members.iter().map(|p| p.generator()).collect();
+                Box::new(RoundRobinMix::new(streams, self.purge_interval()))
+            }
+        }
+    }
+}
+
+/// The sixteen workloads of Table 3 and Figures 3-10: twelve single traces
+/// plus the four multiprogramming mixes, in the paper's row order.
+pub fn table3_workloads() -> Vec<Workload> {
+    let mut ws: Vec<Workload> = catalog::table3_single_traces()
+        .into_iter()
+        .map(|s| Workload::Single(s.profile().clone()))
+        .collect();
+    ws.extend(
+        catalog::table3_mixes()
+            .into_iter()
+            .map(|(name, members)| Workload::Mix { name, members }),
+    );
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let q = ExperimentConfig::quick();
+        let p = ExperimentConfig::paper();
+        assert!(q.trace_len < p.trace_len);
+        assert!(q.sizes.len() < p.sizes.len());
+        assert_eq!(p.trace_len, 250_000);
+    }
+
+    #[test]
+    fn sixteen_workloads() {
+        let ws = table3_workloads();
+        assert_eq!(ws.len(), 16);
+        assert_eq!(ws.iter().filter(|w| matches!(w, Workload::Mix { .. })).count(), 4);
+    }
+
+    #[test]
+    fn purge_intervals_follow_the_paper() {
+        for w in table3_workloads() {
+            assert_eq!(w.purge_interval(), PAPER_PURGE_INTERVAL, "{}", w.name());
+        }
+        let m68k = Workload::Single(
+            catalog::by_name("PL0").unwrap().profile().clone(),
+        );
+        assert_eq!(m68k.purge_interval(), PAPER_PURGE_INTERVAL_M68000);
+    }
+
+    #[test]
+    fn mix_stream_interleaves_members() {
+        let ws = table3_workloads();
+        let mix = ws.iter().find(|w| w.name().starts_with("Z8000")).unwrap();
+        let n = mix.stream().take(1000).count();
+        assert_eq!(n, 1000);
+    }
+}

@@ -1,0 +1,347 @@
+//! Plain-text table and series rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// ```
+/// use smith85_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["trace", "miss"]);
+/// t.row(vec!["MVS1".to_string(), "0.31".to_string()]);
+/// let s = t.render();
+/// assert!(s.contains("MVS1"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers; the first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`aligns`](Self::aligns)).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if let Some(first) = aligns.first_mut() {
+            *first = Align::Left;
+        }
+        TextTable {
+            aligns,
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the header count.
+    pub fn aligns(&mut self, aligns: Vec<Align>) -> &mut Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a horizontal rule.
+    pub fn rule(&mut self) -> &mut Self {
+        self.rows.push(Vec::new());
+        self
+    }
+
+    /// Renders the table as CSV (header row first; cells containing
+    /// commas or quotes are quoted).
+    pub fn render_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            if !row.is_empty() {
+                emit(&mut out, row);
+            }
+        }
+        out
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for i in 0..ncol {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            if row.is_empty() {
+                let _ = writeln!(out, "{}", "-".repeat(total));
+            } else {
+                emit(&mut out, row, &self.aligns);
+            }
+        }
+        out
+    }
+}
+
+/// Formats a miss ratio the way the paper's tables do.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a ratio-of-ratios (prefetch factors, traffic factors).
+pub fn fmt_factor(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Renders an ASCII log-log style series plot: one line per (label, y)
+/// pair at each x, as the textual stand-in for the paper's figures.
+///
+/// Values are laid out as rows of `label: y1 y2 y3 ...` plus a shared
+/// header of x values; the point is regenerating the *numbers* behind each
+/// figure, not the artwork.
+pub fn render_series(title: &str, xs: &[usize], series: &[(String, Vec<f64>)]) -> String {
+    let mut t = TextTable::new(
+        std::iter::once("series".to_string())
+            .chain(xs.iter().map(|x| x.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for (label, ys) in series {
+        let mut row = vec![label.clone()];
+        row.extend(ys.iter().map(|y| fmt_ratio(*y)));
+        t.row(row);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders a log-y ASCII plot of one or more series against the cache-size
+/// sweep — the textual stand-in for the paper's figure artwork.
+///
+/// Each series gets a letter glyph; `xs` labels the columns (sizes are
+/// assumed to double per step, matching the paper's log-x axes). Zero or
+/// negative values are clamped to the bottom row.
+pub fn ascii_plot(title: &str, xs: &[usize], series: &[(String, Vec<f64>)]) -> String {
+    const HEIGHT: usize = 16;
+    const COL_WIDTH: usize = 6;
+    if xs.is_empty() || series.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            if y > 0.0 {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+    }
+    if !lo.is_finite() || lo == hi {
+        lo = 0.001;
+        hi = 1.0;
+    }
+    let (log_lo, log_hi) = (lo.log10(), hi.log10());
+    let row_of = |y: f64| -> usize {
+        if y <= 0.0 {
+            return HEIGHT - 1;
+        }
+        let t = (y.log10() - log_lo) / (log_hi - log_lo).max(1e-12);
+        let r = ((1.0 - t) * (HEIGHT - 1) as f64).round();
+        (r.max(0.0) as usize).min(HEIGHT - 1)
+    };
+    let width = xs.len() * COL_WIDTH;
+    let mut grid = vec![vec![' '; width]; HEIGHT];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = (b'A' + (si % 26) as u8) as char;
+        for (xi, &y) in ys.iter().enumerate().take(xs.len()) {
+            let col = xi * COL_WIDTH + COL_WIDTH / 2;
+            grid[row_of(y)][col] = glyph;
+        }
+    }
+    let mut out = format!("{title}\n");
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>8.4} |")
+        } else if r == HEIGHT - 1 {
+            format!("{lo:>8.4} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        let line: String = row.iter().collect();
+        out.push_str(&label);
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>8}  ", ""));
+    for &x in xs {
+        let label = if x >= 1024 {
+            format!("{}K", x / 1024)
+        } else {
+            x.to_string()
+        };
+        out.push_str(&format!("{label:^width$}", width = COL_WIDTH));
+    }
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        let glyph = (b'A' + (si % 26) as u8) as char;
+        out.push_str(&format!("  {glyph} = {name}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned number column.
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.rule();
+        t.row(vec!["has,comma".into(), "say \"hi\"".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"has,comma\",\"say \"\"hi\"\"\"");
+        assert_eq!(lines.len(), 3); // rules dropped
+    }
+
+    #[test]
+    fn rule_inserts_separator() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x".into()]);
+        t.rule();
+        t.row(vec!["y".into()]);
+        let s = t.render();
+        assert_eq!(s.lines().filter(|l| l.starts_with('-')).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn wrong_arity_rejected() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_contains_all_labels() {
+        let s = render_series(
+            "Figure X",
+            &[32, 64],
+            &[("MVS1".to_string(), vec![0.5, 0.4])],
+        );
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("MVS1"));
+        assert!(s.contains("0.5000"));
+    }
+
+    #[test]
+    fn ascii_plot_places_series_and_legend() {
+        let p = ascii_plot(
+            "Figure test",
+            &[1024, 2048],
+            &[
+                ("hot".to_string(), vec![0.5, 0.25]),
+                ("cold".to_string(), vec![0.01, 0.005]),
+            ],
+        );
+        assert!(p.contains("Figure test"));
+        assert!(p.contains("A = hot"));
+        assert!(p.contains("B = cold"));
+        assert!(p.contains("1K"));
+        // Highest value labels the top row.
+        assert!(p.contains("0.5000 |"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_degenerate_input() {
+        let p = ascii_plot("empty", &[], &[]);
+        assert!(p.contains("no data"));
+        let p = ascii_plot("flat", &[64], &[("x".to_string(), vec![0.0])]);
+        assert!(p.contains("flat"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(0.12345), "0.1235");
+        assert_eq!(fmt_factor(1.5), "1.500");
+    }
+}

@@ -1,0 +1,99 @@
+//! Parallel execution of independent simulation jobs.
+//!
+//! The experiments sweep (workload × cache size × policy) grids of
+//! independent trace-driven simulations; this module fans them out over a
+//! bounded set of worker threads with `crossbeam`'s scoped threads, so no
+//! `'static` bounds leak into the experiment code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving input order.
+///
+/// `threads = 1` runs inline (useful under test); otherwise up to `threads`
+/// workers pull items off a shared queue.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after all workers stop.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let next = AtomicUsize::new(0);
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input mutex poisoned")
+                    .take()
+                    .expect("each input taken once");
+                let out = f(item);
+                *outputs[i].lock().expect("output mutex poisoned") = Some(out);
+            });
+        }
+    })
+    .expect("a simulation job panicked");
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output mutex poisoned")
+                .expect("all jobs completed")
+        })
+        .collect()
+}
+
+/// A sensible default worker count: the machine's parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map(4, (0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let out = parallel_map(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(8, Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_non_copy_items() {
+        let items: Vec<String> = (0..10).map(|i| format!("s{i}")).collect();
+        let out = parallel_map(3, items, |s| s.len());
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

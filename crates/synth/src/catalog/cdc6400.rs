@@ -1,0 +1,89 @@
+//! CDC 6400 traces: Fortran scientific codes with a one-word (60-bit) data
+//! interface and a one-instruction fetch interface with no memory.
+//!
+//! The simple instruction set shows up as the highest instruction-fetch
+//! fraction of the workload (77.2%) and the lowest branch frequency
+//! (4.2%); the data side is array-heavy, so the sequential segment
+//! dominates data references.
+
+use super::{spec, TraceGroup, TraceSpec};
+use crate::profile::Locality;
+use smith85_trace::{MachineArch, SourceLanguage};
+
+const ARCH: MachineArch = MachineArch::Cdc6400;
+
+fn cdc_locality(seq: f64, data_alpha: f64) -> Locality {
+    Locality {
+        instr_alpha: 1.70,
+        data_alpha,
+        seq_fraction: seq,
+        stack_fraction: 0.08,
+        loop_prob: 0.55,
+        phase_interval: 40_000,
+        write_concentration: 0.95,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cdc(name: &str, desc: &str, code_kb: u64, data_kb: u64, seq: f64, alpha: f64) -> TraceSpec {
+    spec(
+        name,
+        ARCH,
+        SourceLanguage::Fortran,
+        TraceGroup::Cdc6400,
+        desc,
+        0.772,
+        0.150,
+        0.042,
+        code_kb * 1024,
+        data_kb * 1024,
+        cdc_locality(seq, alpha),
+        250_000,
+        1,
+    )
+}
+
+pub(super) fn specs() -> Vec<TraceSpec> {
+    vec![
+        cdc(
+            "TWOD",
+            "Fortran Go: 2-D scattering from an infinite circular cylinder",
+            10,
+            14,
+            0.50,
+            1.50,
+        ),
+        cdc(
+            "PPAS",
+            "phase-plane analysis of two simultaneous ODEs, start-up portion",
+            9,
+            8,
+            0.30,
+            1.60,
+        ),
+        cdc(
+            "PPAL",
+            "phase-plane analysis, traced after entering its iteration loops",
+            7,
+            8,
+            0.45,
+            1.70,
+        ),
+        cdc(
+            "DIPOLE",
+            "3-D scattering from a cube via the dipole approximation",
+            11,
+            16,
+            0.55,
+            1.47,
+        ),
+        cdc(
+            "MOTIS",
+            "MOS circuit analysis (MOTIS)",
+            12,
+            12,
+            0.40,
+            1.53,
+        ),
+    ]
+}

@@ -1,0 +1,107 @@
+//! IBM 360/91 traces (generated at SLAC): WATEX, WATFIV, APL and FFT.
+//!
+//! These programs were analysed extensively in Smith's earlier papers;
+//! they assume an 8-byte memory interface with no memory.
+
+use super::{spec, TraceGroup, TraceSpec};
+use crate::profile::Locality;
+use smith85_trace::{MachineArch, SourceLanguage};
+
+const ARCH: MachineArch = MachineArch::Ibm360_91;
+
+pub(super) fn specs() -> Vec<TraceSpec> {
+    vec![
+        spec(
+            "WATEX",
+            ARCH,
+            SourceLanguage::Fortran,
+            TraceGroup::Ibm360,
+            "execution of a Watfiv-compiled combinatorial search routine",
+            0.52,
+            0.31,
+            0.165,
+            8 * 1024,
+            18 * 1024,
+            Locality {
+                instr_alpha: 1.60,
+                data_alpha: 1.50,
+                seq_fraction: 0.22,
+                stack_fraction: 0.18,
+                loop_prob: 0.40,
+                phase_interval: 25_000,
+                write_concentration: 0.55,
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "WATFIV",
+            ARCH,
+            SourceLanguage::Assembler,
+            TraceGroup::Ibm360,
+            "Watfiv Fortran compiler compiling WATEX (compiler in assembler)",
+            0.55,
+            0.29,
+            0.160,
+            26 * 1024,
+            14 * 1024,
+            Locality {
+                instr_alpha: 1.40,
+                data_alpha: 1.30,
+                seq_fraction: 0.12,
+                stack_fraction: 0.20,
+                loop_prob: 0.30,
+                phase_interval: 15_000,
+                write_concentration: 0.45,
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "APL",
+            ARCH,
+            SourceLanguage::Apl,
+            TraceGroup::Ibm360,
+            "APL interpreter running a terminal plotting program",
+            0.53,
+            0.31,
+            0.155,
+            24 * 1024,
+            14 * 1024,
+            Locality {
+                instr_alpha: 1.45,
+                data_alpha: 1.35,
+                seq_fraction: 0.18,
+                stack_fraction: 0.20,
+                loop_prob: 0.32,
+                phase_interval: 20_000,
+                write_concentration: 0.45,
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "FFT",
+            ARCH,
+            SourceLanguage::AlgolW,
+            TraceGroup::Ibm360,
+            "FFT program written in Algol, compiled with the AlgolW compiler",
+            0.54,
+            0.30,
+            0.105,
+            6 * 1024,
+            22 * 1024,
+            Locality {
+                instr_alpha: 1.65,
+                data_alpha: 1.45,
+                seq_fraction: 0.55,
+                stack_fraction: 0.10,
+                loop_prob: 0.50,
+                phase_interval: 40_000,
+                write_concentration: 0.50,
+            },
+            250_000,
+            1,
+        ),
+    ]
+}

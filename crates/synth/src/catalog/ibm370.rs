@@ -1,0 +1,209 @@
+//! IBM 370 traces: the MVS operating system, Fortran and Cobol batch
+//! programs, and the Fortran and Cobol compilers (Amdahl traces).
+//!
+//! These are the paper's large-workload anchors: big, mature software with
+//! the flattest locality of the workload (§3.1 finds the MVS and compiler
+//! traces have the highest miss ratios, averaging ~17% at 1K).
+
+use super::{spec, TraceGroup, TraceSpec};
+use crate::profile::Locality;
+use smith85_trace::{MachineArch, SourceLanguage};
+
+const ARCH: MachineArch = MachineArch::Ibm370;
+
+fn os_locality() -> Locality {
+    Locality {
+        instr_alpha: 1.05,
+        data_alpha: 1.10,
+        seq_fraction: 0.08,
+        stack_fraction: 0.12,
+        loop_prob: 0.22,
+        phase_interval: 6_000,
+        write_concentration: 0.92,
+    }
+}
+
+fn compiler_locality() -> Locality {
+    Locality {
+        instr_alpha: 1.25,
+        data_alpha: 1.22,
+        seq_fraction: 0.12,
+        stack_fraction: 0.18,
+        loop_prob: 0.30,
+        phase_interval: 15_000,
+        write_concentration: 0.45,
+    }
+}
+
+fn fortran_go_locality() -> Locality {
+    Locality {
+        instr_alpha: 1.50,
+        data_alpha: 1.35,
+        seq_fraction: 0.45,
+        stack_fraction: 0.12,
+        loop_prob: 0.45,
+        phase_interval: 30_000,
+        write_concentration: 0.85,
+    }
+}
+
+fn cobol_go_locality() -> Locality {
+    Locality {
+        instr_alpha: 1.35,
+        data_alpha: 1.15,
+        seq_fraction: 0.30,
+        stack_fraction: 0.15,
+        loop_prob: 0.35,
+        phase_interval: 20_000,
+        write_concentration: 0.38,
+    }
+}
+
+pub(super) fn specs() -> Vec<TraceSpec> {
+    vec![
+        spec(
+            "MVS1",
+            ARCH,
+            SourceLanguage::Assembler,
+            TraceGroup::Mvs,
+            "IBM MVS operating system, section 1 (supervisor-dominated)",
+            0.52,
+            0.31,
+            0.150,
+            44 * 1024,
+            40 * 1024,
+            os_locality(),
+            500_000,
+            1,
+        ),
+        spec(
+            "MVS2",
+            ARCH,
+            SourceLanguage::Assembler,
+            TraceGroup::Mvs,
+            "IBM MVS operating system, section 2",
+            0.53,
+            0.30,
+            0.145,
+            48 * 1024,
+            36 * 1024,
+            os_locality(),
+            500_000,
+            1,
+        ),
+        spec(
+            "FGO1",
+            ARCH,
+            SourceLanguage::Fortran,
+            TraceGroup::Ibm370,
+            "Fortran Go step of a batch scientific program",
+            0.55,
+            0.30,
+            0.130,
+            10 * 1024,
+            28 * 1024,
+            fortran_go_locality(),
+            250_000,
+            1,
+        ),
+        spec(
+            "FGO2",
+            ARCH,
+            SourceLanguage::Fortran,
+            TraceGroup::Ibm370,
+            "Fortran Go step of a second batch scientific program",
+            0.56,
+            0.29,
+            0.125,
+            14 * 1024,
+            20 * 1024,
+            Locality {
+                write_concentration: 0.50,
+                ..fortran_go_locality()
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "FGO3",
+            ARCH,
+            SourceLanguage::Fortran,
+            TraceGroup::Ibm370,
+            "Fortran Go step of a third batch scientific program",
+            0.54,
+            0.31,
+            0.135,
+            8 * 1024,
+            24 * 1024,
+            fortran_go_locality(),
+            250_000,
+            1,
+        ),
+        spec(
+            "CGO1",
+            ARCH,
+            SourceLanguage::Cobol,
+            TraceGroup::Ibm370,
+            "Cobol Go step: few instructions manipulating much data",
+            0.45,
+            0.33,
+            0.140,
+            12 * 1024,
+            44 * 1024,
+            cobol_go_locality(),
+            250_000,
+            1,
+        ),
+        spec(
+            "CGO2",
+            ARCH,
+            SourceLanguage::Cobol,
+            TraceGroup::Ibm370,
+            "Cobol Go step of a second business program",
+            0.46,
+            0.32,
+            0.138,
+            14 * 1024,
+            40 * 1024,
+            cobol_go_locality(),
+            250_000,
+            1,
+        ),
+        spec(
+            "FCOMP1",
+            ARCH,
+            SourceLanguage::Assembler,
+            TraceGroup::Ibm370,
+            "Fortran compiler compiling a batch program (large, mature code)",
+            0.55,
+            0.29,
+            0.140,
+            36 * 1024,
+            20 * 1024,
+            Locality {
+                write_concentration: 0.92,
+                ..compiler_locality()
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "CCOMP1",
+            ARCH,
+            SourceLanguage::Assembler,
+            TraceGroup::Ibm370,
+            "Cobol compiler compiling a business program",
+            0.54,
+            0.30,
+            0.142,
+            40 * 1024,
+            24 * 1024,
+            Locality {
+                write_concentration: 0.35,
+                ..compiler_locality()
+            },
+            250_000,
+            1,
+        ),
+    ]
+}

@@ -1,0 +1,197 @@
+//! VAX 11/780 traces: Unix utilities and application programs (in C and
+//! Fortran) plus the LISP workloads (the LISP compiler and VAXIMA), each
+//! simulated in five execution sections per the paper.
+//!
+//! The paper notes many of these come from small, tightly coded Unix
+//! utilities (and two are toy programs), which is part of its workload-
+//! selection warning; the LISP programs are the counterexample to the
+//! belief that LISP locality is terrible.
+
+use super::{spec, TraceGroup, TraceSpec};
+use crate::profile::Locality;
+use smith85_trace::{MachineArch, SourceLanguage};
+
+const ARCH: MachineArch = MachineArch::Vax;
+
+fn utility_locality() -> Locality {
+    Locality {
+        instr_alpha: 2.00,
+        data_alpha: 2.00,
+        seq_fraction: 0.10,
+        stack_fraction: 0.42,
+        loop_prob: 0.35,
+        phase_interval: 8_000,
+        write_concentration: 0.55,
+    }
+}
+
+fn toy_locality() -> Locality {
+    Locality {
+        instr_alpha: 2.00,
+        data_alpha: 1.90,
+        seq_fraction: 0.15,
+        stack_fraction: 0.35,
+        loop_prob: 0.45,
+        phase_interval: 0,
+        write_concentration: 0.90,
+    }
+}
+
+fn lisp_locality() -> Locality {
+    Locality {
+        instr_alpha: 1.55,
+        data_alpha: 1.50,
+        seq_fraction: 0.12,
+        stack_fraction: 0.22,
+        loop_prob: 0.30,
+        phase_interval: 8_000,
+        write_concentration: 0.28,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn util(name: &str, desc: &str, code_kb: u64, data_kb: u64, seq: f64) -> TraceSpec {
+    let mut loc = utility_locality();
+    loc.seq_fraction = seq;
+    spec(
+        name,
+        ARCH,
+        SourceLanguage::C,
+        TraceGroup::VaxUnix,
+        desc,
+        0.50,
+        0.33,
+        0.175,
+        code_kb * 1024,
+        data_kb * 1024,
+        loc,
+        250_000,
+        1,
+    )
+}
+
+pub(super) fn specs() -> Vec<TraceSpec> {
+    let mut v = vec![
+        util("VCCOM", "the portable C compiler compiling a C source file", 18, 12, 0.10),
+        spec(
+            "VSPICE",
+            ARCH,
+            SourceLanguage::Fortran,
+            TraceGroup::VaxUnix,
+            "SPICE circuit simulator (Fortran) on an analog circuit",
+            0.52,
+            0.31,
+            0.150,
+            14 * 1024,
+            26 * 1024,
+            Locality {
+                seq_fraction: 0.40,
+                data_alpha: 1.45,
+                instr_alpha: 1.75,
+                write_concentration: 0.30,
+                ..utility_locality()
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "VOPT",
+            ARCH,
+            SourceLanguage::Fortran,
+            TraceGroup::VaxUnix,
+            "numerical optimization code (Fortran)",
+            0.51,
+            0.32,
+            0.145,
+            8 * 1024,
+            18 * 1024,
+            Locality {
+                seq_fraction: 0.35,
+                data_alpha: 1.45,
+                instr_alpha: 1.75,
+                write_concentration: 0.45,
+                ..utility_locality()
+            },
+            250_000,
+            1,
+        ),
+        spec(
+            "VPUZZLE",
+            ARCH,
+            SourceLanguage::C,
+            TraceGroup::VaxUnix,
+            "the Puzzle benchmark (toy program)",
+            0.50,
+            0.34,
+            0.170,
+            2 * 1024,
+            6 * 1024,
+            toy_locality(),
+            250_000,
+            1,
+        ),
+        spec(
+            "VTOWERS",
+            ARCH,
+            SourceLanguage::C,
+            TraceGroup::VaxUnix,
+            "Towers of Hanoi (toy program)",
+            0.50,
+            0.32,
+            0.180,
+            1536,
+            4 * 1024,
+            toy_locality(),
+            250_000,
+            1,
+        ),
+        {
+            let mut t = util("VTROFF", "the troff text formatter on a paper manuscript", 16, 10, 0.08);
+            // troff builds its output in a handful of buffers (paper: 0.27).
+            t.profile.locality.write_concentration = 0.05;
+            t
+        },
+        util("VQSORT", "quicksort over a large file: few instructions, much data", 3, 14, 0.30),
+        util("VMERGE", "multi-way file merge: few instructions, much data", 3, 16, 0.40),
+        util("VVI", "the vi screen editor replaying an edit script", 12, 8, 0.06),
+        util("VGREP", "grep over a large text file", 4, 8, 0.30),
+        util("VPR", "pr paginating a text file", 4, 6, 0.25),
+        util("VOD", "od hex-dumping a binary file", 3, 6, 0.35),
+        util("VLS", "ls -lR over a directory tree", 6, 5, 0.10),
+        util("VCAT", "cat streaming a file", 2, 5, 0.45),
+        util("VAWK", "awk running a field-processing script", 10, 9, 0.12),
+        spec(
+            "VAXIMA",
+            ARCH,
+            SourceLanguage::Lisp,
+            TraceGroup::VaxLisp,
+            "VAXIMA (Macsyma under Franz Lisp), five execution sections",
+            0.50,
+            0.31,
+            0.145,
+            36 * 1024,
+            36 * 1024,
+            lisp_locality(),
+            250_000,
+            5,
+        ),
+        spec(
+            "LISPCOMP",
+            ARCH,
+            SourceLanguage::Lisp,
+            TraceGroup::VaxLisp,
+            "the Franz Lisp compiler, five execution sections",
+            0.50,
+            0.30,
+            0.141,
+            26 * 1024,
+            34 * 1024,
+            lisp_locality(),
+            250_000,
+            5,
+        ),
+    ];
+    debug_assert_eq!(v.len(), 17);
+    v.sort_by_key(|a| (a.group(), a.name().to_string()));
+    v
+}

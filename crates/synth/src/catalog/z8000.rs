@@ -1,0 +1,59 @@
+//! Zilog Z8000 traces: Unix utilities on a 16-bit port of Unix.
+//!
+//! The paper singles these out as *unrepresentative* of a 32-bit machine:
+//! small code and data (Unix ported from the PDP-11), an immature C
+//! compiler producing long sequential instruction runs (75.1% instruction
+//! fetches, only 10.5% branches), hence unrealistically low miss ratios
+//! (3.1% average at 1K).
+
+use super::{spec, TraceGroup, TraceSpec};
+use crate::profile::Locality;
+use smith85_trace::{MachineArch, SourceLanguage};
+
+const ARCH: MachineArch = MachineArch::Z8000;
+
+fn z_locality(seq: f64) -> Locality {
+    Locality {
+        instr_alpha: 2.00,
+        data_alpha: 1.90,
+        seq_fraction: seq,
+        stack_fraction: 0.35,
+        loop_prob: 0.40,
+        phase_interval: 12_000,
+        write_concentration: 0.45,
+    }
+}
+
+fn z(name: &str, desc: &str, code_kb_x4: u64, data_kb_x4: u64, seq: f64) -> TraceSpec {
+    // Sizes arrive as KiB*4 so quarter-KiB footprints stay expressible.
+    spec(
+        name,
+        ARCH,
+        SourceLanguage::C,
+        TraceGroup::Z8000,
+        desc,
+        0.751,
+        0.166,
+        0.105,
+        code_kb_x4 * 256,
+        data_kb_x4 * 256,
+        z_locality(seq),
+        250_000,
+        1,
+    )
+}
+
+pub(super) fn specs() -> Vec<TraceSpec> {
+    vec![
+        z("ZVI", "the vi editor replaying an edit script (16-bit Unix)", 34, 12, 0.05),
+        z("ZGREP", "grep over a text file", 16, 14, 0.25),
+        z("ZPR", "pr paginating a text file", 16, 10, 0.20),
+        z("ZOD", "od hex-dumping a binary file", 12, 10, 0.30),
+        z("ZSORT", "sort over a small file", 18, 16, 0.15),
+        z("ZCC", "the Z8000 C compiler compiling a small source", 40, 22, 0.08),
+        z("ZAS", "the assembler over compiler output", 28, 18, 0.10),
+        z("ZNROFF", "nroff formatting a manual page", 36, 16, 0.08),
+        z("ZLS", "ls -l over a directory", 20, 10, 0.10),
+        z("ZCAT", "cat streaming a file", 8, 10, 0.40),
+    ]
+}

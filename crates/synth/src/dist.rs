@@ -1,0 +1,196 @@
+//! Small deterministic distributions used by the workload models.
+
+use rand::Rng;
+
+/// A geometric distribution over `1, 2, 3, ...` with the given mean.
+///
+/// Used for instruction run lengths between branches and for loop
+/// back-jump spans.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with the given mean (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite or is below 1.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean >= 1.0, "geometric mean must be >= 1, got {mean}");
+        Geometric { p: 1.0 / mean }
+    }
+
+    /// The success probability (1 / mean).
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples a value in `1..` (capped at 10_000 to bound pathological
+    /// draws).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let v = (u.ln() / (1.0 - self.p).ln()).floor() as u64 + 1;
+        v.min(10_000)
+    }
+}
+
+/// A Zipf-like distribution over ranks `0..n`: rank `i` is drawn with
+/// probability proportional to `(i + 1)^-alpha`.
+///
+/// This is the independent-reference locality model the synthetic data and
+/// instruction streams are built on: a handful of hot lines or procedures
+/// absorb most references, with a long cold tail, producing the smooth
+/// miss-ratio-versus-size curves real traces exhibit. `alpha` is the
+/// locality knob: larger means tighter locality.
+#[derive(Debug, Clone)]
+pub struct ZipfRanks {
+    cdf: Vec<f64>,
+}
+
+impl ZipfRanks {
+    /// Builds the distribution over `n` ranks with skew `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative or not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad Zipf alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfRanks { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn mass(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// Derives an independent RNG seed from a base seed and a stream label
+/// (splitmix64 over the pair), so each model component gets its own
+/// deterministic stream.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Geometric::with_mean(7.0);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| g.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 7.0).abs() < 0.3, "observed mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_one_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Geometric::with_mean(1.0);
+        assert!((0..100).all(|_| g.sample(&mut rng) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn geometric_rejects_mean_below_one() {
+        let _ = Geometric::with_mean(0.5);
+    }
+
+    #[test]
+    fn zipf_masses_sum_to_one() {
+        let z = ZipfRanks::new(100, 0.9);
+        let total: f64 = (0..100).map(|i| z.mass(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_hottest() {
+        let z = ZipfRanks::new(50, 1.0);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(49));
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = ZipfRanks::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.mass(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_masses() {
+        let z = ZipfRanks::new(8, 1.2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u64; 8];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let obs = count as f64 / n as f64;
+            assert!(
+                (obs - z.mass(i)).abs() < 0.01,
+                "rank {i}: observed {obs}, expected {}",
+                z.mass(i)
+            );
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(42, 1), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 1), derive_seed(42, 2));
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = ZipfRanks::new(0, 1.0);
+    }
+}

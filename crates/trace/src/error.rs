@@ -1,0 +1,107 @@
+//! Error types for trace parsing and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// An error produced while parsing a textual trace.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    line: u64,
+    message: String,
+}
+
+impl ParseTraceError {
+    pub(crate) fn new(line: u64, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number at which parsing failed.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// An error produced while reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The byte stream was not a valid trace in the expected format.
+    Parse(ParseTraceError),
+    /// A binary trace had a bad magic number or version.
+    BadHeader {
+        /// What was found instead of the expected header.
+        found: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse(e) => e.fmt(f),
+            TraceIoError::BadHeader { found } => {
+                write!(f, "not a smith85 binary trace (found header {found:?})")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse(e) => Some(e),
+            TraceIoError::BadHeader { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for TraceIoError {
+    fn from(e: ParseTraceError) -> Self {
+        TraceIoError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_number() {
+        let err = ParseTraceError::new(17, "bad kind");
+        assert!(err.to_string().contains("line 17"));
+        assert_eq!(err.line(), 17);
+        assert_eq!(err.message(), "bad kind");
+    }
+
+    #[test]
+    fn io_error_wraps_source() {
+        let err: TraceIoError = io::Error::other("boom").into();
+        assert!(err.to_string().contains("boom"));
+        assert!(Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,322 @@
+//! On-disk trace formats.
+//!
+//! Two formats are supported:
+//!
+//! * **Text** — one access per line, `<kind> <hex-addr> <size>`, where
+//!   `<kind>` is `I`, `R` or `W` (or the Dinero-style digits `2`, `0`, `1`).
+//!   Blank lines and `#` comments are ignored. Human-readable; good for
+//!   small fixtures.
+//! * **Binary** — a 8-byte header (`b"S85T"` magic, format version, access
+//!   count implied by length) followed by 10 bytes per access (u8 kind,
+//!   u8 size, u64 little-endian address). Compact; good for large traces.
+//!
+//! ```
+//! use smith85_trace::io::{read_text, write_text};
+//! use smith85_trace::{Addr, MemoryAccess, Trace};
+//!
+//! # fn main() -> Result<(), smith85_trace::TraceIoError> {
+//! let trace: Trace = vec![MemoryAccess::ifetch(Addr::new(0x40), 4)].into();
+//! let mut buf = Vec::new();
+//! write_text(&mut buf, &trace)?;
+//! let back = read_text(buf.as_slice())?;
+//! assert_eq!(back, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{ParseTraceError, TraceIoError};
+use crate::{AccessKind, Addr, MemoryAccess, Trace};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Magic bytes opening a binary trace.
+pub const BINARY_MAGIC: [u8; 4] = *b"S85T";
+/// Current binary format version.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Writes a trace in the text format.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails. A `&mut` reference to a
+/// writer can be passed where a writer is expected.
+pub fn write_text<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    for access in trace {
+        writeln!(
+            w,
+            "{} {:x} {}",
+            access.kind.mnemonic(),
+            access.addr,
+            access.size
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a trace in the classic Dinero input format: one `label address`
+/// pair per line, labels `0` (read), `1` (write), `2` (instruction
+/// fetch), addresses in hex, no size column. Lossy for access sizes
+/// (Dinero carries none); [`read_text`] reads it back with sizes
+/// defaulted to 4.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_dinero<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    for access in trace {
+        let label = match access.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::InstructionFetch => 2,
+        };
+        writeln!(w, "{} {:x}", label, access.addr)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// # Errors
+///
+/// Returns an error if the reader fails or a line cannot be parsed; parse
+/// errors carry the 1-based line number.
+pub fn read_text<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut trace = Trace::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx as u64 + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        trace.push(parse_line(line, lineno)?);
+    }
+    Ok(trace)
+}
+
+fn parse_line(line: &str, lineno: u64) -> Result<MemoryAccess, ParseTraceError> {
+    let mut fields = line.split_whitespace();
+    let kind_tok = fields
+        .next()
+        .ok_or_else(|| ParseTraceError::new(lineno, "missing access kind"))?;
+    let kind = parse_kind(kind_tok)
+        .ok_or_else(|| ParseTraceError::new(lineno, format!("bad access kind {kind_tok:?}")))?;
+    let addr_tok = fields
+        .next()
+        .ok_or_else(|| ParseTraceError::new(lineno, "missing address"))?;
+    let addr_str = addr_tok.trim_start_matches("0x");
+    let addr = u64::from_str_radix(addr_str, 16)
+        .map_err(|e| ParseTraceError::new(lineno, format!("bad address {addr_tok:?}: {e}")))?;
+    let size = match fields.next() {
+        // Size column is optional; Dinero traces omit it. Default to 4.
+        None => 4,
+        Some(tok) => tok
+            .parse::<u8>()
+            .map_err(|e| ParseTraceError::new(lineno, format!("bad size {tok:?}: {e}")))?,
+    };
+    if fields.next().is_some() {
+        return Err(ParseTraceError::new(lineno, "trailing fields"));
+    }
+    if size == 0 {
+        return Err(ParseTraceError::new(lineno, "access size must be nonzero"));
+    }
+    Ok(MemoryAccess::new(kind, Addr::new(addr), size))
+}
+
+fn parse_kind(tok: &str) -> Option<AccessKind> {
+    match tok {
+        "I" | "i" | "2" => Some(AccessKind::InstructionFetch),
+        "R" | "r" | "0" => Some(AccessKind::Read),
+        "W" | "w" | "1" => Some(AccessKind::Write),
+        _ => None,
+    }
+}
+
+/// Writes a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_binary<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    w.write_all(&BINARY_MAGIC)?;
+    w.write_all(&[BINARY_VERSION, 0, 0, 0])?;
+    for access in trace {
+        let mut rec = [0u8; 10];
+        rec[0] = access.kind.index() as u8;
+        rec[1] = access.size;
+        rec[2..].copy_from_slice(&access.addr.get().to_le_bytes());
+        w.write_all(&rec)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadHeader`] for a wrong magic/version, a parse
+/// error for a corrupt record, or an I/O error from the reader.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    if header[..4] != BINARY_MAGIC {
+        return Err(TraceIoError::BadHeader {
+            found: format!("{:02x?}", &header[..4]),
+        });
+    }
+    if header[4] != BINARY_VERSION {
+        return Err(TraceIoError::BadHeader {
+            found: format!("version {}", header[4]),
+        });
+    }
+    let mut trace = Trace::new();
+    let mut rec = [0u8; 10];
+    let mut n: u64 = 0;
+    loop {
+        if !read_record(&mut r, &mut rec)? { break }
+        n += 1;
+        let kind = match rec[0] {
+            0 => AccessKind::InstructionFetch,
+            1 => AccessKind::Read,
+            2 => AccessKind::Write,
+            other => {
+                return Err(
+                    ParseTraceError::new(n, format!("bad binary access kind {other}")).into(),
+                )
+            }
+        };
+        let size = rec[1];
+        if size == 0 {
+            return Err(ParseTraceError::new(n, "access size must be nonzero").into());
+        }
+        let addr = u64::from_le_bytes(rec[2..].try_into().expect("slice is 8 bytes"));
+        trace.push(MemoryAccess::new(kind, Addr::new(addr), size));
+    }
+    Ok(trace)
+}
+
+/// Reads one 10-byte record; `Ok(false)` at clean EOF.
+fn read_record<R: Read>(r: &mut R, rec: &mut [u8; 10]) -> Result<bool, TraceIoError> {
+    let mut filled = 0;
+    while filled < rec.len() {
+        let n = r.read(&mut rec[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated binary trace record",
+            )
+            .into());
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        vec![
+            MemoryAccess::ifetch(Addr::new(0x1000), 4),
+            MemoryAccess::read(Addr::new(0xdead_beef), 8),
+            MemoryAccess::write(Addr::new(0x0), 1),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut buf = Vec::new();
+        write_text(&mut buf, &sample()).unwrap();
+        assert_eq!(read_text(buf.as_slice()).unwrap(), sample());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), sample());
+    }
+
+    #[test]
+    fn text_accepts_comments_blank_lines_and_dinero_digits() {
+        let text = "# a comment\n\n2 40\n0 100 4\n1 104 4\n";
+        let t = read_text(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.as_slice()[0].kind, AccessKind::InstructionFetch);
+        assert_eq!(t.as_slice()[0].size, 4); // defaulted
+        assert_eq!(t.as_slice()[1].kind, AccessKind::Read);
+        assert_eq!(t.as_slice()[2].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn dinero_format_roundtrips_modulo_sizes() {
+        let mut buf = Vec::new();
+        write_dinero(&mut buf, &sample()).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("2 1000"));
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), sample().len());
+        for (a, b) in back.iter().zip(sample().iter()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.size, 4); // sizes defaulted
+        }
+    }
+
+    #[test]
+    fn text_accepts_0x_prefix() {
+        let t = read_text("I 0xff 4\n".as_bytes()).unwrap();
+        assert_eq!(t.as_slice()[0].addr, Addr::new(0xff));
+    }
+
+    #[test]
+    fn text_rejects_bad_kind_with_line_number() {
+        let err = read_text("I 40 4\nQ 50 4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn text_rejects_zero_size_and_trailing_fields() {
+        assert!(read_text("I 40 0\n".as_bytes()).is_err());
+        assert!(read_text("I 40 4 junk\n".as_bytes()).is_err());
+        assert!(read_text("I\n".as_bytes()).is_err());
+        assert!(read_text("I zz 4\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x01\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let err = read_binary(&b"S85T\x09\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_truncated_record() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.pop();
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips_both_formats() {
+        let empty = Trace::new();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &empty).unwrap();
+        assert_eq!(read_text(buf.as_slice()).unwrap(), empty);
+        buf.clear();
+        write_binary(&mut buf, &empty).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), empty);
+    }
+}

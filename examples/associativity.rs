@@ -1,0 +1,44 @@
+//! All associativities in one pass: the per-set generalization of the
+//! stack algorithm. §4.1 waves at the set-associativity effect ("should
+//! be small"); this measures it.
+//!
+//! ```text
+//! cargo run --release --example associativity
+//! ```
+
+use smith85::cachesim::{analyze_geometries, AssocProfile};
+use smith85::synth::catalog;
+
+fn main() {
+    let spec = catalog::by_name("FCOMP1").expect("catalog trace");
+    let trace = spec.generate(200_000);
+    println!("workload: {}\n", spec.name());
+
+    // One pass per set count gives the whole associativity spectrum.
+    let set_counts = [64usize, 128, 256];
+    let profiles = analyze_geometries(&trace, &set_counts, 16);
+
+    println!(
+        "{:>6} {:>6} {:>9} {:>9}  (LRU, 16-byte lines)",
+        "sets", "ways", "size", "miss"
+    );
+    for &sets in &set_counts {
+        let p: &AssocProfile = &profiles[&sets];
+        for (ways, miss) in p.curve(16) {
+            println!(
+                "{:>6} {:>6} {:>9} {:>9.4}",
+                sets,
+                ways,
+                p.cache_bytes(ways),
+                miss
+            );
+        }
+        println!();
+    }
+    println!(
+        "Read the table at constant size (e.g. 4096 B = 256x1, 128x2, 64x4):\n\
+         direct-mapped pays a visible conflict penalty; 2-way recovers most\n\
+         of it; beyond 4-way the gain is small — the paper's §4.1 aside,\n\
+         quantified."
+    );
+}

@@ -1,0 +1,56 @@
+//! The paper's §4 use case: you are designing a cache for a machine that
+//! does not exist yet. Use the design-target miss ratios (Table 5) and the
+//! architecture fudge factors (§4.3) to size it.
+//!
+//! ```text
+//! cargo run --release --example design_estimate
+//! ```
+
+use smith85::core::fudge;
+use smith85::core::targets::{design_target, traffic_factor, CacheKind};
+use smith85::trace::MachineArch;
+
+fn main() {
+    // Suppose we are building a simplified (RISC-like) 32-bit machine —
+    // complexity ~0.2 on the paper's VAX=1.0 ... CDC=0.0 scale.
+    let complexity = 0.2;
+    let mix = fudge::estimate_mix(complexity);
+    println!("estimated reference mix for a simple 32-bit machine:");
+    println!(
+        "  {:.0}% ifetch, {:.0}% read, {:.0}% write; {:.1}% of ifetches branch",
+        100.0 * mix.ifetch,
+        100.0 * mix.read,
+        100.0 * mix.write,
+        100.0 * mix.branch
+    );
+    println!(
+        "  (reads ~{:.1}x writes; expect ~{:.0}% of pushed data lines dirty)",
+        mix.read / mix.write,
+        100.0 * fudge::DIRTY_PUSH_TARGET
+    );
+
+    // Walk Table 5 and pick the knee of the curve.
+    println!("\ndesign-target miss ratios (Table 5) and prefetch traffic cost (Table 4):");
+    println!("{:>8} {:>9} {:>9} {:>9} {:>14}", "size", "unified", "instr", "data", "pf traffic x");
+    for size in [1024usize, 4096, 8192, 16384, 32768, 65536] {
+        println!(
+            "{:>8} {:>9.3} {:>9.3} {:>9.3} {:>14.3}",
+            size,
+            design_target(size, CacheKind::Unified),
+            design_target(size, CacheKind::Instruction),
+            design_target(size, CacheKind::Data),
+            traffic_factor(size, CacheKind::Unified),
+        );
+    }
+
+    // And if all you have are measurements from an older 16-bit part,
+    // apply the workload fudge factor before believing them.
+    let measured_on_z8000 = 0.12; // e.g. a 256-byte cache's measured miss ratio
+    let factor = fudge::miss_ratio_fudge(MachineArch::Z8000, MachineArch::Z80000);
+    println!(
+        "\na {measured_on_z8000:.2} miss ratio measured on a Z8000 predicts \
+         ~{:.2} on the 32-bit Z80000 (fudge factor {factor:.2})",
+        measured_on_z8000 * factor
+    );
+    println!("(§4.1: Alpert's 0.12 becomes Smith's ~0.30 — workload choice matters.)");
+}

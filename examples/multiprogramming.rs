@@ -1,0 +1,43 @@
+//! §3.3 in miniature: a round-robin multiprogramming mix through a split
+//! cache with task-switch purging — where the dirty-push statistics of
+//! Table 3 come from.
+//!
+//! ```text
+//! cargo run --release --example multiprogramming
+//! ```
+
+use smith85::cachesim::{Simulator, SplitCache};
+use smith85::synth::catalog;
+use smith85::trace::mix::RoundRobinMix;
+use smith85::trace::PAPER_PURGE_INTERVAL;
+
+fn main() {
+    // The paper's "Z8000 - Assorted" mix: five utilities, switched (and
+    // the cache purged) every 20,000 references.
+    let (name, members) = catalog::table3_mixes()
+        .into_iter()
+        .find(|(n, _)| n.starts_with("Z8000"))
+        .expect("mix exists");
+    println!("mix: {name}");
+    for p in &members {
+        println!("  {} — {}", p.name, p.description);
+    }
+
+    let streams: Vec<_> = members.iter().map(|p| p.generator()).collect();
+    let mix = RoundRobinMix::new(streams, PAPER_PURGE_INTERVAL);
+
+    let mut cache = SplitCache::paper_split(16 * 1024, PAPER_PURGE_INTERVAL)
+        .expect("paper configuration is valid");
+    cache.run(mix.take(400_000));
+
+    let i = cache.instruction_stats();
+    let d = cache.data_stats();
+    println!("\nafter 400,000 references ({} machine purges):", cache.purges());
+    println!("  instruction cache: {i}");
+    println!("  data cache:        {d}");
+    println!(
+        "\nfraction of pushed data lines dirty: {:.2}  (Table 3's rule of \
+         thumb: ~0.5, observed range 0.22-0.80)",
+        d.dirty_push_fraction()
+    );
+}

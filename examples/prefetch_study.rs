@@ -1,0 +1,49 @@
+//! §3.5 in miniature: demand fetch versus "prefetch always" on one
+//! workload — the miss ratio falls, the bus traffic rises.
+//!
+//! ```text
+//! cargo run --release --example prefetch_study
+//! ```
+
+use smith85::cachesim::{CacheConfig, FetchPolicy, Simulator, UnifiedCache};
+use smith85::synth::catalog;
+
+fn main() {
+    let spec = catalog::by_name("FCOMP1").expect("catalog trace");
+    let trace = spec.generate(200_000);
+    println!("workload: {} — {}\n", spec.name(), spec.profile().description);
+
+    println!(
+        "{:>8} | {:>10} {:>10} {:>7} | {:>12} {:>12} {:>7}",
+        "size", "demand", "prefetch", "ratio", "demand traf", "pf traf", "ratio"
+    );
+    for size in [512usize, 1024, 2048, 4096, 8192, 16384, 32768] {
+        let run = |fetch: FetchPolicy| {
+            let config = CacheConfig::builder(size)
+                .fetch_policy(fetch)
+                .purge_interval(Some(20_000))
+                .build()
+                .expect("valid config");
+            let mut cache = UnifiedCache::new(config).expect("valid config");
+            cache.run(trace.iter().copied());
+            (cache.stats().miss_ratio(), cache.stats().traffic_bytes())
+        };
+        let (dm, dt) = run(FetchPolicy::Demand);
+        let (pm, pt) = run(FetchPolicy::PrefetchAlways);
+        println!(
+            "{:>8} | {:>10.4} {:>10.4} {:>7.3} | {:>12} {:>12} {:>7.3}",
+            size,
+            dm,
+            pm,
+            if dm > 0.0 { pm / dm } else { 1.0 },
+            dt,
+            pt,
+            pt as f64 / dt as f64,
+        );
+    }
+    println!(
+        "\nThe paper's reading: prefetching grows more useful with cache size \
+         (§3.5.1), but always buys its miss-ratio cut with extra memory \
+         traffic (§3.5.2) — fatal on a shared microprocessor bus."
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: generate a workload from the catalog, run it through the
+//! paper's Table 1 cache configuration, and print what the designer cares
+//! about.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smith85::cachesim::{CacheConfig, Simulator, StackAnalyzer, UnifiedCache, PAPER_SIZES};
+use smith85::synth::catalog;
+
+fn main() {
+    // 1. Pick a workload. The catalog carries all 49 of the paper's
+    //    traces as calibrated synthetic profiles.
+    let spec = catalog::by_name("VSPICE").expect("VSPICE is in the catalog");
+    println!("workload: {} — {}", spec.name(), spec.profile().description);
+
+    // 2. Characterize it (the paper's Table 2 columns).
+    let trace = spec.generate(100_000);
+    println!("characteristics: {}", trace.characteristics());
+
+    // 3. Run one cache: 4 KiB, fully associative, LRU, 16-byte lines,
+    //    copy-back with fetch-on-write — the paper's primary config.
+    let config = CacheConfig::paper_table1(4 * 1024).expect("valid size");
+    let mut cache = UnifiedCache::new(config).expect("valid config");
+    cache.run(trace.iter().copied());
+    println!("4 KiB unified cache: {}", cache.stats());
+
+    // 4. Or get the whole miss-ratio-versus-size curve in one pass with
+    //    the Mattson stack algorithm.
+    let mut analyzer = StackAnalyzer::new();
+    for access in &trace {
+        analyzer.observe(*access);
+    }
+    let profile = analyzer.finish();
+    println!("\nmiss ratio by cache size (single stack pass):");
+    for size in PAPER_SIZES {
+        println!("  {size:>6} B  {:.4}", profile.miss_ratio(size));
+    }
+}

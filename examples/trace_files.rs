@@ -1,0 +1,41 @@
+//! Working with trace files: write a synthetic trace to the text and
+//! binary formats, read it back, and characterize it.
+//!
+//! ```text
+//! cargo run --release --example trace_files
+//! ```
+
+use smith85::synth::catalog;
+use smith85::trace::io::{read_binary, read_text, write_binary, write_text};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = catalog::by_name("ZGREP").expect("catalog trace");
+    let trace = spec.generate(50_000);
+
+    let dir = std::env::temp_dir().join("smith85-trace-demo");
+    std::fs::create_dir_all(&dir)?;
+
+    // Text format: one access per line, greppable.
+    let text_path = dir.join("zgrep.trace");
+    write_text(std::fs::File::create(&text_path)?, &trace)?;
+
+    // Binary format: ~10 bytes per access.
+    let bin_path = dir.join("zgrep.strc");
+    write_binary(std::fs::File::create(&bin_path)?, &trace)?;
+
+    let text_size = std::fs::metadata(&text_path)?.len();
+    let bin_size = std::fs::metadata(&bin_path)?.len();
+    println!("wrote {} accesses:", trace.len());
+    println!("  text   {} ({} bytes)", text_path.display(), text_size);
+    println!("  binary {} ({} bytes)", bin_path.display(), bin_size);
+
+    // Round-trip both and verify.
+    let from_text = read_text(std::fs::File::open(&text_path)?)?;
+    let from_bin = read_binary(std::fs::File::open(&bin_path)?)?;
+    assert_eq!(from_text, trace);
+    assert_eq!(from_bin, trace);
+    println!("\nround-trips verified; characteristics:");
+    println!("  {}", from_bin.characteristics());
+
+    Ok(())
+}

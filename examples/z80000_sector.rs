@@ -1,0 +1,56 @@
+//! The paper's motivating anecdote (§1.2): the Zilog Z80000's projected
+//! cache hit ratios, re-derived under two workload families with the
+//! sector-cache model.
+//!
+//! ```text
+//! cargo run --release --example z80000_sector
+//! ```
+
+use smith85::cachesim::{SectorCache, SectorCacheConfig};
+use smith85::core::alpert83;
+use smith85::synth::{catalog, TraceGroup};
+
+fn family_hit(group_filter: &[TraceGroup], fetch_bytes: usize, len: usize) -> f64 {
+    let specs: Vec<_> = catalog::all()
+        .into_iter()
+        .filter(|s| group_filter.contains(&s.group()))
+        .collect();
+    let mut total = 0.0;
+    for spec in &specs {
+        let mut cache = SectorCache::new(SectorCacheConfig::z80000(fetch_bytes))
+            .expect("Z80000 config is valid");
+        cache.run(spec.stream().take(len));
+        total += cache.stats().hit_ratio();
+    }
+    total / specs.len() as f64
+}
+
+fn main() {
+    println!(
+        "Z80000: {} bytes of cache, {}-byte sectors (block/subblock design)\n",
+        alpert83::CACHE_BYTES,
+        alpert83::SECTOR_BYTES
+    );
+    println!(
+        "{:>9} | {:>8} | {:>15} | {:>15}",
+        "transfer", "Alpert", "Z8000 workloads", "32-bit workloads"
+    );
+    for proj in alpert83::PROJECTIONS {
+        let z = family_hit(&[TraceGroup::Z8000], proj.fetch_bytes, 60_000);
+        let wide = family_hit(
+            &[TraceGroup::VaxUnix, TraceGroup::Ibm370],
+            proj.fetch_bytes,
+            60_000,
+        );
+        println!(
+            "{:>7} B | {:>8.2} | {:>15.2} | {:>15.2}",
+            proj.fetch_bytes, proj.projected_hit, z, wide
+        );
+    }
+    println!(
+        "\nSmith's verdict: with a realistic 32-bit workload the 16-byte-block \
+         hit ratio is nearer {:.2} than Alpert's 0.88 — the projections were \
+         built on the wrong traces.",
+        1.0 - alpert83::SMITH_MISS_PREDICTION_16B
+    );
+}

@@ -1,0 +1,124 @@
+//! End-to-end shape checks: run the reproduced experiments at reduced
+//! scale and assert the paper's qualitative conclusions hold across the
+//! whole pipeline (generator → simulator → experiment harness).
+
+use smith85::core::experiments::{
+    clark_validation, fig2, prefetch, table1, table3, table5, z80000, ExperimentConfig,
+};
+use smith85::core::targets::CacheKind;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        trace_len: 25_000,
+        sizes: vec![256, 1024, 8192],
+        threads: smith85::core::sweep::default_threads(),
+    }
+}
+
+#[test]
+fn table1_reproduces_figure1_shape() {
+    let t = table1::run(&cfg());
+    assert_eq!(t.rows.len(), 57);
+    // Every curve is monotone nonincreasing, and the band between the
+    // best and worst rows is wide (the paper's headline: workload choice
+    // dominates).
+    let at_1k = t.column(1024);
+    let best = at_1k.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = at_1k.iter().cloned().fold(0.0f64, f64::max);
+    assert!(worst > 6.0 * best, "band too narrow: {best} .. {worst}");
+}
+
+#[test]
+fn table3_dirty_push_rule_of_thumb() {
+    let config = ExperimentConfig {
+        trace_len: 60_000,
+        sizes: vec![1024],
+        threads: smith85::core::sweep::default_threads(),
+    };
+    // A smaller half keeps replacement traffic alive at test lengths.
+    let t = table3::run_with_half_size(&config, 4 * 1024);
+    assert_eq!(t.rows.len(), 16);
+    // The paper: mean 0.47, wide range. Shape: mean near one-half, spread
+    // wide.
+    assert!((0.25..=0.75).contains(&t.mean), "mean {}", t.mean);
+    assert!(t.range.1 - t.range.0 > 0.15, "range {:?}", t.range);
+}
+
+#[test]
+fn prefetch_conclusions_hold() {
+    let s = prefetch::run(&cfg());
+    let idx_large = 2; // 8 KiB
+    // §3.5.1: instruction prefetching always cuts the miss ratio at large
+    // sizes, usually by > 50%.
+    let instr: Vec<f64> = s
+        .miss_factor_series(CacheKind::Instruction)
+        .iter()
+        .map(|(_, f)| f[idx_large])
+        .collect();
+    let mean = instr.iter().sum::<f64>() / instr.len() as f64;
+    assert!(mean < 0.6, "mean instruction factor {mean}");
+    // §3.5.2 / Table 4: traffic always grows, more at small caches.
+    let (_, small_u, _, _) = s.table4[0];
+    let (_, large_u, _, _) = s.table4[idx_large];
+    assert!(small_u >= 1.0 && large_u >= 1.0);
+    assert!(small_u > large_u * 0.9, "small {small_u}, large {large_u}");
+}
+
+#[test]
+fn prefetch_helps_more_as_caches_grow() {
+    let s = prefetch::run(&cfg());
+    // Mean unified miss factor at 256 B vs 8 KiB.
+    let series = s.miss_factor_series(CacheKind::Unified);
+    let mean_at = |i: usize| {
+        series.iter().map(|(_, f)| f[i]).sum::<f64>() / series.len() as f64
+    };
+    assert!(
+        mean_at(2) < mean_at(0),
+        "prefetch at 8K ({}) should beat prefetch at 256B ({})",
+        mean_at(2),
+        mean_at(0)
+    );
+}
+
+#[test]
+fn table5_estimates_line_up_with_targets() {
+    let t = table5::run(&cfg());
+    for row in &t.rows {
+        // Shape: our 85th percentile tracks the paper's target within a
+        // small factor (the substitution promises shape, not identity).
+        assert!(
+            row.unified < row.paper_unified * 4.0 + 0.15,
+            "size {}: {} vs target {}",
+            row.size,
+            row.unified,
+            row.paper_unified
+        );
+        assert!(row.unified > row.paper_unified * 0.2, "size {}", row.size);
+    }
+}
+
+#[test]
+fn fig2_and_clark_reference_models() {
+    let f = fig2::run(&cfg());
+    assert!(f.supervisor.iter().zip(&f.problem).all(|(s, p)| s > p));
+    let v = clark_validation::run(&cfg());
+    // The validation chain reaches Clark's order of magnitude.
+    for row in &v.rows {
+        assert!(row.simulated_as_8b > 0.01 && row.simulated_as_8b < 0.6);
+    }
+}
+
+#[test]
+fn z80000_story_end_to_end() {
+    let config = ExperimentConfig {
+        trace_len: 20_000,
+        sizes: vec![256],
+        threads: smith85::core::sweep::default_threads(),
+    };
+    let s = z80000::run(&config);
+    // The 16-byte-transfer rows carry the paper's punchline.
+    let r16 = &s.rows[2];
+    assert!(r16.z8000_hit > r16.thirty_two_bit_hit);
+    // Alpert's 0.88 is optimistic relative to the 32-bit workloads.
+    assert!(r16.thirty_two_bit_hit < r16.alpert_projection);
+}
