@@ -179,6 +179,9 @@ impl SectorCache {
         if self.sectors.len() < self.config.sectors() {
             self.sectors.push(fresh);
         } else {
+            // invariant: this branch requires sectors.len() >= the
+            // configured sector count, and CacheConfig validation rejects
+            // zero-sector configurations, so min_by_key is never empty.
             let victim = self
                 .sectors
                 .iter()

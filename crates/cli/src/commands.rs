@@ -6,6 +6,7 @@ use smith85_cachesim::{
     UnifiedCache, WritePolicy, PAPER_SIZES,
 };
 use smith85_core::experiments::{self, ExperimentConfig};
+use smith85_core::runner;
 use smith85_core::targets::{design_target, traffic_factor, CacheKind};
 use smith85_synth::catalog;
 use smith85_trace::{io as trace_io, Trace};
@@ -29,7 +30,10 @@ USAGE:
           [--line BYTES] [--ways N|full] [--replacement lru|plru|fifo|random]
           [--write cb|cb-nofetch|wt|wt-noalloc] [--fetch demand|prefetch]
           [--purge N] [--org unified|split]
-      Run one cache configuration and print its statistics.
+          [--fault-drop P] [--fault-dup P] [--fault-flip P] [--fault-seed N]
+      Run one cache configuration and print its statistics. The --fault-*
+      rates deterministically drop/duplicate/bit-flip references before
+      simulation (robustness experiments).
   smith85 sweep (--trace NAME [--len N] | --file FILE) [--sizes a,b,c]
       Miss ratio at every cache size in one stack-analysis pass.
   smith85 assoc (--trace NAME [--len N] | --file FILE) [--sets N] [--line BYTES]
@@ -46,6 +50,13 @@ USAGE:
       trace_length, multiprocessor, multiprogramming, calibration,
       perturbations, interface, line_size, fudge, conclusions,
       ablations).
+  smith85 suite [--out DIR] [--resume true] [--quick true] [--len N]
+          [--threads N]
+      Run every experiment with checkpointing: each result lands in
+      DIR (default suite-results/) as JSON, a manifest.json tracks
+      status, and --resume true skips experiments already completed
+      under the same configuration. A panicking experiment is recorded
+      and the rest of the suite still runs.
 "
     .to_string()
 }
@@ -207,9 +218,22 @@ fn render_stats(stats: &smith85_cachesim::CacheStats) -> String {
 pub(crate) fn simulate(opts: &Opts) -> Result<String, CliError> {
     opts.expect_only(&[
         "trace", "file", "len", "size", "line", "ways", "replacement", "write", "fetch", "purge",
-        "org",
+        "org", "fault-drop", "fault-dup", "fault-flip", "fault-seed",
     ])?;
-    let trace = load_workload(opts)?;
+    let mut trace = load_workload(opts)?;
+    let faults = smith85_trace::fault::FaultConfig {
+        drop_rate: opts.get_parse("fault-drop", 0.0f64)?,
+        duplicate_rate: opts.get_parse("fault-dup", 0.0f64)?,
+        bit_flip_rate: opts.get_parse("fault-flip", 0.0f64)?,
+    };
+    if faults != smith85_trace::fault::FaultConfig::NONE {
+        let seed = opts.get_parse("fault-seed", 85u64)?;
+        let injector =
+            smith85_trace::fault::FaultInjector::new(trace.iter().copied(), seed, faults)
+                .map_err(|e| CliError::usage(e.to_string()))?;
+        trace = injector.collect::<Vec<_>>().into();
+    }
+    let trace = trace;
     let config = parse_config(opts)?;
     match opts.get("org").unwrap_or("unified") {
         "unified" => {
@@ -326,11 +350,6 @@ pub(crate) fn custom(opts: &Opts) -> Result<String, CliError> {
     };
     let ifetch = opts.get_parse("ifetch", 0.50f64)?;
     let read = opts.get_parse("read", 0.33f64)?;
-    if !(0.0..=1.0).contains(&ifetch) || !(0.0..=1.0).contains(&read) || ifetch + read > 1.0 {
-        return Err(CliError::usage(
-            "--ifetch and --read must be fractions with ifetch + read <= 1",
-        ));
-    }
     let profile = smith85_synth::ProgramProfile {
         name: "CUSTOM".to_string(),
         arch,
@@ -351,6 +370,11 @@ pub(crate) fn custom(opts: &Opts) -> Result<String, CliError> {
         seed: opts.get_parse("seed", 85u64)?,
         paper_length: 250_000,
     };
+    // User-supplied knobs go through the typed validator, never the
+    // generator's panic path.
+    profile
+        .validate()
+        .map_err(|e| CliError::usage(format!("invalid custom profile: {e}")))?;
     let len = opts.get_parse("len", 100_000usize)?;
     let trace = profile.generate(len);
     let stats = trace.characteristics();
@@ -418,6 +442,50 @@ pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
         other => return Err(CliError::UnknownExperiment(other.to_string())),
     };
     Ok(out)
+}
+
+pub(crate) fn suite(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["out", "resume", "quick", "len", "threads"])?;
+    let mut config = if opts.get("quick").is_some() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    if let Some(len) = opts.get("len") {
+        config.trace_len = len
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad --len {len:?}")))?;
+    }
+    config.threads = opts.get_parse("threads", config.threads)?;
+    let options = runner::RunnerOptions {
+        out_dir: std::path::PathBuf::from(opts.get("out").unwrap_or("suite-results")),
+        resume: opts.get_parse("resume", false)?,
+    };
+    let mut entries = runner::registry();
+    // Test hook: lets the robustness path (failure recorded, siblings
+    // still run, resume retries it) be exercised from the command line.
+    if std::env::var_os("SMITH85_SUITE_PANIC").is_some() {
+        entries.push(runner::ExperimentEntry {
+            name: "injected-panic",
+            run: |_| panic!("deliberate panic injected via SMITH85_SUITE_PANIC"),
+        });
+    }
+    let report = runner::run_suite_with(&config, &options, &entries, |outcome| {
+        eprintln!(
+            "suite: {:<18} {}",
+            outcome.name,
+            match (&outcome.error, outcome.status) {
+                (Some(e), _) => format!("FAIL ({e})"),
+                (None, runner::ExperimentStatus::Skip) => "skip (cached)".to_string(),
+                (None, _) => format!("pass in {} ms", outcome.duration_ms),
+            }
+        );
+    })?;
+    if report.is_success() {
+        Ok(format!("{report}\n"))
+    } else {
+        Err(CliError::Suite(report.to_string()))
+    }
 }
 
 #[cfg(test)]

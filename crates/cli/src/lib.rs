@@ -30,6 +30,9 @@ pub enum CliError {
     Config(smith85_cachesim::ConfigError),
     /// A plain file-system error.
     File(std::io::Error),
+    /// `smith85 suite` completed with failed experiments; the payload is
+    /// the final report (the run itself was not aborted).
+    Suite(String),
 }
 
 impl CliError {
@@ -51,6 +54,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => e.fmt(f),
             CliError::Config(e) => e.fmt(f),
             CliError::File(e) => e.fmt(f),
+            CliError::Suite(report) => write!(f, "suite finished with failures\n{report}"),
         }
     }
 }
@@ -108,6 +112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "target" => commands::target(&opts),
         "custom" => commands::custom(&opts),
         "experiment" => commands::experiment(&opts),
+        "suite" => commands::suite(&opts),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
@@ -207,6 +212,82 @@ mod tests {
     #[test]
     fn custom_rejects_bad_fractions() {
         assert!(run_str(&["custom", "--ifetch", "0.9", "--read", "0.5"]).is_err());
+    }
+
+    #[test]
+    fn simulate_fault_injection_is_deterministic() {
+        let faulty = [
+            "simulate", "--trace", "ZGREP", "--len", "4000", "--size", "1024", "--fault-drop",
+            "0.05", "--fault-flip", "0.02",
+        ];
+        let a = run_str(&faulty).unwrap();
+        let b = run_str(&faulty).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same corruption");
+        let clean = run_str(&[
+            "simulate", "--trace", "ZGREP", "--len", "4000", "--size", "1024",
+        ])
+        .unwrap();
+        assert_ne!(a, clean, "faults must perturb the statistics");
+        assert!(matches!(
+            run_str(&[
+                "simulate", "--trace", "ZGREP", "--size", "1024", "--fault-drop", "1.5",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn suite_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("smith85-suite-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap();
+        let first = run_str(&["suite", "--quick", "true", "--len", "200", "--out", out]).unwrap();
+        assert!(first.contains("21 passed, 0 failed, 0 skipped"), "{first}");
+        assert!(dir.join("manifest.json").exists());
+        assert!(dir.join("table1.json").exists());
+        let second = run_str(&[
+            "suite", "--quick", "true", "--len", "200", "--out", out, "--resume", "true",
+        ])
+        .unwrap();
+        assert!(second.contains("0 passed, 0 failed, 21 skipped"), "{second}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_corrupt_binary_trace_without_panicking() {
+        let dir = std::env::temp_dir().join(format!("smith85-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        let path_str = path.to_str().unwrap().to_string();
+        run_str(&[
+            "generate", "--trace", "PL0", "--len", "1000", "--out", &path_str, "--format",
+            "binary",
+        ])
+        .unwrap();
+        // Truncate mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = run_str(&["simulate", "--file", &path_str, "--size", "1024"]).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CliError::Io(smith85_trace::TraceIoError::Truncated { .. })
+            ),
+            "{err}"
+        );
+        // Corrupt a kind byte.
+        let mut bytes = bytes;
+        bytes[8] = 9;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run_str(&["simulate", "--file", &path_str, "--size", "1024"]).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CliError::Io(smith85_trace::TraceIoError::BadKind { record: 1, found: 9 })
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod z80000;
 
 use crate::sweep;
 use smith85_cachesim::PAPER_SIZES;
-use smith85_synth::{catalog, ProgramProfile};
+use smith85_synth::{catalog, ProfileError, ProgramProfile};
 use smith85_trace::mix::RoundRobinMix;
 use smith85_trace::{MachineArch, MemoryAccess, PAPER_PURGE_INTERVAL, PAPER_PURGE_INTERVAL_M68000};
 
@@ -112,20 +112,38 @@ impl Workload {
 
     /// An infinite access stream (mixes switch programs every
     /// [`purge_interval`](Self::purge_interval) references, like the
-    /// paper's simulator).
+    /// paper's simulator), or a typed error if a member profile is
+    /// inconsistent. Use this for user-supplied workloads; the catalog's
+    /// own profiles are valid by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's [`ProfileError`].
+    pub fn try_stream(
+        &self,
+    ) -> Result<Box<dyn Iterator<Item = MemoryAccess> + Send>, ProfileError> {
+        match self {
+            Workload::Single(p) => Ok(Box::new(p.try_generator()?)),
+            Workload::Mix { members, .. } => {
+                let mut streams = Vec::with_capacity(members.len());
+                for p in members {
+                    streams.push(p.try_generator()?);
+                }
+                Ok(Box::new(RoundRobinMix::new(streams, self.purge_interval())))
+            }
+        }
+    }
+
+    /// An infinite access stream (panicking form of
+    /// [`try_stream`](Self::try_stream)).
     ///
     /// # Panics
     ///
     /// Panics if a profile is inconsistent (see
     /// [`ProgramProfile::generator`]).
     pub fn stream(&self) -> Box<dyn Iterator<Item = MemoryAccess> + Send> {
-        match self {
-            Workload::Single(p) => Box::new(p.generator()),
-            Workload::Mix { members, .. } => {
-                let streams: Vec<_> = members.iter().map(|p| p.generator()).collect();
-                Box::new(RoundRobinMix::new(streams, self.purge_interval()))
-            }
-        }
+        self.try_stream()
+            .unwrap_or_else(|e| panic!("workload {}: {e}", self.name()))
     }
 }
 

@@ -20,6 +20,8 @@
 //!   multiprocessor argument;
 //! * [`report`], [`sweep`], [`stat_util`] — rendering, parallel sweeps,
 //!   percentiles;
+//! * [`runner`] — the checkpointed, resumable suite runner behind
+//!   `smith85 suite`;
 //! * [`guide`] — a guided tour of the three designer workflows, with
 //!   runnable examples.
 //!
@@ -47,6 +49,7 @@ pub mod guide;
 pub mod hard80;
 pub mod performance;
 pub mod report;
+pub mod runner;
 pub mod stat_util;
 pub mod sweep;
 pub mod targets;

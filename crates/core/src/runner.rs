@@ -1,0 +1,507 @@
+//! Checkpointed suite runner: every experiment, run to completion, with
+//! resume.
+//!
+//! The full reproduction is a multi-minute (at paper scale, multi-hour)
+//! batch job, and batch jobs die: a panicking experiment, a killed shell,
+//! a full disk. This module makes the suite restartable. Each experiment
+//! from [`registry`] runs inside [`std::panic::catch_unwind`]; its
+//! rendered output is written **atomically** (tmp file, then rename) to
+//! `<out>/<name>.json`, and a `manifest.json` summarising every
+//! experiment's status, duration and error text is rewritten after each
+//! one. A rerun with `resume = true` skips every experiment whose result
+//! file already records a successful run under the *same configuration*
+//! (hash of trace length and size sweep), so only failed or never-run
+//! experiments execute again.
+//!
+//! Results are plain JSON written without a serializer dependency; the
+//! format is documented in `EXPERIMENTS.md`.
+
+use crate::experiments::{self, ExperimentConfig};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One runnable experiment: a stable name and a render-to-text closure.
+pub struct ExperimentEntry {
+    /// Stable name, used for the result file and on `--resume`.
+    pub name: &'static str,
+    /// Runs the experiment and renders its paper-style output.
+    pub run: fn(&ExperimentConfig) -> String,
+}
+
+/// Every experiment of the reproduction, in the paper's presentation
+/// order (same order as `smith85-bench`'s `all_experiments`).
+pub fn registry() -> Vec<ExperimentEntry> {
+    macro_rules! entry {
+        ($name:literal, $module:ident) => {
+            ExperimentEntry {
+                name: $name,
+                run: |c| experiments::$module::run(c).render(),
+            }
+        };
+    }
+    vec![
+        entry!("table2", table2),
+        entry!("table1", table1),
+        entry!("fig2", fig2),
+        entry!("table3", table3),
+        entry!("fig3_4", fig3_fig4),
+        entry!("prefetch", prefetch),
+        entry!("table5", table5),
+        entry!("clark", clark_validation),
+        entry!("z80000", z80000),
+        entry!("m68020", m68020),
+        entry!("traffic_ratio", traffic_ratio),
+        entry!("trace_length", trace_length),
+        entry!("multiprocessor", multiprocessor),
+        entry!("calibration", calibration_report),
+        entry!("multiprogramming", multiprogramming),
+        entry!("line_size", line_size),
+        entry!("fudge", fudge_validation),
+        entry!("perturbations", perturbations),
+        entry!("interface", interface_effects),
+        entry!("ablations", ablations),
+        entry!("conclusions", conclusions),
+    ]
+}
+
+/// How a suite run treats its output directory.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Directory for per-experiment results and `manifest.json`.
+    pub out_dir: PathBuf,
+    /// Skip experiments whose result file already records a successful
+    /// run under the same configuration.
+    pub resume: bool,
+}
+
+/// Final state of one experiment in a suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentStatus {
+    /// Ran and completed.
+    Pass,
+    /// Panicked; the manifest carries the message.
+    Fail,
+    /// Skipped on resume: a previous successful result was found.
+    Skip,
+}
+
+impl ExperimentStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            ExperimentStatus::Pass => "pass",
+            ExperimentStatus::Fail => "fail",
+            ExperimentStatus::Skip => "skip",
+        }
+    }
+}
+
+/// One experiment's outcome within a suite run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The experiment's registry name.
+    pub name: &'static str,
+    /// Pass, fail or skip.
+    pub status: ExperimentStatus,
+    /// Wall-clock milliseconds spent running (0 for skips).
+    pub duration_ms: u64,
+    /// The panic message, for failures.
+    pub error: Option<String>,
+}
+
+/// The aggregate result of a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Per-experiment outcomes, in registry order.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// The configuration hash stamped on every result file.
+    pub config_hash: String,
+}
+
+impl SuiteReport {
+    /// Number of experiments with the given status.
+    pub fn count(&self, status: ExperimentStatus) -> usize {
+        self.outcomes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// True when nothing failed.
+    pub fn is_success(&self) -> bool {
+        self.count(ExperimentStatus::Fail) == 0
+    }
+}
+
+impl fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "suite report (config {})", self.config_hash)?;
+        for o in &self.outcomes {
+            write!(f, "  {:<18} {:<5}", o.name, o.status.as_str())?;
+            match (&o.error, o.status) {
+                (Some(e), _) => writeln!(f, " {e}")?,
+                (None, ExperimentStatus::Skip) => writeln!(f, " (cached)")?,
+                (None, _) => writeln!(f, " {} ms", o.duration_ms)?,
+            }
+        }
+        write!(
+            f,
+            "{} passed, {} failed, {} skipped",
+            self.count(ExperimentStatus::Pass),
+            self.count(ExperimentStatus::Fail),
+            self.count(ExperimentStatus::Skip),
+        )
+    }
+}
+
+/// Runs the full [`registry`] with checkpointing; see the module docs.
+///
+/// # Errors
+///
+/// Returns an I/O error only for output-directory failures (creating it,
+/// writing result files). Experiment panics are *not* errors: they are
+/// recorded as [`ExperimentStatus::Fail`] outcomes.
+pub fn run_suite(config: &ExperimentConfig, opts: &RunnerOptions) -> io::Result<SuiteReport> {
+    run_suite_with(config, opts, &registry(), |_| {})
+}
+
+/// [`run_suite`] over a caller-supplied registry, reporting each outcome
+/// to `progress` as it lands. Exposed so tests (and the CLI's fault
+/// hooks) can inject deliberately failing experiments.
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_suite_with(
+    config: &ExperimentConfig,
+    opts: &RunnerOptions,
+    entries: &[ExperimentEntry],
+    mut progress: impl FnMut(&ExperimentOutcome),
+) -> io::Result<SuiteReport> {
+    fs::create_dir_all(&opts.out_dir)?;
+    let hash = config_hash(config);
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let result_path = opts.out_dir.join(format!("{}.json", entry.name));
+        let outcome = if opts.resume && has_fresh_result(&result_path, &hash) {
+            ExperimentOutcome {
+                name: entry.name,
+                status: ExperimentStatus::Skip,
+                duration_ms: 0,
+                error: None,
+            }
+        } else {
+            let start = Instant::now();
+            let run = entry.run;
+            let caught = catch_unwind(AssertUnwindSafe(|| run(config)));
+            let duration_ms = start.elapsed().as_millis() as u64;
+            match caught {
+                Ok(rendered) => {
+                    write_atomic(
+                        &result_path,
+                        &result_json(entry.name, &hash, duration_ms, &rendered),
+                    )?;
+                    ExperimentOutcome {
+                        name: entry.name,
+                        status: ExperimentStatus::Pass,
+                        duration_ms,
+                        error: None,
+                    }
+                }
+                Err(payload) => {
+                    // A stale success from an earlier configuration must
+                    // not mask this failure on the next resume.
+                    match fs::remove_file(&result_path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e),
+                    }
+                    ExperimentOutcome {
+                        name: entry.name,
+                        status: ExperimentStatus::Fail,
+                        duration_ms,
+                        error: Some(crate::sweep::panic_message(payload.as_ref())),
+                    }
+                }
+            }
+        };
+        progress(&outcome);
+        outcomes.push(outcome);
+        // Rewriting the manifest after every experiment keeps it honest
+        // even if the process dies mid-suite.
+        write_atomic(
+            &opts.out_dir.join("manifest.json"),
+            &manifest_json(&hash, &outcomes),
+        )?;
+    }
+    Ok(SuiteReport {
+        outcomes,
+        config_hash: hash,
+    })
+}
+
+/// FNV-1a hash of the result-determining configuration fields. Thread
+/// count is deliberately excluded: it changes speed, not results, so a
+/// resume may continue under a different `--threads`.
+pub fn config_hash(config: &ExperimentConfig) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(config.trace_len as u64).to_le_bytes());
+    for &size in &config.sizes {
+        eat(&(size as u64).to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// True if `path` holds a successful result stamped with `hash`.
+///
+/// The check is a substring scan rather than a JSON parse — the runner
+/// itself wrote the file, with known key order; anything unreadable or
+/// unrecognized is simply treated as "no result, run it again".
+fn has_fresh_result(path: &Path, hash: &str) -> bool {
+    match fs::read_to_string(path) {
+        Ok(text) => {
+            text.contains("\"status\": \"ok\"")
+                && text.contains(&format!("\"config_hash\": \"{hash}\""))
+        }
+        Err(_) => false,
+    }
+}
+
+/// Writes via a sibling `.tmp` file and an atomic rename, so readers (and
+/// resumed runs) never observe a half-written result.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+fn result_json(name: &str, hash: &str, duration_ms: u64, rendered: &str) -> String {
+    format!(
+        "{{\n  \"name\": \"{}\",\n  \"status\": \"ok\",\n  \"config_hash\": \"{}\",\n  \"duration_ms\": {},\n  \"rendered\": \"{}\"\n}}\n",
+        json_escape(name),
+        hash,
+        duration_ms,
+        json_escape(rendered),
+    )
+}
+
+fn manifest_json(hash: &str, outcomes: &[ExperimentOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"config_hash\": \"{hash}\",\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let error = match &o.error {
+            Some(e) => format!("\"{}\"", json_escape(e)),
+            None => "null".to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"duration_ms\": {}, \"error\": {}}}{}\n",
+            json_escape(o.name),
+            o.status.as_str(),
+            o.duration_ms,
+            error,
+            if i + 1 < outcomes.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            trace_len: 500,
+            sizes: vec![256, 1024],
+            threads: 1,
+        }
+    }
+
+    fn temp_out(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smith85-runner-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fake_entries() -> Vec<ExperimentEntry> {
+        vec![
+            ExperimentEntry {
+                name: "ok_a",
+                run: |c| format!("a at {}", c.trace_len),
+            },
+            ExperimentEntry {
+                name: "boom",
+                run: |_| panic!("deliberate failure"),
+            },
+            ExperimentEntry {
+                name: "ok_b",
+                run: |_| "b".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn registry_covers_every_experiment() {
+        let names: Vec<_> = registry().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 21);
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate registry names");
+        for required in ["table1", "table2", "table3", "table5", "conclusions"] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn panicking_experiment_does_not_abort_the_suite() {
+        let out = temp_out("panic");
+        let opts = RunnerOptions {
+            out_dir: out.clone(),
+            resume: false,
+        };
+        let report =
+            run_suite_with(&tiny_config(), &opts, &fake_entries(), |_| {}).unwrap();
+        assert!(!report.is_success());
+        assert_eq!(report.count(ExperimentStatus::Pass), 2);
+        assert_eq!(report.count(ExperimentStatus::Fail), 1);
+        let failed = &report.outcomes[1];
+        assert_eq!(failed.name, "boom");
+        assert!(failed.error.as_deref().unwrap().contains("deliberate failure"));
+        let manifest = fs::read_to_string(out.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"status\": \"fail\""), "{manifest}");
+        assert!(manifest.contains("deliberate failure"), "{manifest}");
+        assert!(out.join("ok_a.json").exists());
+        assert!(!out.join("boom.json").exists());
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn resume_reruns_only_the_failed_entry() {
+        let out = temp_out("resume");
+        let opts = RunnerOptions {
+            out_dir: out.clone(),
+            resume: false,
+        };
+        let config = tiny_config();
+        run_suite_with(&config, &opts, &fake_entries(), |_| {}).unwrap();
+
+        // Second run, resuming, with the failure repaired.
+        let mut repaired = fake_entries();
+        repaired[1].run = |_| "fixed".to_string();
+        let opts = RunnerOptions {
+            out_dir: out.clone(),
+            resume: true,
+        };
+        let mut ran: Vec<&str> = Vec::new();
+        let report = run_suite_with(&config, &opts, &repaired, |o| {
+            if o.status != ExperimentStatus::Skip {
+                ran.push(o.name);
+            }
+        })
+        .unwrap();
+        assert_eq!(ran, vec!["boom"], "only the failed entry re-runs");
+        assert!(report.is_success());
+        assert_eq!(report.count(ExperimentStatus::Skip), 2);
+        assert!(out.join("boom.json").exists());
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn config_change_invalidates_cached_results() {
+        let out = temp_out("confighash");
+        let config = tiny_config();
+        let opts = RunnerOptions {
+            out_dir: out.clone(),
+            resume: true,
+        };
+        let entries = vec![ExperimentEntry {
+            name: "ok_a",
+            run: |c| format!("len {}", c.trace_len),
+        }];
+        run_suite_with(&config, &opts, &entries, |_| {}).unwrap();
+        let mut bigger = config.clone();
+        bigger.trace_len *= 2;
+        let mut ran = 0;
+        run_suite_with(&bigger, &opts, &entries, |o| {
+            if o.status == ExperimentStatus::Pass {
+                ran += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(ran, 1, "changed config must re-run");
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_hash() {
+        let a = tiny_config();
+        let mut b = tiny_config();
+        b.threads = 97;
+        assert_eq!(config_hash(&a), config_hash(&b));
+        let mut c = tiny_config();
+        c.sizes.push(4096);
+        assert_ne!(config_hash(&a), config_hash(&c));
+    }
+
+    #[test]
+    fn json_escape_handles_control_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_display_summarises() {
+        let report = SuiteReport {
+            outcomes: vec![
+                ExperimentOutcome {
+                    name: "x",
+                    status: ExperimentStatus::Pass,
+                    duration_ms: 5,
+                    error: None,
+                },
+                ExperimentOutcome {
+                    name: "y",
+                    status: ExperimentStatus::Fail,
+                    duration_ms: 1,
+                    error: Some("boom".into()),
+                },
+            ],
+            config_hash: "deadbeef".into(),
+        };
+        let text = report.to_string();
+        assert!(text.contains("1 passed, 1 failed, 0 skipped"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+}

@@ -1,61 +1,201 @@
-//! Parallel execution of independent simulation jobs.
+//! Parallel execution of independent simulation jobs, with per-job panic
+//! isolation.
 //!
 //! The experiments sweep (workload × cache size × policy) grids of
 //! independent trace-driven simulations; this module fans them out over a
-//! bounded set of worker threads with `crossbeam`'s scoped threads, so no
+//! bounded set of worker threads with `std::thread::scope`, so no
 //! `'static` bounds leak into the experiment code.
+//!
+//! Long measurement campaigns must survive individual bad cells: one
+//! panicking simulation (a corrupt trace, a degenerate configuration)
+//! must not sink a multi-hour sweep. [`try_parallel_map`] therefore wraps
+//! every job in [`std::panic::catch_unwind`] and reports per-job
+//! [`JobFailure`]s instead of propagating the first panic, leaving the
+//! caller to choose between fail-fast ([`parallel_map`]) and
+//! skip-and-report (inspecting [`SweepError`]).
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Applies `f` to every item, in parallel, preserving input order.
+/// One job's panic, captured by [`try_parallel_map`].
+#[derive(Debug)]
+pub struct JobFailure {
+    /// Index of the failed job in the input vector.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// preserved; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// The aggregate failure report of a sweep: which jobs panicked, while
+/// every other job's result is preserved in order.
+#[derive(Debug)]
+pub struct SweepError<R> {
+    /// Per-slot outcomes, in input order: `Some` for completed jobs,
+    /// `None` for panicked ones.
+    pub results: Vec<Option<R>>,
+    /// The failures, ordered by job index.
+    pub failures: Vec<JobFailure>,
+}
+
+impl<R> fmt::Display for SweepError<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} sweep jobs panicked",
+            self.failures.len(),
+            self.results.len()
+        )?;
+        if let Some(first) = self.failures.first() {
+            write!(f, " (first: {first})")?;
+        }
+        Ok(())
+    }
+}
+
+impl<R: fmt::Debug> std::error::Error for SweepError<R> {}
+
+/// Renders a panic payload (from `catch_unwind`) as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies `f` to every item, in parallel, preserving input order, and
+/// isolating panics: a panicking job is reported in the returned
+/// [`SweepError`] while all other jobs run to completion.
 ///
-/// `threads = 1` runs inline (useful under test); otherwise up to `threads`
-/// workers pull items off a shared queue.
+/// `threads = 1` runs inline (useful under test); otherwise up to
+/// `threads` workers pull items off a shared queue.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates a panic from any job after all workers stop.
-pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+/// Returns [`SweepError`] if any job panicked; `results` still carries
+/// every completed job's output in input order.
+pub fn try_parallel_map<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+) -> Result<Vec<R>, SweepError<R>>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
     let threads = threads.max(1);
-    if threads == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
     let n = items.len();
-    let next = AtomicUsize::new(0);
-    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = inputs[i]
-                    .lock()
-                    .expect("input mutex poisoned")
-                    .take()
-                    .expect("each input taken once");
-                let out = f(item);
-                *outputs[i].lock().expect("output mutex poisoned") = Some(out);
-            });
+    let mut slots: Vec<Result<R, JobFailure>> = Vec::with_capacity(n);
+    if threads == 1 || n <= 1 {
+        for (index, item) in items.into_iter().enumerate() {
+            slots.push(run_caught(&f, index, item));
         }
+    } else {
+        let next = AtomicUsize::new(0);
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let outputs: Vec<Mutex<Option<Result<R, JobFailure>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A poisoned lock means another worker panicked while
+                    // holding it; since the critical sections below never
+                    // panic (moves only), recover the data instead of
+                    // poisoning the whole sweep.
+                    let item = inputs[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take();
+                    // invariant: each index is dispensed once by the atomic
+                    // counter, so the slot is always still populated.
+                    let Some(item) = item else { break };
+                    let out = run_caught(&f, i, item);
+                    *outputs[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                });
+            }
+        });
+        for m in outputs {
+            let slot = m
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // invariant: the scope joins every worker, and each worker
+            // stores exactly one outcome per dispensed index.
+            slots.push(slot.expect("every job produced an outcome"));
+        }
+    }
+    collect_outcomes(slots)
+}
+
+fn run_caught<T, R, F>(f: &F, index: usize, item: T) -> Result<R, JobFailure>
+where
+    F: Fn(T) -> R + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobFailure {
+        index,
+        message: panic_message(payload.as_ref()),
     })
-    .expect("a simulation job panicked");
-    outputs
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("output mutex poisoned")
-                .expect("all jobs completed")
-        })
-        .collect()
+}
+
+fn collect_outcomes<R>(slots: Vec<Result<R, JobFailure>>) -> Result<Vec<R>, SweepError<R>> {
+    if slots.iter().all(Result::is_ok) {
+        return Ok(slots.into_iter().map(|r| r.unwrap_or_else(|_| unreachable!())).collect());
+    }
+    let mut results = Vec::with_capacity(slots.len());
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot {
+            Ok(r) => results.push(Some(r)),
+            Err(failure) => {
+                results.push(None);
+                failures.push(failure);
+            }
+        }
+    }
+    Err(SweepError { results, failures })
+}
+
+/// Applies `f` to every item, in parallel, preserving input order
+/// (fail-fast wrapper over [`try_parallel_map`]).
+///
+/// `threads = 1` runs inline (useful under test); otherwise up to `threads`
+/// workers pull items off a shared queue.
+///
+/// # Panics
+///
+/// Re-raises the first job panic (by message) after all workers finish,
+/// so sibling jobs are never cancelled mid-simulation.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    match try_parallel_map(threads, items, f) {
+        Ok(results) => results,
+        Err(err) => {
+            let first = &err.failures[0];
+            panic!("sweep job {} panicked: {}", first.index, first.message)
+        }
+    }
 }
 
 /// A sensible default worker count: the machine's parallelism.
@@ -95,5 +235,80 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_keeps_other_results() {
+        for threads in [1, 4] {
+            let err = try_parallel_map(threads, (0..10).collect(), |x: i32| {
+                assert!(x != 3 && x != 7, "bad cell {x}");
+                x * 10
+            })
+            .unwrap_err();
+            assert_eq!(err.results.len(), 10);
+            assert_eq!(err.failures.len(), 2, "threads={threads}");
+            assert_eq!(err.failures[0].index, 3);
+            assert_eq!(err.failures[1].index, 7);
+            assert!(err.failures[0].message.contains("bad cell 3"));
+            for (i, slot) in err.results.iter().enumerate() {
+                if i == 3 || i == 7 {
+                    assert!(slot.is_none());
+                } else {
+                    assert_eq!(*slot, Some(i as i32 * 10), "slot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_all_ok_returns_plain_vec() {
+        let out = try_parallel_map(4, (0..50).collect(), |x: i32| x + 1).unwrap();
+        assert_eq!(out, (1..51).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_failure_does_not_cancel_siblings() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let err = try_parallel_map(4, (0..20).collect(), |x: i32| {
+            if x == 0 {
+                panic!("first job dies");
+            }
+            completed.fetch_add(1, Ordering::Relaxed);
+            x
+        })
+        .unwrap_err();
+        assert_eq!(completed.load(Ordering::Relaxed), 19);
+        assert_eq!(err.failures.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep job 2 panicked")]
+    fn parallel_map_fail_fast_reports_first_failure() {
+        let _ = parallel_map(2, vec![1, 2, 3, 4], |x: i32| {
+            assert!(x != 3, "cell {x}");
+            x
+        });
+    }
+
+    #[test]
+    fn sweep_error_display_summarises() {
+        let err = try_parallel_map(1, vec![1, 2], |x: i32| {
+            assert!(x != 2, "nope");
+            x
+        })
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("1 of 2"), "{text}");
+        assert!(text.contains("nope"), "{text}");
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_placeholdered() {
+        let err = try_parallel_map(1, vec![0], |_| -> i32 {
+            std::panic::panic_any(42i32);
+        })
+        .unwrap_err();
+        assert_eq!(err.failures[0].message, "non-string panic payload");
     }
 }

@@ -143,45 +143,51 @@ impl ProfileBuilder {
     /// Returns an error if the fractions are inconsistent, the footprints
     /// are too small for the models, or a locality dial is out of range.
     pub fn build(&self) -> Result<ProgramProfile, ProfileError> {
-        let p = &self.profile;
-        if !(0.0..=1.0).contains(&p.ifetch_fraction)
-            || !(0.0..=1.0).contains(&p.read_fraction)
-            || p.ifetch_fraction + p.read_fraction > 1.0
-        {
-            return Err(ProfileError::new(
-                "ifetch and read fractions must be nonnegative and sum to at most 1",
-            ));
-        }
-        if !(0.0..1.0).contains(&p.branch_fraction) {
-            return Err(ProfileError::new("branch fraction must lie in [0, 1)"));
-        }
-        if p.code_bytes < 512 {
-            return Err(ProfileError::new("code footprint must be at least 512 bytes"));
-        }
-        if p.data_bytes < 512 {
-            return Err(ProfileError::new("data footprint must be at least 512 bytes"));
-        }
-        let l = &p.locality;
-        if l.seq_fraction < 0.0
-            || l.stack_fraction < 0.0
-            || l.seq_fraction + l.stack_fraction > 1.0
-        {
-            return Err(ProfileError::new(
-                "seq and stack fractions must be nonnegative and sum to at most 1",
-            ));
-        }
-        if !(0.0..=1.0).contains(&l.write_concentration) {
-            return Err(ProfileError::new("write concentration must lie in [0, 1]"));
-        }
-        if !(0.0..=4.0).contains(&l.instr_alpha) || !(0.0..=4.0).contains(&l.data_alpha) {
-            return Err(ProfileError::new("Zipf alphas must lie in [0, 4]"));
-        }
-        // Exercise the model constructors so any residual inconsistency
-        // surfaces here rather than on first use.
-        let _ = p.instr_params();
-        let _ = p.data_params();
-        Ok(p.clone())
+        validate_profile(&self.profile)?;
+        Ok(self.profile.clone())
     }
+}
+
+/// The checks behind both [`ProfileBuilder::build`] and
+/// [`ProgramProfile::validate`].
+pub(crate) fn validate_profile(p: &ProgramProfile) -> Result<(), ProfileError> {
+    if !(0.0..=1.0).contains(&p.ifetch_fraction)
+        || !(0.0..=1.0).contains(&p.read_fraction)
+        || p.ifetch_fraction + p.read_fraction > 1.0
+    {
+        return Err(ProfileError::new(
+            "ifetch and read fractions must be nonnegative and sum to at most 1",
+        ));
+    }
+    if !(0.0..1.0).contains(&p.branch_fraction) {
+        return Err(ProfileError::new("branch fraction must lie in [0, 1)"));
+    }
+    if p.code_bytes < 512 {
+        return Err(ProfileError::new("code footprint must be at least 512 bytes"));
+    }
+    if p.data_bytes < 512 {
+        return Err(ProfileError::new("data footprint must be at least 512 bytes"));
+    }
+    let l = &p.locality;
+    if l.seq_fraction < 0.0
+        || l.stack_fraction < 0.0
+        || l.seq_fraction + l.stack_fraction > 1.0
+    {
+        return Err(ProfileError::new(
+            "seq and stack fractions must be nonnegative and sum to at most 1",
+        ));
+    }
+    if !(0.0..=1.0).contains(&l.write_concentration) {
+        return Err(ProfileError::new("write concentration must lie in [0, 1]"));
+    }
+    if !(0.0..=4.0).contains(&l.instr_alpha) || !(0.0..=4.0).contains(&l.data_alpha) {
+        return Err(ProfileError::new("Zipf alphas must lie in [0, 4]"));
+    }
+    // Exercise the model constructors so any residual inconsistency
+    // surfaces here rather than on first use.
+    let _ = p.instr_params();
+    let _ = p.data_params();
+    Ok(())
 }
 
 #[cfg(test)]

@@ -190,10 +190,10 @@ impl DataModel {
         // over the stack segment. Writes stay at the top of the stack
         // (the current frame); reads also touch caller frames.
         if self.rng.gen_ratio(1, 64) {
-            let step = self.rng.gen_range(0..4);
+            let step = self.rng.gen_range(0u64..4);
             self.stack_anchor = (self.stack_anchor + step) % self.stack_lines;
         }
-        let max_depth = if is_write { 2 } else { 4 };
+        let max_depth: u64 = if is_write { 2 } else { 4 };
         let depth = self.rng.gen_range(0..max_depth).min(self.stack_lines - 1);
         let line = (self.stack_anchor + self.stack_lines - depth) % self.stack_lines;
         self.params.data_base + line * LINE + self.word_offset()

@@ -129,21 +129,29 @@ impl ProgramProfile {
         }
     }
 
-    /// An infinite, deterministic access stream for this profile.
+    /// Checks the profile can actually generate: fractions consistent,
+    /// footprints large enough, locality dials in range (the same
+    /// conditions [`crate::ProfileBuilder::build`] enforces).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the profile's fractions or footprints are inconsistent
-    /// (e.g. `ifetch_fraction + read_fraction > 1`).
-    pub fn generator(&self) -> ProgramGenerator {
-        assert!(
-            self.ifetch_fraction >= 0.0
-                && self.read_fraction >= 0.0
-                && self.ifetch_fraction + self.read_fraction <= 1.0 + 1e-9,
-            "profile {}: reference fractions are inconsistent",
-            self.name
-        );
-        ProgramGenerator {
+    /// Returns a [`crate::ProfileError`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), crate::ProfileError> {
+        crate::builder::validate_profile(self)
+    }
+
+    /// An infinite, deterministic access stream for this profile, or a
+    /// typed error if the profile is inconsistent. This is the
+    /// non-panicking form of [`generator`](Self::generator) for
+    /// user-supplied profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`validate`](Self::validate) failure.
+    pub fn try_generator(&self) -> Result<ProgramGenerator, crate::ProfileError> {
+        self.validate()?;
+        Ok(ProgramGenerator {
             instr: InstrModel::new(self.instr_params(), derive_seed(self.seed, 1)),
             data: DataModel::new(self.data_params(), derive_seed(self.seed, 2)),
             rng: SmallRng::seed_from_u64(derive_seed(self.seed, 3)),
@@ -153,7 +161,19 @@ impl ProgramProfile {
             } else {
                 0.0
             },
-        }
+        })
+    }
+
+    /// An infinite, deterministic access stream for this profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is inconsistent (see
+    /// [`validate`](Self::validate)); use
+    /// [`try_generator`](Self::try_generator) for user-supplied profiles.
+    pub fn generator(&self) -> ProgramGenerator {
+        self.try_generator()
+            .unwrap_or_else(|e| panic!("profile {}: inconsistent: {e}", self.name))
     }
 
     /// Materializes the first `len` references.

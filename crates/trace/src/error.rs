@@ -50,6 +50,29 @@ pub enum TraceIoError {
         /// What was found instead of the expected header.
         found: String,
     },
+    /// A binary trace ended in the middle of a record.
+    Truncated {
+        /// 1-based index of the incomplete record.
+        record: u64,
+        /// How many of the record's bytes were present.
+        got: usize,
+        /// How many bytes a full record needs.
+        expected: usize,
+    },
+    /// A binary record carried an access-kind byte outside the format.
+    BadKind {
+        /// 1-based index of the offending record.
+        record: u64,
+        /// The kind byte found.
+        found: u8,
+    },
+    /// A binary record carried a zero or absurdly large access size.
+    BadSize {
+        /// 1-based index of the offending record.
+        record: u64,
+        /// The size byte found.
+        found: u8,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -60,6 +83,22 @@ impl fmt::Display for TraceIoError {
             TraceIoError::BadHeader { found } => {
                 write!(f, "not a smith85 binary trace (found header {found:?})")
             }
+            TraceIoError::Truncated {
+                record,
+                got,
+                expected,
+            } => write!(
+                f,
+                "binary trace truncated at record {record}: got {got} of {expected} bytes"
+            ),
+            TraceIoError::BadKind { record, found } => write!(
+                f,
+                "binary trace record {record}: bad access kind byte {found}"
+            ),
+            TraceIoError::BadSize { record, found } => write!(
+                f,
+                "binary trace record {record}: bad access size {found}"
+            ),
         }
     }
 }
@@ -69,7 +108,10 @@ impl Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Parse(e) => Some(e),
-            TraceIoError::BadHeader { .. } => None,
+            TraceIoError::BadHeader { .. }
+            | TraceIoError::Truncated { .. }
+            | TraceIoError::BadKind { .. }
+            | TraceIoError::BadSize { .. } => None,
         }
     }
 }

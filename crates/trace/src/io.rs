@@ -32,6 +32,11 @@ use std::io::{BufRead, BufReader, Read, Write};
 pub const BINARY_MAGIC: [u8; 4] = *b"S85T";
 /// Current binary format version.
 pub const BINARY_VERSION: u8 = 1;
+/// Largest access size, in bytes, any supported machine issues. The widest
+/// real reference in the paper's trace set is 8 bytes (IBM 370 doubleword);
+/// 64 leaves headroom for vector machines while still catching corrupt
+/// size bytes.
+pub const MAX_ACCESS_SIZE: u8 = 64;
 
 /// Writes a trace in the text format.
 ///
@@ -117,8 +122,11 @@ fn parse_line(line: &str, lineno: u64) -> Result<MemoryAccess, ParseTraceError> 
     if fields.next().is_some() {
         return Err(ParseTraceError::new(lineno, "trailing fields"));
     }
-    if size == 0 {
-        return Err(ParseTraceError::new(lineno, "access size must be nonzero"));
+    if size == 0 || size > MAX_ACCESS_SIZE {
+        return Err(ParseTraceError::new(
+            lineno,
+            format!("access size must be in 1..={MAX_ACCESS_SIZE}, got {size}"),
+        ));
     }
     Ok(MemoryAccess::new(kind, Addr::new(addr), size))
 }
@@ -152,13 +160,28 @@ pub fn write_binary<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoErro
 
 /// Reads a trace in the binary format.
 ///
+/// Never panics, whatever the bytes: every way a file can be malformed maps
+/// to a typed [`TraceIoError`] variant —
+///
+/// * wrong magic, unsupported version, or a header cut short:
+///   [`TraceIoError::BadHeader`],
+/// * a file ending mid-record (truncation, or trailing garbage shorter
+///   than a record): [`TraceIoError::Truncated`],
+/// * a kind byte outside `0..=2`: [`TraceIoError::BadKind`],
+/// * a zero or larger-than-[`MAX_ACCESS_SIZE`] size byte:
+///   [`TraceIoError::BadSize`].
+///
 /// # Errors
 ///
-/// Returns [`TraceIoError::BadHeader`] for a wrong magic/version, a parse
-/// error for a corrupt record, or an I/O error from the reader.
+/// As above, plus [`TraceIoError::Io`] for reader failures.
 pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     let mut header = [0u8; 8];
-    r.read_exact(&mut header)?;
+    let got = read_full(&mut r, &mut header)?;
+    if got < header.len() {
+        return Err(TraceIoError::BadHeader {
+            found: format!("{got}-byte file"),
+        });
+    }
     if header[..4] != BINARY_MAGIC {
         return Err(TraceIoError::BadHeader {
             found: format!("{:02x?}", &header[..4]),
@@ -173,46 +196,49 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     let mut rec = [0u8; 10];
     let mut n: u64 = 0;
     loop {
-        if !read_record(&mut r, &mut rec)? { break }
+        let got = read_full(&mut r, &mut rec)?;
+        if got == 0 {
+            break;
+        }
         n += 1;
+        if got < rec.len() {
+            return Err(TraceIoError::Truncated {
+                record: n,
+                got,
+                expected: rec.len(),
+            });
+        }
         let kind = match rec[0] {
             0 => AccessKind::InstructionFetch,
             1 => AccessKind::Read,
             2 => AccessKind::Write,
-            other => {
-                return Err(
-                    ParseTraceError::new(n, format!("bad binary access kind {other}")).into(),
-                )
-            }
+            other => return Err(TraceIoError::BadKind { record: n, found: other }),
         };
         let size = rec[1];
-        if size == 0 {
-            return Err(ParseTraceError::new(n, "access size must be nonzero").into());
+        if size == 0 || size > MAX_ACCESS_SIZE {
+            return Err(TraceIoError::BadSize { record: n, found: size });
         }
-        let addr = u64::from_le_bytes(rec[2..].try_into().expect("slice is 8 bytes"));
+        let mut addr_bytes = [0u8; 8];
+        addr_bytes.copy_from_slice(&rec[2..]);
+        let addr = u64::from_le_bytes(addr_bytes);
         trace.push(MemoryAccess::new(kind, Addr::new(addr), size));
     }
     Ok(trace)
 }
 
-/// Reads one 10-byte record; `Ok(false)` at clean EOF.
-fn read_record<R: Read>(r: &mut R, rec: &mut [u8; 10]) -> Result<bool, TraceIoError> {
+/// Fills `buf` from `r` as far as the stream allows, returning how many
+/// bytes were read (less than `buf.len()` only at EOF).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, TraceIoError> {
     let mut filled = 0;
-    while filled < rec.len() {
-        let n = r.read(&mut rec[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(false);
-            }
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "truncated binary trace record",
-            )
-            .into());
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
         }
-        filled += n;
     }
-    Ok(true)
+    Ok(filled)
 }
 
 #[cfg(test)]
@@ -306,7 +332,79 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&mut buf, &sample()).unwrap();
         buf.pop();
-        assert!(read_binary(buf.as_slice()).is_err());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        match err {
+            TraceIoError::Truncated {
+                record,
+                got,
+                expected,
+            } => {
+                assert_eq!(record, 3);
+                assert_eq!(got, 9);
+                assert_eq!(expected, 10);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_truncated_header() {
+        let err = read_binary(&b"S85T\x01"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }), "{err}");
+        let err = read_binary(&b""[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(b"junk");
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceIoError::Truncated { record: 4, got: 4, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_bad_kind_byte() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[8] = 7; // kind byte of the first record
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceIoError::BadKind { record: 1, found: 7 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_absurd_size_field() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        for bad in [0u8, MAX_ACCESS_SIZE + 1, 255] {
+            buf[9] = bad; // size byte of the first record
+            let err = read_binary(buf.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, TraceIoError::BadSize { record: 1, found } if found == bad),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_binary_errors_never_panic() {
+        // Feed every prefix of a valid file plus a byte-flipped variant;
+        // any outcome but a panic is acceptable.
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        for len in 0..buf.len() {
+            let _ = read_binary(&buf[..len]);
+            let mut flipped = buf.clone();
+            flipped[len] ^= 0xff;
+            let _ = read_binary(flipped.as_slice());
+        }
     }
 
     #[test]

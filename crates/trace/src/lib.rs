@@ -39,6 +39,7 @@ mod access;
 mod arch;
 mod error;
 mod language;
+pub mod fault;
 pub mod interface;
 pub mod io;
 pub mod mix;

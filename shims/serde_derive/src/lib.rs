@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline serde shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented
+//! for every type, so the derives have nothing to generate; they exist so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes
+//! parse and expand cleanly.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim blanket-implements `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim blanket-implements `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
