@@ -14,6 +14,7 @@ fn bench_config() -> ExperimentConfig {
         trace_len: 10_000,
         sizes: vec![256, 4096],
         threads: 1, // single-threaded for stable timing
+        pool: Default::default(),
     }
 }
 

@@ -1,0 +1,152 @@
+//! Refs/sec throughput baseline for the simulation engine's hot paths.
+//!
+//! Times each kernel over the same VCCOM trace and reports the best of
+//! several repeats, so the numbers are comparable across commits:
+//!
+//! * `generation` — synthesizing the trace itself;
+//! * `stack_analysis` — one-pass LRU stack distances ([`StackAnalyzer`]);
+//! * `assoc_analysis` — one-pass per-set stack distances ([`AssocAnalyzer`]);
+//! * `set_assoc_sim` — an 8-way 16 KiB cache driven by the slice path;
+//! * `unified_sim` — the fully associative paper cache, purges on.
+//!
+//! ```text
+//! cargo run --release -p smith85-bench --bin throughput -- [quick|paper] [OUT.json]
+//! ```
+//!
+//! Results land in `OUT.json` (default `BENCH_sim.json`), documented in
+//! `EXPERIMENTS.md`.
+
+use smith85_cachesim::{
+    AssocAnalyzer, CacheConfig, Simulator, StackAnalyzer, UnifiedCache,
+};
+use smith85_synth::catalog;
+use smith85_trace::MemoryAccess;
+use std::time::Instant;
+
+/// The workload every kernel is timed on.
+const TRACE: &str = "VCCOM";
+/// Timed repeats per kernel; the best (least interfered-with) one counts.
+const REPEATS: usize = 3;
+
+struct KernelResult {
+    name: &'static str,
+    refs: usize,
+    best_secs: f64,
+    refs_per_sec: f64,
+}
+
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn kernel(name: &'static str, refs: usize, f: impl FnMut()) -> KernelResult {
+    let best_secs = time_best(f);
+    KernelResult {
+        name,
+        refs,
+        best_secs,
+        refs_per_sec: refs as f64 / best_secs.max(1e-12),
+    }
+}
+
+fn run_kernels(len: usize) -> Vec<KernelResult> {
+    let spec = catalog::by_name(TRACE).expect("VCCOM is in the catalog");
+    let profile = spec.profile().clone();
+    let trace = profile.generate(len);
+    let replay: &[MemoryAccess] = &trace.as_slice()[..len];
+
+    let mut results = Vec::new();
+    results.push(kernel("generation", len, || {
+        let t = profile.generate(len);
+        assert_eq!(t.len(), len);
+    }));
+    results.push(kernel("stack_analysis", len, || {
+        let mut a = StackAnalyzer::with_line_size_and_capacity(
+            smith85_trace::PAPER_LINE_SIZE,
+            len,
+        );
+        a.observe_slice(replay);
+        let p = a.finish();
+        assert!(p.miss_ratio(1024) > 0.0);
+    }));
+    results.push(kernel("assoc_analysis", len, || {
+        let mut a =
+            AssocAnalyzer::with_line_size_and_capacity(64, smith85_trace::PAPER_LINE_SIZE, len);
+        a.observe_slice(replay);
+        let p = a.finish();
+        assert!(p.cache_bytes(1) > 0);
+    }));
+    results.push(kernel("set_assoc_sim", len, || {
+        let cfg = CacheConfig::builder(16 * 1024)
+            .mapping(smith85_cachesim::Mapping::SetAssociative(8))
+            .build()
+            .expect("valid configuration");
+        let mut c = smith85_cachesim::Cache::new(cfg).expect("valid config");
+        c.run(replay);
+        assert_eq!(c.stats().total_refs(), len as u64);
+    }));
+    results.push(kernel("unified_sim", len, || {
+        let cfg = CacheConfig::builder(16 * 1024)
+            .purge_interval(Some(smith85_trace::PAPER_PURGE_INTERVAL))
+            .build()
+            .expect("valid configuration");
+        let mut c = UnifiedCache::new(cfg).expect("valid config");
+        c.run_slice(replay);
+        assert_eq!(c.stats().total_refs(), len as u64);
+    }));
+    results
+}
+
+fn render_json(mode: &str, len: usize, results: &[KernelResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"smith85-throughput-v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"trace\": \"{TRACE}\",\n"));
+    s.push_str(&format!("  \"trace_len\": {len},\n"));
+    s.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"refs\": {}, \"best_secs\": {:.6}, \"refs_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.refs,
+            r.best_secs,
+            r.refs_per_sec,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut mode = "paper".to_string();
+    let mut out_path = "BENCH_sim.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "quick" | "paper" => mode = arg,
+            other => out_path = other.to_string(),
+        }
+    }
+    let len = if mode == "quick" { 50_000 } else { 250_000 };
+    let results = run_kernels(len);
+    for r in &results {
+        println!(
+            "{:<16} {:>9} refs  {:>9.1} ms  {:>12.0} refs/sec",
+            r.name,
+            r.refs,
+            r.best_secs * 1e3,
+            r.refs_per_sec
+        );
+    }
+    let json = render_json(&mode, len, &results);
+    std::fs::write(&out_path, &json).expect("write benchmark result file");
+    println!("wrote {out_path}");
+}

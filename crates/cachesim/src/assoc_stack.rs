@@ -9,9 +9,9 @@
 //! for the traffic-ratio warning). It turns the paper's "the effect of set
 //! associativity should be small" aside into a measurable curve.
 
+use crate::fast_hash::FastHashMap;
 use serde::{Deserialize, Serialize};
 use smith85_trace::{MemoryAccess, PAPER_LINE_SIZE};
-use std::collections::HashMap;
 
 /// Streaming within-set stack-distance analyzer for a fixed set count.
 ///
@@ -55,15 +55,34 @@ impl AssocAnalyzer {
     ///
     /// Panics if `sets` or `line_size` is not a positive power of two.
     pub fn with_line_size(sets: usize, line_size: usize) -> Self {
+        Self::with_line_size_and_capacity(sets, line_size, 0)
+    }
+
+    /// Creates an analyzer pre-sized for a trace of `expected_len`
+    /// references: each per-set recency stack gets a capacity hint so the
+    /// hot loop never reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_size` is not a positive power of two.
+    pub fn with_line_size_and_capacity(sets: usize, line_size: usize, expected_len: usize) -> Self {
         assert!(sets > 0 && sets.is_power_of_two(), "bad set count {sets}");
         assert!(
             line_size > 0 && line_size.is_power_of_two(),
             "bad line size {line_size}"
         );
+        // Distinct lines per set rarely exceed a small multiple of the
+        // footprint over the set count; cap the hint so tiny traces with
+        // many sets do not over-allocate.
+        let per_set = if expected_len == 0 {
+            0
+        } else {
+            (expected_len / 8 / sets).clamp(8, 4096)
+        };
         AssocAnalyzer {
             sets,
             line_size,
-            stacks: vec![Vec::new(); sets],
+            stacks: vec![Vec::with_capacity(per_set); sets],
             hist: Vec::new(),
             cold: 0,
             refs: 0,
@@ -90,6 +109,14 @@ impl AssocAnalyzer {
                 stack.remove(pos);
                 stack.insert(0, line);
             }
+        }
+    }
+
+    /// Records every reference of a contiguous slice (the pooled-replay
+    /// hot path: no per-access iterator dispatch).
+    pub fn observe_slice(&mut self, trace: &[MemoryAccess]) {
+        for &access in trace {
+            self.observe(access);
         }
     }
 
@@ -183,12 +210,12 @@ pub fn analyze_geometries(
     trace: &smith85_trace::Trace,
     set_counts: &[usize],
     line_size: usize,
-) -> HashMap<usize, AssocProfile> {
+) -> FastHashMap<usize, AssocProfile> {
     let mut analyzers: Vec<AssocAnalyzer> = set_counts
         .iter()
-        .map(|&s| AssocAnalyzer::with_line_size(s, line_size))
+        .map(|&s| AssocAnalyzer::with_line_size_and_capacity(s, line_size, trace.len()))
         .collect();
-    for access in trace {
+    for access in trace.as_slice() {
         for a in &mut analyzers {
             a.observe(*access);
         }

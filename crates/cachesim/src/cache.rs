@@ -142,6 +142,18 @@ impl Cache {
         }
     }
 
+    /// Processes every reference of a contiguous slice.
+    ///
+    /// This is the pooled-replay hot path: iterating a materialized trace
+    /// slice monomorphizes the loop, where driving
+    /// [`access`](Cache::access) from a `Box<dyn Iterator>` pays a virtual
+    /// call per reference.
+    pub fn run(&mut self, trace: &[MemoryAccess]) {
+        for &access in trace {
+            self.access(access);
+        }
+    }
+
     /// Purges every resident line, counting pushes and write-back traffic
     /// (the paper's task-switch purge). Also invoked automatically per the
     /// configured [`purge_interval`](CacheConfig::purge_interval).

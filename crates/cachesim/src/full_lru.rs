@@ -7,9 +7,9 @@
 //! O(1) touch, insert and evict.
 
 use crate::core_ops::CoreOps;
+use crate::fast_hash::FastHashMap;
 use crate::line::Evicted;
 use smith85_trace::LineAddr;
-use std::collections::HashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -25,7 +25,7 @@ struct Node {
 #[derive(Debug, Clone)]
 pub(crate) struct FullLruCore {
     capacity: usize,
-    map: HashMap<u64, u32>,
+    map: FastHashMap<u64, u32>,
     slab: Vec<Node>,
     free: Vec<u32>,
     /// Most recently used node.
@@ -39,7 +39,7 @@ impl FullLruCore {
         assert!(capacity > 0, "cache must hold at least one line");
         FullLruCore {
             capacity,
-            map: HashMap::with_capacity(capacity * 2),
+            map: FastHashMap::with_capacity_and_hasher(capacity * 2, Default::default()),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,

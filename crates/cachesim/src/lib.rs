@@ -46,6 +46,7 @@ mod cache;
 mod config;
 mod core_ops;
 mod error;
+pub mod fast_hash;
 mod fenwick;
 mod full_lru;
 mod line;
@@ -60,6 +61,7 @@ pub use assoc_stack::{analyze_geometries, AssocAnalyzer, AssocProfile};
 pub use cache::Cache;
 pub use config::{CacheConfig, CacheConfigBuilder, FetchPolicy, Mapping, Replacement, WritePolicy};
 pub use error::ConfigError;
+pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet, FxHasher};
 pub use line::Evicted;
 pub use sector::{SectorCache, SectorCacheConfig};
 pub use stack::{StackAnalyzer, StackProfile};

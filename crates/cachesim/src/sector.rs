@@ -206,6 +206,13 @@ impl SectorCache {
             self.access(access);
         }
     }
+
+    /// Drives the cache with a contiguous trace slice (pooled replay).
+    pub fn run_slice(&mut self, trace: &[MemoryAccess]) {
+        for &access in trace {
+            self.access(access);
+        }
+    }
 }
 
 #[cfg(test)]

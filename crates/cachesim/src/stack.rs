@@ -11,10 +11,10 @@
 //! over "last access" timestamps, so a full Table 1 sweep over a 49-trace
 //! workload is one pass per trace instead of one per (trace, size) pair.
 
+use crate::fast_hash::FastHashMap;
 use crate::fenwick::Fenwick;
 use serde::{Deserialize, Serialize};
 use smith85_trace::{AccessKind, MemoryAccess, PAPER_LINE_SIZE};
-use std::collections::HashMap;
 
 /// Streaming stack-distance analyzer.
 ///
@@ -34,7 +34,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct StackAnalyzer {
     line_size: usize,
-    last_pos: HashMap<u64, usize>,
+    last_pos: FastHashMap<u64, usize>,
     fenwick: Fenwick,
     time: usize,
     hist: Vec<[u64; 3]>,
@@ -54,14 +54,28 @@ impl StackAnalyzer {
     ///
     /// Panics if `line_size` is not a positive power of two.
     pub fn with_line_size(line_size: usize) -> Self {
+        Self::with_line_size_and_capacity(line_size, 1024)
+    }
+
+    /// Creates an analyzer pre-sized for a trace of `expected_len`
+    /// references: the Fenwick tree is allocated at full length up front
+    /// (no mid-pass rebuild) and the last-access map gets a capacity hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a positive power of two.
+    pub fn with_line_size_and_capacity(line_size: usize, expected_len: usize) -> Self {
         assert!(
             line_size > 0 && line_size.is_power_of_two(),
             "line size must be a positive power of two, got {line_size}"
         );
+        // Footprints are far smaller than trace lengths; an eighth of the
+        // references is a generous distinct-line estimate.
+        let map_hint = (expected_len / 8).clamp(64, 1 << 20);
         StackAnalyzer {
             line_size,
-            last_pos: HashMap::new(),
-            fenwick: Fenwick::new(1024),
+            last_pos: FastHashMap::with_capacity_and_hasher(map_hint, Default::default()),
+            fenwick: Fenwick::new(expected_len.max(1024)),
             time: 0,
             hist: Vec::new(),
             cold: [0; 3],
@@ -94,6 +108,14 @@ impl StackAnalyzer {
             }
         }
         self.fenwick.add(t, 1);
+    }
+
+    /// Records every reference of a contiguous slice (the pooled-replay
+    /// hot path: no per-access iterator dispatch).
+    pub fn observe_slice(&mut self, trace: &[MemoryAccess]) {
+        for &access in trace {
+            self.observe(access);
+        }
     }
 
     fn grow(&mut self) {

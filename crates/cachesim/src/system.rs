@@ -30,6 +30,18 @@ pub trait Simulator {
             self.access(access);
         }
     }
+
+    /// Drives the simulator with a contiguous trace slice (the
+    /// pooled-replay hot path: a monomorphized loop with no per-access
+    /// iterator dispatch).
+    fn run_slice(&mut self, trace: &[MemoryAccess])
+    where
+        Self: Sized,
+    {
+        for &access in trace {
+            self.access(access);
+        }
+    }
 }
 
 /// A unified cache: one cache serving instruction fetches, reads and writes.

@@ -136,6 +136,12 @@ impl WriteBuffer {
         }
         self.flush();
     }
+
+    /// Runs a contiguous trace slice through the buffer (pooled replay)
+    /// and flushes.
+    pub fn run_slice(&mut self, trace: &[MemoryAccess]) {
+        self.run(trace.iter().copied());
+    }
 }
 
 #[cfg(test)]

@@ -166,3 +166,56 @@ proptest! {
         prop_assert_eq!(wb.occupancy(), 0);
     }
 }
+
+/// Naive LRU stack-distance reference built on `std` collections (SipHash
+/// maps, linear recency scan): the ground truth the fast-hash
+/// [`StackAnalyzer`] must reproduce bit-for-bit.
+fn reference_lru_misses(stream: &[MemoryAccess], line_size: usize, cache_bytes: usize) -> u64 {
+    let lines = cache_bytes / line_size;
+    let mut stack: Vec<u64> = Vec::new(); // most recent first
+    let mut misses = 0u64;
+    for a in stream {
+        let line = a.line(line_size).get();
+        match stack.iter().position(|&l| l == line) {
+            None => {
+                misses += 1; // cold
+                stack.insert(0, line);
+            }
+            Some(pos) => {
+                if pos + 1 > lines {
+                    misses += 1;
+                }
+                stack.remove(pos);
+                stack.insert(0, line);
+            }
+        }
+    }
+    misses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fast-hash `StackAnalyzer` (FxHash maps, Fenwick distances)
+    /// produces exactly the histogram a SipHash/linear-scan reference
+    /// does: identical miss counts at every size, for random streams.
+    /// Hash choice must never leak into results.
+    #[test]
+    fn fast_hash_stack_analyzer_matches_siphash_reference(stream in arb_stream(400)) {
+        let line_size = 16;
+        let mut a = smith85_cachesim::StackAnalyzer::with_line_size_and_capacity(
+            line_size,
+            stream.len(),
+        );
+        a.observe_slice(&stream);
+        let p = a.finish();
+        for cache_bytes in [16, 64, 256, 1024, 4096] {
+            prop_assert_eq!(
+                p.misses(cache_bytes),
+                reference_lru_misses(&stream, line_size, cache_bytes),
+                "divergence at {} bytes",
+                cache_bytes
+            );
+        }
+    }
+}

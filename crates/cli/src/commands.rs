@@ -44,7 +44,7 @@ USAGE:
           [--instr-alpha F] [--data-alpha F] [--seq F] [--stack F]
           [--arch vax|ibm370|z8000|cdc6400|m68000] [--len N] [--seed N]
       Build a custom workload profile, characterize it and sweep it.
-  smith85 experiment NAME [--quick true]
+  smith85 experiment NAME [--quick true] [--len N] [--threads N]
       Run a paper experiment (table1, table2, fig2, table3, fig3_4,
       prefetch, table5, clark, z80000, m68020, traffic_ratio,
       trace_length, multiprocessor, multiprogramming, calibration,
@@ -392,7 +392,7 @@ pub(crate) fn custom(opts: &Opts) -> Result<String, CliError> {
 }
 
 pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
-    opts.expect_only(&["quick", "len", "csv"])?;
+    opts.expect_only(&["quick", "len", "csv", "threads"])?;
     let name = opts
         .positional()
         .first()
@@ -407,6 +407,7 @@ pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
             .parse()
             .map_err(|_| CliError::usage(format!("bad --len {len:?}")))?;
     }
+    config.threads = opts.get_parse("threads", config.threads)?;
     let csv = opts.get("csv").is_some();
     let out = match name.as_str() {
         "table1" | "fig1" => {

@@ -138,13 +138,13 @@ pub fn run(config: &ExperimentConfig) -> Ablations {
     let profiles = representative_profiles();
 
     let line_size = parallel_map(config.threads, profiles.clone(), |p| {
+        let trace = config.pool.profile(&p, len);
+        let replay = &trace.as_slice()[..len];
         let mut miss_ratios = Vec::new();
         let mut traffic = Vec::new();
         for &ls in &LINE_SIZES {
-            let mut a = StackAnalyzer::with_line_size(ls);
-            for access in p.generator().take(len) {
-                a.observe(access);
-            }
+            let mut a = StackAnalyzer::with_line_size_and_capacity(ls, len);
+            a.observe_slice(replay);
             let prof = a.finish();
             let m = prof.miss_ratio(ABLATION_CACHE);
             miss_ratios.push(m);
@@ -165,19 +165,21 @@ pub fn run(config: &ExperimentConfig) -> Ablations {
         Mapping::SetAssociative(8),
         Mapping::FullyAssociative,
     ];
-    let associativity = parallel_map(config.threads, profiles.clone(), |p| AssocRow {
-        miss_ratios: mappings
-            .iter()
-            .map(|&m| {
-                let cfg = CacheConfig::builder(ABLATION_CACHE).mapping(m).build().expect("valid");
-                let mut c = Cache::new(cfg).expect("valid");
-                for access in p.generator().take(len) {
-                    c.access(access);
-                }
-                c.stats().miss_ratio()
-            })
-            .collect(),
-        name: p.name.clone(),
+    let associativity = parallel_map(config.threads, profiles.clone(), |p| {
+        let trace = config.pool.profile(&p, len);
+        let replay = &trace.as_slice()[..len];
+        AssocRow {
+            miss_ratios: mappings
+                .iter()
+                .map(|&m| {
+                    let cfg = CacheConfig::builder(ABLATION_CACHE).mapping(m).build().expect("valid");
+                    let mut c = Cache::new(cfg).expect("valid");
+                    c.run(replay);
+                    c.stats().miss_ratio()
+                })
+                .collect(),
+            name: p.name.clone(),
+        }
     });
 
     let policies = [
@@ -186,23 +188,25 @@ pub fn run(config: &ExperimentConfig) -> Ablations {
         Replacement::Fifo,
         Replacement::Random { seed: 85 },
     ];
-    let replacement = parallel_map(config.threads, profiles.clone(), |p| ReplacementRow {
-        miss_ratios: policies
-            .iter()
-            .map(|&r| {
-                let cfg = CacheConfig::builder(ABLATION_CACHE)
-                    .mapping(Mapping::SetAssociative(8))
-                    .replacement(r)
-                    .build()
-                    .expect("valid");
-                let mut c = Cache::new(cfg).expect("valid");
-                for access in p.generator().take(len) {
-                    c.access(access);
-                }
-                c.stats().miss_ratio()
-            })
-            .collect(),
-        name: p.name.clone(),
+    let replacement = parallel_map(config.threads, profiles.clone(), |p| {
+        let trace = config.pool.profile(&p, len);
+        let replay = &trace.as_slice()[..len];
+        ReplacementRow {
+            miss_ratios: policies
+                .iter()
+                .map(|&r| {
+                    let cfg = CacheConfig::builder(ABLATION_CACHE)
+                        .mapping(Mapping::SetAssociative(8))
+                        .replacement(r)
+                        .build()
+                        .expect("valid");
+                    let mut c = Cache::new(cfg).expect("valid");
+                    c.run(replay);
+                    c.stats().miss_ratio()
+                })
+                .collect(),
+            name: p.name.clone(),
+        }
     });
 
     let write_policies = [
@@ -213,12 +217,14 @@ pub fn run(config: &ExperimentConfig) -> Ablations {
         WritePolicy::WriteThrough { allocate: false },
     ];
     let write_policy = parallel_map(config.threads, profiles, |p| {
+        let trace = config.pool.profile(&p, len);
+        let replay = &trace.as_slice()[..len];
         let traffic: Vec<f64> = write_policies
             .iter()
             .map(|&wp| {
                 let cfg = CacheConfig::builder(ABLATION_CACHE).write_policy(wp).build().expect("valid");
                 let mut c = UnifiedCache::new(cfg).expect("valid");
-                c.run(p.generator().take(len));
+                c.run_slice(replay);
                 c.stats().traffic_bytes() as f64 / len as f64
             })
             .collect();
@@ -231,13 +237,14 @@ pub fn run(config: &ExperimentConfig) -> Ablations {
     });
 
     let write_combining = parallel_map(config.threads, representative_profiles(), |p| {
-        let trace = p.generate(len);
-        let stores = trace.iter().filter(|a| a.kind.is_write()).count();
+        let trace = config.pool.profile(&p, len);
+        let replay = &trace.as_slice()[..len];
+        let stores = replay.iter().filter(|a| a.kind.is_write()).count();
         let memory_writes_per_1000 = COMBINE_WIDTHS
             .iter()
             .map(|&width| {
                 let mut wb = WriteBuffer::new(4, width);
-                wb.run(trace.iter().copied());
+                wb.run_slice(replay);
                 1000.0 * wb.stats().memory_writes as f64 / len as f64
             })
             .collect();
@@ -253,11 +260,13 @@ pub fn run(config: &ExperimentConfig) -> Ablations {
         .filter(|w| matches!(w, Workload::Mix { .. }))
         .collect();
     let purge = parallel_map(config.threads, purge_workloads, |w| {
+        let trace = config.workload_trace(&w);
+        let replay = &trace.as_slice()[..len];
         let mut dirty = Vec::new();
         let mut miss = Vec::new();
         for &q in &PURGE_INTERVALS {
             let mut c = SplitCache::paper_split(16 * 1024, q).expect("valid");
-            c.run(w.stream().take(len));
+            c.run_slice(replay);
             dirty.push(c.data_stats().dirty_push_fraction());
             miss.push(c.total_stats().miss_ratio());
         }
@@ -385,6 +394,7 @@ mod tests {
                 trace_len: 90_000,
                 sizes: vec![4096],
                 threads: crate::sweep::default_threads(),
+                pool: Default::default(),
             })
         })
     }

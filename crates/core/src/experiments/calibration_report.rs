@@ -51,7 +51,13 @@ pub struct CalibrationReport {
 pub fn run(config: &ExperimentConfig) -> CalibrationReport {
     // Table 3 side: reuse the Table 3 experiment machinery.
     let t3_rows = parallel_map(config.threads, table3_workloads(), |w| {
-        table3::run_workload(&w, table3::HALF_SIZE, w.purge_interval(), config.trace_len)
+        let trace = config.workload_trace(&w);
+        table3::run_workload(
+            &w,
+            table3::HALF_SIZE,
+            w.purge_interval(),
+            &trace.as_slice()[..config.trace_len],
+        )
     });
     let mut table3_cmp = Vec::new();
     for row in &t3_rows {
@@ -67,9 +73,11 @@ pub fn run(config: &ExperimentConfig) -> CalibrationReport {
     // Group side: characterize and stack-analyze every trace once.
     let len = config.trace_len;
     let per_trace = parallel_map(config.threads, catalog::all(), |spec| {
+        let trace = config.profile_trace(spec.profile());
         let mut c = TraceCharacterizer::new();
-        let mut a = StackAnalyzer::new();
-        for access in spec.stream().take(len) {
+        let mut a =
+            StackAnalyzer::with_line_size_and_capacity(smith85_trace::PAPER_LINE_SIZE, len);
+        for &access in &trace.as_slice()[..len] {
             c.observe(access);
             a.observe(access);
         }
@@ -172,6 +180,7 @@ mod tests {
                 trace_len: 60_000,
                 sizes: vec![1024],
                 threads: crate::sweep::default_threads(),
+                pool: Default::default(),
             })
         })
     }

@@ -48,10 +48,10 @@ pub fn run(config: &ExperimentConfig) -> ClarkValidation {
         .collect();
     let len = config.trace_len;
     let profiles = parallel_map(config.threads, vax, |spec| {
-        let mut a = StackAnalyzer::new();
-        for access in spec.stream().take(len) {
-            a.observe(access);
-        }
+        let trace = config.profile_trace(spec.profile());
+        let mut a =
+            StackAnalyzer::with_line_size_and_capacity(smith85_trace::PAPER_LINE_SIZE, len);
+        a.observe_slice(&trace.as_slice()[..len]);
         a.finish()
     });
     let rows = [clark83::FULL_CACHE, clark83::HALF_CACHE]
@@ -116,6 +116,7 @@ mod tests {
             trace_len: 20_000,
             sizes: vec![8192],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

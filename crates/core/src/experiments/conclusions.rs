@@ -204,6 +204,7 @@ mod tests {
             trace_len: 30_000,
             sizes: vec![256, 1024, 8192],
             threads: crate::sweep::default_threads(),
+            pool: Default::default(),
         }
     }
 

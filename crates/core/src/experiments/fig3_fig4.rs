@@ -30,8 +30,14 @@ pub struct Fig3Fig4 {
     pub rows: Vec<SplitMissRow>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Memoized in the config's shared pool — `table5`
+/// re-derives the split curves under the same configuration.
 pub fn run(config: &ExperimentConfig) -> Fig3Fig4 {
+    let key = format!("fig3_4/{}/{:?}", config.trace_len, config.sizes);
+    (*config.pool.result(&key, || compute(config))).clone()
+}
+
+fn compute(config: &ExperimentConfig) -> Fig3Fig4 {
     let sizes = config.sizes.clone();
     let len = config.trace_len;
     let jobs: Vec<_> = table3_workloads()
@@ -39,9 +45,10 @@ pub fn run(config: &ExperimentConfig) -> Fig3Fig4 {
         .flat_map(|w| sizes.iter().map(move |&s| (w.clone(), s)).collect::<Vec<_>>())
         .collect();
     let results = parallel_map(config.threads, jobs, |(w, size)| {
+        let trace = config.workload_trace(&w);
         let mut cache =
             SplitCache::paper_split(size, w.purge_interval()).expect("valid split config");
-        cache.run(w.stream().take(len));
+        cache.run_slice(&trace.as_slice()[..len]);
         (
             w.name().to_string(),
             size,
@@ -121,6 +128,7 @@ mod tests {
             trace_len: 25_000,
             sizes: vec![256, 2048],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -75,10 +75,12 @@ pub fn run(config: &ExperimentConfig) -> FudgeValidation {
             let misses: Vec<f64> = specs
                 .iter()
                 .map(|s| {
-                    let mut a = StackAnalyzer::new();
-                    for access in s.stream().take(len) {
-                        a.observe(access);
-                    }
+                    let trace = config.profile_trace(s.profile());
+                    let mut a = StackAnalyzer::with_line_size_and_capacity(
+                        smith85_trace::PAPER_LINE_SIZE,
+                        len,
+                    );
+                    a.observe_slice(&trace.as_slice()[..len]);
                     a.finish().miss_ratio(EVAL_SIZE)
                 })
                 .collect();
@@ -158,6 +160,7 @@ mod tests {
             trace_len: 25_000,
             sizes: vec![EVAL_SIZE],
             threads: crate::sweep::default_threads(),
+            pool: Default::default(),
         }
     }
 

@@ -51,10 +51,12 @@ pub fn run(config: &ExperimentConfig) -> InterfaceEffects {
         .map(|n| catalog::by_name(n).unwrap_or_else(|| panic!("{n} missing")))
         .collect();
     let rows = parallel_map(config.threads, specs, |spec| {
+        let trace = config.pool.profile(spec.profile(), len);
         let refs_per_1000 = INTERFACES
             .iter()
             .map(|&iface| {
-                let n = InterfaceAdapter::new(spec.stream().take(len), iface).count();
+                let replay = trace.as_slice()[..len].iter().copied();
+                let n = InterfaceAdapter::new(replay, iface).count();
                 1000.0 * n as f64 / len as f64
             })
             .collect();
@@ -100,6 +102,7 @@ mod tests {
             trace_len: 20_000,
             sizes: vec![1024],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -66,17 +66,15 @@ fn argmin(xs: &[f64]) -> usize {
 pub fn run(config: &ExperimentConfig) -> LineSizeStudy {
     let len = config.trace_len;
     let rows = parallel_map(config.threads, table3_workloads(), move |w: Workload| {
-        // One analyzer pass per line size covers every cache size.
+        // One analyzer pass per line size covers every cache size, all
+        // replaying the same pooled trace.
+        let trace = config.workload_trace(&w);
+        let replay = &trace.as_slice()[..len];
+        let demanded_bytes: u64 = replay.iter().map(|a| a.size as u64).sum();
         let mut profiles = Vec::new();
-        let mut demanded_bytes = 0u64;
-        for (k, &ls) in LINE_SIZES.iter().enumerate() {
-            let mut a = StackAnalyzer::with_line_size(ls);
-            for access in w.stream().take(len) {
-                if k == 0 {
-                    demanded_bytes += access.size as u64;
-                }
-                a.observe(access);
-            }
+        for &ls in LINE_SIZES.iter() {
+            let mut a = StackAnalyzer::with_line_size_and_capacity(ls, len);
+            a.observe_slice(replay);
             profiles.push(a.finish());
         }
         let per_ref_demand = demanded_bytes as f64 / len as f64;
@@ -170,6 +168,7 @@ mod tests {
             trace_len: 25_000,
             sizes: vec![1024],
             threads: crate::sweep::default_threads(),
+            pool: Default::default(),
         }
     }
 

@@ -48,7 +48,12 @@ pub struct M68020Study {
     pub line16_mean: f64,
 }
 
-fn icache_miss(w: &crate::experiments::Workload, line: usize, fetch: FetchPolicy, len: usize) -> f64 {
+fn icache_miss(
+    w: &crate::experiments::Workload,
+    line: usize,
+    fetch: FetchPolicy,
+    ifetches: &[smith85_trace::MemoryAccess],
+) -> f64 {
     let config = CacheConfig::builder(CACHE_BYTES)
         .line_size(line)
         .fetch_policy(fetch)
@@ -56,21 +61,25 @@ fn icache_miss(w: &crate::experiments::Workload, line: usize, fetch: FetchPolicy
         .build()
         .expect("valid M68020 configuration");
     let mut cache = Cache::new(config).expect("valid config");
-    for access in w.stream().filter(|a| a.kind.is_ifetch()).take(len) {
-        cache.access(access);
-    }
+    cache.run(ifetches);
     cache.stats().miss_ratio()
 }
 
 /// Runs the study.
 pub fn run(config: &ExperimentConfig) -> M68020Study {
     let len = config.trace_len / 2; // instruction refs only
-    let rows = parallel_map(config.threads, table3_workloads(), |w| M68020Row {
-        name: w.name().to_string(),
-        line4_demand: icache_miss(&w, 4, FetchPolicy::Demand, len),
-        line4_prefetch: icache_miss(&w, 4, FetchPolicy::PrefetchAlways, len),
-        line16_demand: icache_miss(&w, 16, FetchPolicy::Demand, len),
-        line16_prefetch: icache_miss(&w, 16, FetchPolicy::PrefetchAlways, len),
+    let rows = parallel_map(config.threads, table3_workloads(), |w| {
+        // The filtered stream is not a prefix of the full trace, so it
+        // pools under its own key and is shared by all four variants.
+        let trace = config.pool.ifetch_workload(&w, len);
+        let ifetches = &trace.as_slice()[..len];
+        M68020Row {
+            name: w.name().to_string(),
+            line4_demand: icache_miss(&w, 4, FetchPolicy::Demand, ifetches),
+            line4_prefetch: icache_miss(&w, 4, FetchPolicy::PrefetchAlways, ifetches),
+            line16_demand: icache_miss(&w, 16, FetchPolicy::Demand, ifetches),
+            line16_prefetch: icache_miss(&w, 16, FetchPolicy::PrefetchAlways, ifetches),
+        }
     });
     let line4: Vec<f64> = rows.iter().map(|r| r.line4_demand).collect();
     let line16: Vec<f64> = rows.iter().map(|r| r.line16_demand).collect();
@@ -122,6 +131,7 @@ mod tests {
             trace_len: 30_000,
             sizes: vec![256],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

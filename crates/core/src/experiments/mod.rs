@@ -28,10 +28,14 @@ pub mod traffic_ratio;
 pub mod z80000;
 
 use crate::sweep;
+use crate::trace_pool::TracePool;
 use smith85_cachesim::PAPER_SIZES;
 use smith85_synth::{catalog, ProfileError, ProgramProfile};
 use smith85_trace::mix::RoundRobinMix;
-use smith85_trace::{MachineArch, MemoryAccess, PAPER_PURGE_INTERVAL, PAPER_PURGE_INTERVAL_M68000};
+use smith85_trace::{
+    MachineArch, MemoryAccess, Trace, PAPER_PURGE_INTERVAL, PAPER_PURGE_INTERVAL_M68000,
+};
+use std::sync::Arc;
 
 /// Common experiment parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +46,10 @@ pub struct ExperimentConfig {
     pub sizes: Vec<usize>,
     /// Worker threads for the simulation grid.
     pub threads: usize,
+    /// Shared generate-once/replay-many trace cache. Cloning the config
+    /// clones the *handle*: every experiment run from the same config (the
+    /// whole suite) replays the same materialized traces.
+    pub pool: TracePool,
 }
 
 impl ExperimentConfig {
@@ -51,6 +59,7 @@ impl ExperimentConfig {
             trace_len: 250_000,
             sizes: PAPER_SIZES.to_vec(),
             threads: sweep::default_threads(),
+            pool: TracePool::new(),
         }
     }
 
@@ -60,7 +69,22 @@ impl ExperimentConfig {
             trace_len: 30_000,
             sizes: vec![64, 256, 1024, 4096, 16384],
             threads: sweep::default_threads(),
+            pool: TracePool::new(),
         }
+    }
+
+    /// The pooled trace for `workload` at this config's
+    /// [`trace_len`](Self::trace_len). Bit-identical to
+    /// `workload.stream().take(trace_len)`; the buffer is shared, so treat
+    /// it as read-only and slice to `trace_len`.
+    pub fn workload_trace(&self, workload: &Workload) -> Arc<Trace> {
+        self.pool.workload(workload, self.trace_len)
+    }
+
+    /// The pooled trace for a single `profile` at this config's
+    /// [`trace_len`](Self::trace_len).
+    pub fn profile_trace(&self, profile: &ProgramProfile) -> Arc<Trace> {
+        self.pool.profile(profile, self.trace_len)
     }
 }
 

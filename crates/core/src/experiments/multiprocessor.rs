@@ -56,6 +56,8 @@ pub fn run(config: &ExperimentConfig) -> MultiprocessorStudy {
     let bus = SharedBus::TYPICAL_1985;
     let machine = MachineModel::MICRO_32;
     let rows = parallel_map(config.threads, table3_workloads(), move |w| {
+        let trace = config.workload_trace(&w);
+        let replay = &trace.as_slice()[..len];
         let measure = |fetch: FetchPolicy| {
             let cfg = CacheConfig::builder(CACHE_BYTES)
                 .fetch_policy(fetch)
@@ -63,7 +65,7 @@ pub fn run(config: &ExperimentConfig) -> MultiprocessorStudy {
                 .build()
                 .expect("valid configuration");
             let mut cache = UnifiedCache::new(cfg).expect("valid config");
-            cache.run(w.stream().take(len));
+            cache.run_slice(replay);
             let s = cache.stats();
             (
                 s.miss_ratio(),
@@ -135,6 +137,7 @@ mod tests {
             trace_len: 30_000,
             sizes: vec![CACHE_BYTES],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -15,7 +15,6 @@ use crate::sweep::parallel_map;
 use serde::{Deserialize, Serialize};
 use smith85_cachesim::{CacheConfig, Simulator, UnifiedCache};
 use smith85_synth::catalog;
-use smith85_trace::mix::RoundRobinMix;
 use smith85_trace::PAPER_PURGE_INTERVAL;
 
 /// Degrees of multiprogramming swept.
@@ -55,15 +54,23 @@ pub fn run(config: &ExperimentConfig) -> MultiprogrammingStudy {
     let len = config.trace_len;
     let rows = parallel_map(config.threads, DEGREES.to_vec(), move |degree| {
         let members: Vec<_> = pool().into_iter().take(degree).collect();
-        let names = members.iter().map(|p| p.name.clone()).collect();
+        let names: Vec<String> = members.iter().map(|p| p.name.clone()).collect();
+        // A Mix workload's stream is exactly this round-robin (VAX members
+        // use the 20,000-reference quantum), so the pool can share the
+        // materialized mix across the watch sizes.
+        let mix = crate::experiments::Workload::Mix {
+            name: format!("degree-{degree}"),
+            members,
+        };
+        debug_assert_eq!(mix.purge_interval(), PAPER_PURGE_INTERVAL);
+        let trace = config.pool.workload(&mix, len);
+        let replay = &trace.as_slice()[..len];
         let miss = WATCH_SIZES
             .iter()
             .map(|&size| {
-                let streams: Vec<_> = members.iter().map(|p| p.generator()).collect();
-                let mix = RoundRobinMix::new(streams, PAPER_PURGE_INTERVAL);
                 let cfg = CacheConfig::builder(size).build().expect("valid");
                 let mut cache = UnifiedCache::new(cfg).expect("valid");
-                cache.run(mix.take(len));
+                cache.run_slice(replay);
                 cache.stats().miss_ratio()
             })
             .collect();
@@ -107,6 +114,7 @@ mod tests {
             trace_len: 120_000,
             sizes: vec![16 * 1024],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -69,13 +69,18 @@ pub fn run(config: &ExperimentConfig) -> Perturbations {
             cache.stats().miss_ratio()
         };
         let seed = spec.profile().seed;
+        // The adapters only insert references (each output consumes at most
+        // one input), so feeding them a pooled length-`len` prefix and taking
+        // `len` outputs is bit-identical to wrapping the infinite stream.
+        let trace = config.pool.profile(spec.profile(), len);
+        let replay = || trace.as_slice()[..len].iter().copied();
         PerturbationRow {
             name: spec.name().to_string(),
-            pure_unpurged: miss(Box::new(spec.stream()), None),
-            pure_purged: miss(Box::new(spec.stream()), Some(20_000)),
+            pure_unpurged: miss(Box::new(replay()), None),
+            pure_purged: miss(Box::new(replay()), Some(20_000)),
             with_interrupts: miss(
                 Box::new(WithInterrupts::new(
-                    spec.stream(),
+                    replay(),
                     INTERRUPT_SPACING,
                     INTERRUPT_BURST,
                     seed,
@@ -84,7 +89,7 @@ pub fn run(config: &ExperimentConfig) -> Perturbations {
             ),
             with_dma: miss(
                 Box::new(WithDma::new(
-                    spec.stream(),
+                    replay(),
                     DMA_SPACING,
                     DMA_BURST,
                     16 * 1024,
@@ -134,6 +139,7 @@ mod tests {
             trace_len: 60_000,
             sizes: vec![CACHE_BYTES],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

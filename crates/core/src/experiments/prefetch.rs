@@ -94,7 +94,7 @@ struct Cell {
     data: PolicyPair,
 }
 
-fn simulate_cell(w: &Workload, size: usize, len: usize) -> Cell {
+fn simulate_cell(w: &Workload, size: usize, trace: &[smith85_trace::MemoryAccess]) -> Cell {
     let purge = w.purge_interval();
     let config_for = |fetch: FetchPolicy, purged: bool| {
         CacheConfig::builder(size)
@@ -105,13 +105,13 @@ fn simulate_cell(w: &Workload, size: usize, len: usize) -> Cell {
     };
     let run_unified = |fetch: FetchPolicy| {
         let mut c = UnifiedCache::new(config_for(fetch, true)).expect("valid config");
-        c.run(w.stream().take(len));
+        c.run_slice(trace);
         *c.stats()
     };
     let run_split = |fetch: FetchPolicy| {
         let cfg = config_for(fetch, false);
         let mut c = SplitCache::new(cfg, cfg, Some(purge)).expect("valid config");
-        c.run(w.stream().take(len));
+        c.run_slice(trace);
         (*c.instruction_stats(), *c.data_stats())
     };
     let ud = run_unified(FetchPolicy::Demand);
@@ -131,8 +131,14 @@ fn simulate_cell(w: &Workload, size: usize, len: usize) -> Cell {
     }
 }
 
-/// Runs the study.
+/// Runs the study. Memoized in the config's shared pool — the heaviest
+/// simulation grid in the suite, and `conclusions` re-derives it.
 pub fn run(config: &ExperimentConfig) -> PrefetchStudy {
+    let key = format!("prefetch/{}/{:?}", config.trace_len, config.sizes);
+    (*config.pool.result(&key, || compute(config))).clone()
+}
+
+fn compute(config: &ExperimentConfig) -> PrefetchStudy {
     let sizes = config.sizes.clone();
     let len = config.trace_len;
     let jobs: Vec<_> = table3_workloads()
@@ -140,7 +146,9 @@ pub fn run(config: &ExperimentConfig) -> PrefetchStudy {
         .flat_map(|w| sizes.iter().map(move |&s| (w.clone(), s)).collect::<Vec<_>>())
         .collect();
     let cells = parallel_map(config.threads, jobs, |(w, size)| {
-        (w.name().to_string(), size, simulate_cell(&w, size, len))
+        let trace = config.workload_trace(&w);
+        let cell = simulate_cell(&w, size, &trace.as_slice()[..len]);
+        (w.name().to_string(), size, cell)
     });
 
     let mut rows = Vec::new();
@@ -308,6 +316,7 @@ mod tests {
             trace_len: 25_000,
             sizes: vec![512, 8192],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

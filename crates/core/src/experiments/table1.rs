@@ -35,8 +35,15 @@ pub struct Table1 {
     pub group_averages: Vec<(String, Vec<f64>)>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The result is memoized in the config's shared
+/// pool: `table5` and `conclusions` re-derive Table 1 under the same
+/// configuration and get the stored result instead of re-simulating.
 pub fn run(config: &ExperimentConfig) -> Table1 {
+    let key = format!("table1/{}/{:?}", config.trace_len, config.sizes);
+    (*config.pool.result(&key, || compute(config))).clone()
+}
+
+fn compute(config: &ExperimentConfig) -> Table1 {
     let jobs: Vec<(String, String, smith85_synth::ProgramProfile)> = catalog::all()
         .iter()
         .flat_map(|spec| {
@@ -49,10 +56,10 @@ pub fn run(config: &ExperimentConfig) -> Table1 {
     let sizes = config.sizes.clone();
     let len = config.trace_len;
     let rows = parallel_map(config.threads, jobs, |(name, group, profile)| {
-        let mut analyzer = StackAnalyzer::new();
-        for access in profile.generator().take(len) {
-            analyzer.observe(access);
-        }
+        let trace = config.profile_trace(&profile);
+        let mut analyzer =
+            StackAnalyzer::with_line_size_and_capacity(smith85_trace::PAPER_LINE_SIZE, len);
+        analyzer.observe_slice(&trace.as_slice()[..len]);
         let p = analyzer.finish();
         Table1Row {
             name,
@@ -159,6 +166,7 @@ mod tests {
             trace_len: 6_000,
             sizes: vec![256, 1024, 8192],
             threads: 2,
+            pool: Default::default(),
         }
     }
 

@@ -51,8 +51,9 @@ pub struct Table2 {
 pub fn run(config: &ExperimentConfig) -> Table2 {
     let len = config.trace_len;
     let rows = parallel_map(config.threads, catalog::all(), |spec| {
+        let trace = config.profile_trace(spec.profile());
         let mut c = TraceCharacterizer::new();
-        for access in spec.stream().take(len) {
+        for &access in &trace.as_slice()[..len] {
             c.observe(access);
         }
         let s = c.finish();
@@ -132,6 +133,7 @@ mod tests {
             trace_len: 8_000,
             sizes: vec![1024],
             threads: 2,
+            pool: Default::default(),
         }
     }
 
@@ -177,6 +179,7 @@ mod tests {
             trace_len: 40_000,
             sizes: vec![1024],
             threads: 4,
+            pool: Default::default(),
         };
         let t = run(&cfg);
         let aspace = |label: &str| {

@@ -47,25 +47,32 @@ pub fn run(config: &ExperimentConfig) -> Table3 {
 }
 
 /// Runs the experiment with a non-default cache half size (used by the
-/// purge-interval and cache-size ablations).
+/// purge-interval and cache-size ablations). Memoized per half size in
+/// the config's shared pool, so `conclusions` re-deriving the 4 KiB row
+/// set does not re-simulate it.
 pub fn run_with_half_size(config: &ExperimentConfig, half_size: usize) -> Table3 {
-    let len = config.trace_len;
-    let rows = parallel_map(config.threads, table3_workloads(), |w| {
-        run_workload(&w, half_size, w.purge_interval(), len)
+    let key = format!("table3/{half_size}/{}", config.trace_len);
+    let shared = config.pool.result(&key, || {
+        let len = config.trace_len;
+        let rows = parallel_map(config.threads, table3_workloads(), |w| {
+            let trace = config.workload_trace(&w);
+            run_workload(&w, half_size, w.purge_interval(), &trace.as_slice()[..len])
+        });
+        summarize(rows)
     });
-    summarize(rows)
+    (*shared).clone()
 }
 
-/// Simulates one workload and returns its row.
+/// Simulates one workload's (pooled) trace and returns its row.
 pub(crate) fn run_workload(
     workload: &Workload,
     half_size: usize,
     purge_interval: u64,
-    len: usize,
+    trace: &[smith85_trace::MemoryAccess],
 ) -> Table3Row {
     let mut cache = SplitCache::paper_split(half_size, purge_interval)
         .expect("paper split configuration is valid");
-    cache.run(workload.stream().take(len));
+    cache.run_slice(trace);
     let d = cache.data_stats();
     Table3Row {
         name: workload.name().to_string(),
@@ -123,6 +130,7 @@ mod tests {
             trace_len: 45_000, // at least two purge cycles
             sizes: vec![1024],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -124,6 +124,7 @@ mod tests {
             trace_len: 12_000,
             sizes: vec![256, 4096],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -54,14 +54,18 @@ pub fn run(config: &ExperimentConfig) -> TraceLengthStudy {
     let lens = lengths.clone();
     let rows = parallel_map(config.threads, specs, move |spec| {
         // One pass at the longest prefix would not give prefix curves (the
-        // histogram is cumulative), so run one analyzer per prefix.
+        // histogram is cumulative), so run one analyzer per prefix — every
+        // prefix is a slice of the same pooled trace.
+        let longest = lens.last().copied().unwrap_or(0);
+        let trace = config.pool.profile(spec.profile(), longest);
         let miss = lens
             .iter()
             .map(|&len| {
-                let mut a = StackAnalyzer::new();
-                for access in spec.stream().take(len) {
-                    a.observe(access);
-                }
+                let mut a = StackAnalyzer::with_line_size_and_capacity(
+                    smith85_trace::PAPER_LINE_SIZE,
+                    len,
+                );
+                a.observe_slice(&trace.as_slice()[..len]);
                 let p = a.finish();
                 WATCH_SIZES.iter().map(|&s| p.miss_ratio(s)).collect()
             })
@@ -128,6 +132,7 @@ mod tests {
             trace_len: 80_000,
             sizes: vec![1024],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -37,11 +37,19 @@ pub struct TrafficRatioStudy {
     pub rows: Vec<TrafficRatioRow>,
 }
 
-/// Runs the study.
+/// Runs the study. Memoized in the config's shared pool, so the
+/// `conclusions` re-derivation is free under the suite's configuration.
 pub fn run(config: &ExperimentConfig) -> TrafficRatioStudy {
+    let key = format!("traffic_ratio/{}/{:?}", config.trace_len, config.sizes);
+    (*config.pool.result(&key, || compute(config))).clone()
+}
+
+fn compute(config: &ExperimentConfig) -> TrafficRatioStudy {
     let sizes = config.sizes.clone();
     let len = config.trace_len;
     let rows = parallel_map(config.threads, table3_workloads(), |w| {
+        let trace = config.workload_trace(&w);
+        let replay = &trace.as_slice()[..len];
         let ratio_for = |policy: WritePolicy, size: usize| {
             let cfg = CacheConfig::builder(size)
                 .write_policy(policy)
@@ -49,7 +57,7 @@ pub fn run(config: &ExperimentConfig) -> TrafficRatioStudy {
                 .build()
                 .expect("valid sweep configuration");
             let mut cache = UnifiedCache::new(cfg).expect("valid config");
-            cache.run(w.stream().take(len));
+            cache.run_slice(replay);
             cache.stats().traffic_ratio()
         };
         let copy_back: Vec<f64> = sizes
@@ -121,6 +129,7 @@ mod tests {
             trace_len: 25_000,
             sizes: vec![64, 1024, 16384],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -56,9 +56,10 @@ pub fn run(config: &ExperimentConfig) -> Z80000Study {
         .map(|proj| {
             let hit_of = |profiles: &[smith85_synth::ProgramProfile]| {
                 let hits = parallel_map(config.threads, profiles.to_vec(), |p| {
+                    let trace = config.profile_trace(&p);
                     let mut cache = SectorCache::new(SectorCacheConfig::z80000(proj.fetch_bytes))
                         .expect("Z80000 sector configuration is valid");
-                    cache.run(p.generator().take(len));
+                    cache.run_slice(&trace.as_slice()[..len]);
                     cache.stats().hit_ratio()
                 });
                 mean(&hits)
@@ -111,6 +112,7 @@ mod tests {
             trace_len: 20_000,
             sizes: vec![256],
             threads: 4,
+            pool: Default::default(),
         }
     }
 

@@ -20,6 +20,8 @@
 //!   multiprocessor argument;
 //! * [`report`], [`sweep`], [`stat_util`] — rendering, parallel sweeps,
 //!   percentiles;
+//! * [`trace_pool`] — the generate-once/replay-many trace cache every
+//!   sweep draws from;
 //! * [`runner`] — the checkpointed, resumable suite runner behind
 //!   `smith85 suite`;
 //! * [`guide`] — a guided tour of the three designer workflows, with
@@ -53,3 +55,6 @@ pub mod runner;
 pub mod stat_util;
 pub mod sweep;
 pub mod targets;
+pub mod trace_pool;
+
+pub use trace_pool::{PoolStats, TracePool};

@@ -231,7 +231,7 @@ pub fn run_suite_with(
         // even if the process dies mid-suite.
         write_atomic(
             &opts.out_dir.join("manifest.json"),
-            &manifest_json(&hash, &outcomes),
+            &manifest_json(&hash, config.threads, &outcomes),
         )?;
     }
     Ok(SuiteReport {
@@ -293,10 +293,11 @@ fn result_json(name: &str, hash: &str, duration_ms: u64, rendered: &str) -> Stri
     )
 }
 
-fn manifest_json(hash: &str, outcomes: &[ExperimentOutcome]) -> String {
+fn manifest_json(hash: &str, threads: usize, outcomes: &[ExperimentOutcome]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"config_hash\": \"{hash}\",\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         let error = match &o.error {
@@ -342,6 +343,7 @@ mod tests {
             trace_len: 500,
             sizes: vec![256, 1024],
             threads: 1,
+            pool: Default::default(),
         }
     }
 
@@ -402,6 +404,7 @@ mod tests {
         let manifest = fs::read_to_string(out.join("manifest.json")).unwrap();
         assert!(manifest.contains("\"status\": \"fail\""), "{manifest}");
         assert!(manifest.contains("deliberate failure"), "{manifest}");
+        assert!(manifest.contains("\"threads\": 1"), "{manifest}");
         assert!(out.join("ok_a.json").exists());
         assert!(!out.join("boom.json").exists());
         fs::remove_dir_all(&out).unwrap();

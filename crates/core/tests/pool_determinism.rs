@@ -1,0 +1,62 @@
+//! Generate-once/replay-many determinism: a trace served by the shared
+//! [`TracePool`] must be bit-identical to fresh generation, for a
+//! representative of every Table 1 workload group and for mix workloads.
+//! This is the property the whole pooling optimisation rests on —
+//! replaying a pooled prefix may never change a result.
+
+use smith85_core::experiments::{table3_workloads, Workload};
+use smith85_core::TracePool;
+use smith85_synth::catalog;
+
+const LEN: usize = 30_000;
+
+#[test]
+fn pooled_replay_is_bit_identical_for_every_table1_group() {
+    let pool = TracePool::new();
+    let mut groups_seen = Vec::new();
+    for spec in catalog::all() {
+        let group = spec.group();
+        if groups_seen.contains(&group) {
+            continue; // one representative per workload group
+        }
+        groups_seen.push(group);
+        // Table 1 rows are per-section profiles; check each of them.
+        for profile in spec.section_profiles() {
+            let pooled = pool.profile(&profile, LEN);
+            let fresh = profile.generate(LEN);
+            assert_eq!(
+                pooled.as_slice(),
+                fresh.as_slice(),
+                "pooled replay diverges from fresh generation for {} ({group})",
+                profile.name
+            );
+            // A shorter request must be a prefix of the pooled trace.
+            let short = pool.profile(&profile, LEN / 2);
+            assert_eq!(
+                &short.as_slice()[..LEN / 2],
+                &fresh.as_slice()[..LEN / 2],
+                "prefix property broken for {}",
+                profile.name
+            );
+        }
+    }
+    assert!(groups_seen.len() >= 7, "only {} groups covered", groups_seen.len());
+}
+
+#[test]
+fn pooled_mix_workloads_are_bit_identical_to_streams() {
+    let pool = TracePool::new();
+    for w in table3_workloads() {
+        if !matches!(w, Workload::Mix { .. }) {
+            continue;
+        }
+        let pooled = pool.workload(&w, LEN);
+        let fresh: Vec<_> = w.stream().take(LEN).collect();
+        assert_eq!(
+            pooled.as_slice(),
+            fresh.as_slice(),
+            "pooled mix {} diverges from its stream",
+            w.name()
+        );
+    }
+}

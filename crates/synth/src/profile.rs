@@ -182,7 +182,9 @@ impl ProgramProfile {
     ///
     /// Panics under the same conditions as [`generator`](Self::generator).
     pub fn generate(&self, len: usize) -> Trace {
-        self.generator().take(len).collect()
+        let mut trace = Trace::with_capacity(len);
+        trace.extend(self.generator().take(len));
+        trace
     }
 
     /// Materializes the trace at the length the paper used.

@@ -20,6 +20,7 @@ fn experiments_are_invariant_to_thread_count() {
         trace_len: 8_000,
         sizes: vec![256, 4096],
         threads,
+        pool: Default::default(),
     };
     let serial = table1::run(&config(1));
     let parallel = table1::run(&config(8));
@@ -55,6 +56,7 @@ fn table1_golden_values() {
         trace_len: 10_000,
         sizes: vec![1024],
         threads: 4,
+        pool: Default::default(),
     };
     let t = table1::run(&config);
     let mvs1 = &t.rows[0];

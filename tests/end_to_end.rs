@@ -12,6 +12,7 @@ fn cfg() -> ExperimentConfig {
         trace_len: 25_000,
         sizes: vec![256, 1024, 8192],
         threads: smith85::core::sweep::default_threads(),
+        pool: Default::default(),
     }
 }
 
@@ -34,6 +35,7 @@ fn table3_dirty_push_rule_of_thumb() {
         trace_len: 60_000,
         sizes: vec![1024],
         threads: smith85::core::sweep::default_threads(),
+        pool: Default::default(),
     };
     // A smaller half keeps replacement traffic alive at test lengths.
     let t = table3::run_with_half_size(&config, 4 * 1024);
@@ -114,6 +116,7 @@ fn z80000_story_end_to_end() {
         trace_len: 20_000,
         sizes: vec![256],
         threads: smith85::core::sweep::default_threads(),
+        pool: Default::default(),
     };
     let s = z80000::run(&config);
     // The 16-byte-transfer rows carry the paper's punchline.

@@ -60,6 +60,7 @@ fn experiment_results_compare_structurally() {
         trace_len: 4_000,
         sizes: vec![512],
         threads: 2,
+        pool: Default::default(),
     };
     let a = table1::run(&config);
     let b = table1::run(&config);
