@@ -1,0 +1,268 @@
+//! Load generator for the smith85-serve simulation service.
+//!
+//! Drives N concurrent TCP connections, each issuing a stream of
+//! `simulate` requests over a small set of catalog workloads (so the
+//! shared trace pool sees both misses and hits), and reports
+//! requests/sec plus p50/p95/p99 latency and the number of admission
+//! rejections:
+//!
+//! ```text
+//! cargo run --release -p smith85-bench --bin serve_load -- \
+//!     [quick|paper] [--addr HOST:PORT] [OUT.json]
+//! ```
+//!
+//! Without `--addr` the generator spawns an in-process server on an
+//! ephemeral port, which keeps the benchmark self-contained and
+//! runnable in CI. Results land in `OUT.json` (default
+//! `BENCH_serve.json`), documented in `EXPERIMENTS.md`.
+
+use smith85_serve::{CacheSpec, Client, Request, Response, ServeOptions, Server, SimulateSpec};
+use std::time::Instant;
+
+/// Workloads cycled through by every connection; repeats make the
+/// shared trace pool serve hits after the first materialization.
+const WORKLOADS: &[&str] = &["VCCOM", "ZGREP", "PL0", "TWOD"];
+
+/// Cache sizes cycled through per request.
+const SIZES: &[usize] = &[1 << 12, 1 << 14, 1 << 16];
+
+struct ModeConfig {
+    connections: usize,
+    requests_per_connection: usize,
+    trace_len: usize,
+}
+
+struct ConnectionOutcome {
+    latencies_ms: Vec<f64>,
+    rejections: u64,
+    errors: u64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0) * (sorted_ms.len() - 1) as f64;
+    sorted_ms[rank.round() as usize]
+}
+
+fn drive_connection(
+    addr: &str,
+    id: usize,
+    config: &ModeConfig,
+) -> Result<ConnectionOutcome, std::io::Error> {
+    let mut client = Client::connect(addr)?;
+    let mut outcome = ConnectionOutcome {
+        latencies_ms: Vec::with_capacity(config.requests_per_connection),
+        rejections: 0,
+        errors: 0,
+    };
+    for i in 0..config.requests_per_connection {
+        let pick = id + i;
+        let request = Request::Simulate(SimulateSpec {
+            workload: WORKLOADS[pick % WORKLOADS.len()].to_string(),
+            len: config.trace_len,
+            seed: None,
+            cache: CacheSpec {
+                size: SIZES[pick % SIZES.len()],
+                line: 16,
+                ways: None,
+                purge: None,
+            },
+            deadline_ms: None,
+        });
+        let start = Instant::now();
+        let response = client.call(&request)?;
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        match response {
+            Response::Simulate(_) => outcome.latencies_ms.push(elapsed_ms),
+            Response::Error(e) if e.code == smith85_serve::ErrorCode::Overloaded => {
+                outcome.rejections += 1;
+            }
+            _ => outcome.errors += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    mode: &str,
+    config: &ModeConfig,
+    target: &str,
+    completed: usize,
+    rejections: u64,
+    errors: u64,
+    wall_secs: f64,
+    sorted_ms: &[f64],
+    server_stats: Option<&smith85_serve::StatsResult>,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"smith85-serve-bench-v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"target\": \"{target}\",\n"));
+    s.push_str(&format!("  \"connections\": {},\n", config.connections));
+    s.push_str(&format!(
+        "  \"requests_per_connection\": {},\n",
+        config.requests_per_connection
+    ));
+    s.push_str(&format!("  \"trace_len\": {},\n", config.trace_len));
+    s.push_str(&format!("  \"completed\": {completed},\n"));
+    s.push_str(&format!("  \"rejected_overload\": {rejections},\n"));
+    s.push_str(&format!("  \"errors\": {errors},\n"));
+    s.push_str(&format!("  \"wall_secs\": {wall_secs:.6},\n"));
+    s.push_str(&format!(
+        "  \"requests_per_sec\": {:.1},\n",
+        completed as f64 / wall_secs.max(1e-12)
+    ));
+    s.push_str("  \"latency_ms\": {\n");
+    s.push_str(&format!("    \"p50\": {:.3},\n", percentile(sorted_ms, 50.0)));
+    s.push_str(&format!("    \"p95\": {:.3},\n", percentile(sorted_ms, 95.0)));
+    s.push_str(&format!("    \"p99\": {:.3},\n", percentile(sorted_ms, 99.0)));
+    s.push_str(&format!(
+        "    \"max\": {:.3}\n",
+        sorted_ms.last().copied().unwrap_or(0.0)
+    ));
+    s.push_str("  },\n");
+    match server_stats {
+        Some(stats) => {
+            s.push_str("  \"server\": {\n");
+            s.push_str(&format!(
+                "    \"queue_high_water\": {},\n",
+                stats.queue_high_water
+            ));
+            s.push_str(&format!("    \"workers\": {},\n", stats.workers));
+            s.push_str(&format!("    \"pool_hits\": {},\n", stats.pool.hits));
+            s.push_str(&format!("    \"pool_misses\": {}\n", stats.pool.misses));
+            s.push_str("  }\n");
+        }
+        None => s.push_str("  \"server\": null\n"),
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut mode = "paper".to_string();
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "quick" | "paper" => mode = arg,
+            "--addr" => addr = Some(args.next().expect("--addr needs HOST:PORT")),
+            other => out_path = other.to_string(),
+        }
+    }
+    let config = if mode == "quick" {
+        ModeConfig {
+            connections: 4,
+            requests_per_connection: 8,
+            trace_len: 10_000,
+        }
+    } else {
+        ModeConfig {
+            connections: 8,
+            requests_per_connection: 32,
+            trace_len: 50_000,
+        }
+    };
+
+    // Without --addr, run against an in-process server so the benchmark
+    // needs no prior setup (and CI can run it as-is).
+    let in_process = match addr {
+        Some(_) => None,
+        None => Some(
+            Server::spawn(ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServeOptions::default()
+            })
+            .expect("spawn in-process server"),
+        ),
+    };
+    let target = match (&addr, &in_process) {
+        (Some(a), _) => a.clone(),
+        (None, Some(server)) => server.addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+    let target_label = if addr.is_some() {
+        target.clone()
+    } else {
+        "in-process".to_string()
+    };
+
+    let start = Instant::now();
+    let outcomes: Vec<ConnectionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|id| {
+                let target = &target;
+                let config = &config;
+                scope.spawn(move || drive_connection(target, id, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread").expect("connection I/O"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut rejections = 0u64;
+    let mut errors = 0u64;
+    for outcome in &outcomes {
+        latencies.extend_from_slice(&outcome.latencies_ms);
+        rejections += outcome.rejections;
+        errors += outcome.errors;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let server_stats = {
+        let mut client = Client::connect(&target).expect("stats connection");
+        match client.call(&Request::Stats).expect("stats request") {
+            Response::Stats(stats) => Some(stats),
+            _ => None,
+        }
+    };
+    if let Some(server) = in_process {
+        server.stop().expect("clean shutdown");
+    }
+
+    let completed = latencies.len();
+    println!(
+        "{} connections x {} requests against {target_label}: {completed} completed, \
+         {rejections} rejected, {errors} errors in {:.2}s ({:.1} req/s)",
+        config.connections,
+        config.requests_per_connection,
+        wall_secs,
+        completed as f64 / wall_secs.max(1e-12),
+    );
+    println!(
+        "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+        latencies.last().copied().unwrap_or(0.0),
+    );
+    if let Some(stats) = &server_stats {
+        println!(
+            "server: queue high water {}, pool {} hits / {} misses",
+            stats.queue_high_water, stats.pool.hits, stats.pool.misses
+        );
+    }
+
+    let json = render_json(
+        &mode,
+        &config,
+        &target_label,
+        completed,
+        rejections,
+        errors,
+        wall_secs,
+        &latencies,
+        server_stats.as_ref(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark result file");
+    println!("wrote {out_path}");
+}

@@ -57,6 +57,19 @@ USAGE:
       status, and --resume true skips experiments already completed
       under the same configuration. A panicking experiment is recorded
       and the rest of the suite still runs.
+  smith85 serve [--addr HOST:PORT] [--unix PATH] [--workers N] [--queue N]
+          [--deadline-ms N]
+      Run the simulation server (newline-delimited JSON over TCP, plus a
+      Unix socket with --unix). Requests past the queue bound get a typed
+      \"overloaded\" rejection. Ctrl-C drains in-flight jobs and exits.
+  smith85 submit TYPE [--addr HOST:PORT] [--unix PATH] [--json true] ...
+      Send one request to a running server. TYPE is one of:
+        simulate --workload NAME --size BYTES [--len N] [--seed N]
+                 [--line BYTES] [--ways N|full] [--purge N] [--deadline-ms N]
+        sweep    --workload NAME [--len N] [--seed N] [--sizes a,b,c]
+                 [--line BYTES] [--deadline-ms N]
+        catalog | stats | ping | shutdown
+      --json true prints the raw response line instead of a summary.
 "
     .to_string()
 }
@@ -482,11 +495,274 @@ pub(crate) fn suite(opts: &Opts) -> Result<String, CliError> {
             }
         );
     })?;
+    let pool = pool_summary(&config.pool.stats());
     if report.is_success() {
-        Ok(format!("{report}\n"))
+        Ok(format!("{report}\n{pool}\n"))
     } else {
-        Err(CliError::Suite(report.to_string()))
+        Err(CliError::Suite(format!("{report}\n{pool}")))
     }
+}
+
+/// One-line trace-pool summary appended to the suite report.
+fn pool_summary(stats: &smith85_core::trace_pool::PoolStats) -> String {
+    format!(
+        "trace pool: {} entries ({} refs, {:.1} MiB resident), {} hits / {} misses ({:.0}% hit), {:.1} MiB materialized",
+        stats.entries,
+        stats.total_refs,
+        stats.memory_bytes as f64 / (1024.0 * 1024.0),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_ratio(),
+        stats.materialized_bytes as f64 / (1024.0 * 1024.0),
+    )
+}
+
+pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["addr", "unix", "workers", "queue", "deadline-ms"])?;
+    let mut options = smith85_serve::ServeOptions {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:4085").to_string(),
+        ..smith85_serve::ServeOptions::default()
+    };
+    options.unix_path = opts.get("unix").map(std::path::PathBuf::from);
+    options.workers = opts.get_parse("workers", options.workers)?.max(1);
+    options.queue_capacity = opts.get_parse("queue", options.queue_capacity)?;
+    if let Some(ms) = opts.get("deadline-ms") {
+        options.default_deadline_ms = Some(
+            ms.parse()
+                .map_err(|_| CliError::usage(format!("bad --deadline-ms {ms:?}")))?,
+        );
+    }
+    let (workers, queue) = (options.workers, options.queue_capacity);
+    let unix = options.unix_path.clone();
+    let server = smith85_serve::Server::bind(options)?;
+    // The banner goes to stderr immediately; the returned string only
+    // exists once the server has already shut down.
+    eprintln!(
+        "smith85-serve: listening on {} ({} workers, queue bound {}){}",
+        server.local_addr()?,
+        workers,
+        queue,
+        unix
+            .as_deref()
+            .map(|p| format!(", unix socket {}", p.display()))
+            .unwrap_or_default(),
+    );
+    eprintln!("smith85-serve: ctrl-c drains in-flight jobs and exits");
+    let stats = server.run()?;
+    Ok(format!(
+        "shut down after {} completed jobs ({} simulate, {} sweep admitted), \
+         {} overload rejections, {} protocol errors, {} deadline misses\n\
+         queue high water {}, pool: {} hits / {} misses, {:.1} MiB materialized\n",
+        stats.completed,
+        stats.simulate_requests,
+        stats.sweep_requests,
+        stats.rejected_overload,
+        stats.protocol_errors,
+        stats.deadline_misses,
+        stats.queue_high_water,
+        stats.pool.hits,
+        stats.pool.misses,
+        stats.pool.materialized_bytes as f64 / (1024.0 * 1024.0),
+    ))
+}
+
+fn parse_ways(value: Option<&str>) -> Result<Option<usize>, CliError> {
+    match value {
+        None | Some("full") => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::usage(format!("--ways {v:?} is not a number or \"full\""))),
+    }
+}
+
+fn build_request(kind: &str, opts: &Opts) -> Result<smith85_serve::Request, CliError> {
+    use smith85_serve::protocol::{DEFAULT_LINE_BYTES, DEFAULT_TRACE_LEN};
+    let deadline_ms = match opts.get("deadline-ms") {
+        None => None,
+        Some(ms) => Some(
+            ms.parse()
+                .map_err(|_| CliError::usage(format!("bad --deadline-ms {ms:?}")))?,
+        ),
+    };
+    let seed = match opts.get("seed") {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| CliError::usage(format!("bad --seed {s:?}")))?,
+        ),
+    };
+    match kind {
+        "simulate" => Ok(smith85_serve::Request::Simulate(smith85_serve::SimulateSpec {
+            workload: opts.require("workload")?.to_string(),
+            len: opts.get_parse("len", DEFAULT_TRACE_LEN)?,
+            seed,
+            cache: smith85_serve::CacheSpec {
+                size: opts.require("size")?.parse().map_err(|_| {
+                    CliError::usage(format!("--size {:?} is not a number", opts.get("size").unwrap_or("")))
+                })?,
+                line: opts.get_parse("line", DEFAULT_LINE_BYTES)?,
+                ways: parse_ways(opts.get("ways"))?,
+                purge: match opts.get("purge") {
+                    None => None,
+                    Some(p) => Some(
+                        p.parse()
+                            .map_err(|_| CliError::usage(format!("bad --purge {p:?}")))?,
+                    ),
+                },
+            },
+            deadline_ms,
+        })),
+        "sweep" => Ok(smith85_serve::Request::Sweep(smith85_serve::SweepSpec {
+            workload: opts.require("workload")?.to_string(),
+            len: opts.get_parse("len", DEFAULT_TRACE_LEN)?,
+            seed,
+            sizes: match opts.get("sizes") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| CliError::usage(format!("bad size {s:?} in --sizes")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
+            line: opts.get_parse("line", DEFAULT_LINE_BYTES)?,
+            deadline_ms,
+        })),
+        "catalog" => Ok(smith85_serve::Request::Catalog),
+        "stats" => Ok(smith85_serve::Request::Stats),
+        "ping" => Ok(smith85_serve::Request::Ping),
+        "shutdown" => Ok(smith85_serve::Request::Shutdown),
+        other => Err(CliError::usage(format!(
+            "unknown request type {other:?} (simulate, sweep, catalog, stats, ping, shutdown)"
+        ))),
+    }
+}
+
+fn render_response(response: &smith85_serve::Response) -> Result<String, CliError> {
+    use smith85_serve::Response;
+    let mut out = String::new();
+    match response {
+        Response::Simulate(r) => {
+            let _ = writeln!(out, "workload       {}", r.workload);
+            let _ = writeln!(out, "references     {}", r.refs);
+            let _ = writeln!(out, "cache bytes    {}", r.cache_bytes);
+            let _ = writeln!(out, "misses         {}", r.misses);
+            let _ = writeln!(out, "miss ratio     {:.6}", r.miss_ratio);
+            let _ = writeln!(out, "  instruction  {:.6}", r.instruction_miss_ratio);
+            let _ = writeln!(out, "  data         {:.6}", r.data_miss_ratio);
+            let _ = writeln!(out, "traffic bytes  {}", r.traffic_bytes);
+            let _ = writeln!(out, "queued/exec ms {} / {}", r.queue_ms, r.exec_ms);
+        }
+        Response::Sweep(r) => {
+            let _ = writeln!(out, "workload {} ({} refs)", r.workload, r.len);
+            let _ = writeln!(out, "{:>10}  miss ratio", "size");
+            for point in &r.points {
+                let _ = writeln!(out, "{:>10}  {:.6}", point.size, point.miss_ratio);
+            }
+            let _ = writeln!(out, "queued/exec ms {} / {}", r.queue_ms, r.exec_ms);
+        }
+        Response::Catalog(c) => {
+            let _ = writeln!(out, "{} profiles:", c.profiles.len());
+            for entry in &c.profiles {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:<12} {:<10} {}",
+                    entry.name, entry.group, entry.arch, entry.language
+                );
+            }
+            let _ = writeln!(out, "{} mixes:", c.mixes.len());
+            for mix in &c.mixes {
+                let _ = writeln!(out, "  {mix}");
+            }
+        }
+        Response::Stats(s) => {
+            let _ = writeln!(
+                out,
+                "requests: {} simulate, {} sweep, {} catalog, {} stats",
+                s.simulate_requests, s.sweep_requests, s.catalog_requests, s.stats_requests
+            );
+            let _ = writeln!(
+                out,
+                "jobs: {} completed, {} overload rejections, {} protocol errors, {} deadline misses",
+                s.completed, s.rejected_overload, s.protocol_errors, s.deadline_misses
+            );
+            let _ = writeln!(
+                out,
+                "queue: depth {}, high water {}, {} workers",
+                s.queue_depth, s.queue_high_water, s.workers
+            );
+            let _ = writeln!(
+                out,
+                "busy ms: {} simulate, {} sweep",
+                s.busy_ms_simulate, s.busy_ms_sweep
+            );
+            let _ = writeln!(
+                out,
+                "pool: {} entries, {} hits / {} misses, {:.1} MiB materialized, {:.1} MiB resident",
+                s.pool.entries,
+                s.pool.hits,
+                s.pool.misses,
+                s.pool.materialized_bytes as f64 / (1024.0 * 1024.0),
+                s.pool.resident_bytes as f64 / (1024.0 * 1024.0),
+            );
+        }
+        Response::Pong => out.push_str("pong\n"),
+        Response::Ok => out.push_str("ok (server is draining)\n"),
+        Response::Error(e) => {
+            return Err(CliError::Server(format!(
+                "server error [{}]: {}",
+                e.code.as_str(),
+                e.message
+            )))
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&[
+        "addr",
+        "unix",
+        "json",
+        "workload",
+        "len",
+        "seed",
+        "size",
+        "line",
+        "ways",
+        "purge",
+        "sizes",
+        "deadline-ms",
+    ])?;
+    let kind = opts
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| {
+            CliError::usage("need a request type: simulate, sweep, catalog, stats, ping or shutdown")
+        })?;
+    let request = build_request(kind, opts)?;
+    let mut client = match opts.get("unix") {
+        #[cfg(unix)]
+        Some(path) => smith85_serve::Client::connect_unix(std::path::Path::new(path))?,
+        #[cfg(not(unix))]
+        Some(_) => {
+            return Err(CliError::usage(
+                "--unix is only available on unix targets; use --addr",
+            ))
+        }
+        None => smith85_serve::Client::connect(opts.get("addr").unwrap_or("127.0.0.1:4085"))?,
+    };
+    let response = client.call(&request)?;
+    if opts.get("json").is_some() {
+        let mut line = response.encode();
+        line.push('\n');
+        return Ok(line);
+    }
+    render_response(&response)
 }
 
 #[cfg(test)]

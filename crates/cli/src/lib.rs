@@ -33,6 +33,8 @@ pub enum CliError {
     /// `smith85 suite` completed with failed experiments; the payload is
     /// the final report (the run itself was not aborted).
     Suite(String),
+    /// The simulation server answered a `submit` with a typed error.
+    Server(String),
 }
 
 impl CliError {
@@ -55,6 +57,7 @@ impl fmt::Display for CliError {
             CliError::Config(e) => e.fmt(f),
             CliError::File(e) => e.fmt(f),
             CliError::Suite(report) => write!(f, "suite finished with failures\n{report}"),
+            CliError::Server(m) => write!(f, "{m}"),
         }
     }
 }
@@ -113,6 +116,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "custom" => commands::custom(&opts),
         "experiment" => commands::experiment(&opts),
         "suite" => commands::suite(&opts),
+        "serve" => commands::serve(&opts),
+        "submit" => commands::submit(&opts),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
@@ -288,6 +293,56 @@ mod tests {
             "{err}"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_talks_to_a_live_server() {
+        let server = smith85_serve::Server::spawn(smith85_serve::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            ..smith85_serve::ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        let out = run_str(&["submit", "ping", "--addr", &addr]).unwrap();
+        assert_eq!(out, "pong\n");
+
+        let out = run_str(&["submit", "catalog", "--addr", &addr, "--json", "true"]).unwrap();
+        assert!(out.starts_with("{\"type\":\"catalog_result\""), "{out}");
+        assert!(out.contains("VCCOM"));
+
+        let out = run_str(&[
+            "submit", "simulate", "--addr", &addr, "--workload", "VCCOM", "--len", "3000",
+            "--size", "4096",
+        ])
+        .unwrap();
+        assert!(out.contains("miss ratio"), "{out}");
+
+        let err = run_str(&[
+            "submit", "simulate", "--addr", &addr, "--workload", "NOPE", "--size", "4096",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Server(m) if m.contains("unknown_workload")),
+            "{err}"
+        );
+
+        let stats = server.stop().unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.simulate_requests, 2);
+        assert_eq!(stats.catalog_requests, 1);
+    }
+
+    #[test]
+    fn submit_rejects_bad_request_types_locally() {
+        assert!(matches!(
+            run_str(&["submit", "frobnicate", "--addr", "127.0.0.1:1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["submit", "--addr", "127.0.0.1:1"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

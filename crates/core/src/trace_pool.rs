@@ -21,9 +21,10 @@ use crate::experiments::Workload;
 use smith85_synth::ProgramProfile;
 use smith85_trace::{MemoryAccess, Trace};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Shared, thread-safe trace cache. Cloning is cheap (an `Arc` bump) and
 /// every clone sees the same entries, so one pool on the
@@ -31,15 +32,30 @@ use std::sync::{Arc, Mutex};
 /// whole suite run across experiments and worker threads.
 #[derive(Clone, Default)]
 pub struct TracePool {
-    inner: Arc<Mutex<PoolState>>,
+    inner: Arc<PoolShared>,
+}
+
+#[derive(Default)]
+struct PoolShared {
+    state: Mutex<PoolState>,
+    // Signalled whenever an in-flight materialization finishes (or is
+    // abandoned), so waiters can recheck the table.
+    generated: Condvar,
+    // Counters live outside the mutex: the stats endpoint and the suite
+    // summary read them without contending with generation.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    materialized_bytes: AtomicU64,
 }
 
 #[derive(Default)]
 struct PoolState {
     traces: HashMap<String, Arc<Trace>>,
     results: HashMap<String, Arc<dyn Any + Send + Sync>>,
-    hits: u64,
-    misses: u64,
+    // Keys some thread is currently materializing. Concurrent requests
+    // for the same workload wait on `generated` instead of duplicating
+    // the (milliseconds-scale) generation work.
+    inflight: HashSet<String>,
 }
 
 /// A point-in-time summary of the pool's contents.
@@ -57,6 +73,24 @@ pub struct PoolStats {
     pub hits: u64,
     /// Requests that had to generate (first sight, or a longer prefix).
     pub misses: u64,
+    /// Cumulative bytes materialized by generation since the pool was
+    /// created. Unlike [`memory_bytes`](Self::memory_bytes) this only
+    /// grows: regenerated (longer) entries and cleared entries still
+    /// count what they cost to produce.
+    pub materialized_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of requests served from an existing entry, in `[0, 1]`
+    /// (`0` before any request).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl TracePool {
@@ -142,8 +176,9 @@ impl TracePool {
             result_entries: state.results.len(),
             total_refs,
             memory_bytes: total_refs * std::mem::size_of::<MemoryAccess>(),
-            hits: state.hits,
-            misses: state.misses,
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            materialized_bytes: self.inner.materialized_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -158,34 +193,72 @@ impl TracePool {
         // A panic while holding the lock can only happen inside the
         // HashMap operations below, which do not panic; recover the state
         // rather than poisoning every sibling sweep job.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn entry(&self, key: String, len: usize, generate: impl FnOnce() -> Trace) -> Arc<Trace> {
         {
             let mut state = self.lock();
-            if let Some(existing) = state.traces.get(&key) {
-                if existing.len() >= len {
-                    let shared = Arc::clone(existing);
-                    state.hits += 1;
-                    return shared;
+            loop {
+                if let Some(existing) = state.traces.get(&key) {
+                    if existing.len() >= len {
+                        let shared = Arc::clone(existing);
+                        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                        return shared;
+                    }
                 }
+                if state.inflight.insert(key.clone()) {
+                    break; // This thread materializes; others wait.
+                }
+                // Someone else is generating this key. Wait for them
+                // rather than duplicating the work; on wakeup, recheck —
+                // their materialization may still be too short for `len`.
+                state = self
+                    .inner
+                    .generated
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
         // Generate outside the lock: materializing 250k references takes
         // milliseconds and must not serialize the other worker threads.
-        // Two threads may race to generate the same key; the streams are
-        // deterministic, so whichever insert lands last is byte-equal.
+        // The in-flight marker (released on drop, so a panicking
+        // generator cannot strand waiters) keeps concurrent requests for
+        // the same key from regenerating the same stream.
+        let marker = InflightMarker { pool: self, key };
         let fresh = Arc::new(generate());
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.materialized_bytes.fetch_add(
+            (fresh.len() * std::mem::size_of::<MemoryAccess>()) as u64,
+            Ordering::Relaxed,
+        );
         let mut state = self.lock();
-        state.misses += 1;
-        match state.traces.get(&key) {
+        let shared = match state.traces.get(&marker.key) {
+            // A longer materialization can slip in between our length
+            // check and the insert below only via `clear()` + regrowth;
+            // keep the longest buffer either way.
             Some(existing) if existing.len() >= fresh.len() => Arc::clone(existing),
             _ => {
-                state.traces.insert(key, Arc::clone(&fresh));
+                state.traces.insert(marker.key.clone(), Arc::clone(&fresh));
                 fresh
             }
-        }
+        };
+        drop(state);
+        drop(marker); // Releases the in-flight key and wakes waiters.
+        shared
+    }
+}
+
+/// Removes an in-flight key and wakes waiters if generation unwinds.
+struct InflightMarker<'a> {
+    pool: &'a TracePool,
+    key: String,
+}
+
+impl Drop for InflightMarker<'_> {
+    fn drop(&mut self) {
+        self.pool.lock().inflight.remove(&self.key);
+        self.pool.inner.generated.notify_all();
     }
 }
 
@@ -362,6 +435,44 @@ mod tests {
         assert_eq!(pool.stats().result_entries, 2);
         pool.clear();
         assert_eq!(pool.stats().result_entries, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_materialize_once() {
+        let pool = TracePool::new();
+        let p = profile("VCCOM");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| pool.profile(&p, 4_000));
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "in-flight dedup must generate once");
+        assert_eq!(stats.hits, 7);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_ratio() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialized_bytes_accumulate_across_regrowth() {
+        let ref_size = std::mem::size_of::<MemoryAccess>() as u64;
+        let pool = TracePool::new();
+        let p = profile("ZGREP");
+        let _ = pool.profile(&p, 500);
+        let _ = pool.profile(&p, 2_000);
+        let stats = pool.stats();
+        assert_eq!(stats.total_refs, 2_000, "resident buffer is the longest");
+        assert_eq!(
+            stats.materialized_bytes,
+            2_500 * ref_size,
+            "cumulative cost counts both generations"
+        );
+        pool.clear();
+        assert_eq!(
+            pool.stats().materialized_bytes,
+            2_500 * ref_size,
+            "clear() keeps the cumulative counter"
+        );
     }
 
     #[test]

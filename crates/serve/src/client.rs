@@ -1,0 +1,154 @@
+//! A blocking NDJSON client for the serve protocol.
+//!
+//! One request per [`Client::call`]; responses come back in order, so a
+//! single connection is also a valid way to issue a request sequence.
+
+use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+use std::time::Duration;
+
+enum Transport {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// A connected client (TCP, or Unix socket on unix targets).
+pub struct Client {
+    reader: BufReader<Transport>,
+    writer: Transport,
+}
+
+impl io::Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Client {
+    /// Connects over TCP, e.g. `Client::connect("127.0.0.1:4085")`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect or clone failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = Transport::Tcp(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer: Transport::Tcp(stream),
+        })
+    }
+
+    /// Connects to a Unix-domain socket (unix targets only).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect or clone failure.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = Transport::Unix(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer: Transport::Unix(stream),
+        })
+    }
+
+    /// Sets a read timeout for responses (None = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match self.reader.get_ref() {
+            Transport::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures, a closed connection (`UnexpectedEof`), or an
+    /// undecodable response line (`InvalidData`).
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.send_raw_line(&request.encode())
+    }
+
+    /// Sends an arbitrary line (no newline) and reads one response.
+    /// This is the hook the malformed-input tests use to put invalid
+    /// bytes on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn send_raw_line(&mut self, line: &str) -> io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        // Responses can legitimately exceed the *request* line cap (the
+        // catalog lists 49 profiles), so allow a generous multiple.
+        let cap = MAX_LINE_BYTES * 8;
+        loop {
+            let before = line.len();
+            let n = self
+                .reader
+                .by_ref()
+                .take((cap - before) as u64)
+                .read_line(&mut line)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.ends_with('\n') {
+                break;
+            }
+            if line.len() >= cap {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response line exceeds the client cap",
+                ));
+            }
+        }
+        Response::decode(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

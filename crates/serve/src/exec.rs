@@ -1,0 +1,296 @@
+//! Request execution: workload resolution and the simulation kernels.
+//!
+//! Every job goes through the shared [`TracePool`], so concurrent
+//! requests for the same `(workload, seed, len)` deduplicate into one
+//! materialization and replays are zero-copy slices of one buffer. The
+//! kernels are the same ones the CLI and the experiment suite use
+//! ([`UnifiedCache`] for `simulate`, [`StackAnalyzer`] for `sweep`), so a
+//! served result is bit-identical to a direct library call — the
+//! loopback integration tests assert exactly that.
+
+use crate::protocol::{
+    CatalogEntry, CatalogResult, ErrorBody, ErrorCode, SimulateResult, SimulateSpec, SweepPoint,
+    SweepResult, SweepSpec,
+};
+use smith85_cachesim::{CacheConfig, Mapping, Simulator, StackAnalyzer, UnifiedCache, PAPER_SIZES};
+use smith85_core::experiments::Workload;
+use smith85_core::trace_pool::TracePool;
+use smith85_synth::catalog;
+
+/// References a single request may ask for; keeps one malicious or
+/// fat-fingered request from materializing gigabytes into the shared
+/// pool.
+pub const MAX_REQUEST_LEN: usize = 2_000_000;
+
+/// Resolves a workload name against the catalog: single traces by name
+/// (case-insensitive) or one of the Table 3 mixes by its display name.
+/// A `seed` override replaces each profile's generator seed (mix members
+/// XOR it with their index so they stay decorrelated).
+///
+/// # Errors
+///
+/// Returns an `unknown_workload` error naming the failed lookup.
+pub fn resolve_workload(name: &str, seed: Option<u64>) -> Result<Workload, ErrorBody> {
+    if let Some(spec) = catalog::by_name(name) {
+        let mut profile = spec.profile().clone();
+        if let Some(seed) = seed {
+            profile.seed = seed;
+        }
+        return Ok(Workload::Single(profile));
+    }
+    for (mix_name, mut members) in catalog::table3_mixes() {
+        if mix_name.eq_ignore_ascii_case(name) {
+            if let Some(seed) = seed {
+                for (i, member) in members.iter_mut().enumerate() {
+                    member.seed = seed ^ (i as u64);
+                }
+            }
+            return Ok(Workload::Mix {
+                name: mix_name,
+                members,
+            });
+        }
+    }
+    Err(ErrorBody::new(
+        ErrorCode::UnknownWorkload,
+        format!("no trace or mix named {name:?} (see the catalog request)"),
+    ))
+}
+
+fn check_len(len: usize) -> Result<(), ErrorBody> {
+    if len == 0 {
+        return Err(ErrorBody::new(ErrorCode::BadRequest, "\"len\" must be > 0"));
+    }
+    if len > MAX_REQUEST_LEN {
+        return Err(ErrorBody::new(
+            ErrorCode::BadRequest,
+            format!("\"len\" {len} exceeds the per-request cap of {MAX_REQUEST_LEN}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one `simulate` job. Timing fields are left zero; the worker
+/// fills them in.
+///
+/// # Errors
+///
+/// Returns a typed error for unknown workloads or invalid cache
+/// configurations.
+pub fn run_simulate(pool: &TracePool, spec: &SimulateSpec) -> Result<SimulateResult, ErrorBody> {
+    check_len(spec.len)?;
+    let workload = resolve_workload(&spec.workload, spec.seed)?;
+    let mapping = match spec.cache.ways {
+        None => Mapping::FullyAssociative,
+        Some(1) => Mapping::Direct,
+        Some(n) => Mapping::SetAssociative(n),
+    };
+    let config = CacheConfig::builder(spec.cache.size)
+        .line_size(spec.cache.line)
+        .mapping(mapping)
+        .purge_interval(spec.cache.purge)
+        .build()
+        .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
+    let trace = pool.workload(&workload, spec.len);
+    let replay = &trace.as_slice()[..spec.len];
+    let mut cache = UnifiedCache::new(config)
+        .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
+    cache.run_slice(replay);
+    let stats = cache.stats();
+    Ok(SimulateResult {
+        workload: spec.workload.clone(),
+        len: spec.len,
+        cache_bytes: spec.cache.size,
+        refs: stats.total_refs(),
+        misses: stats.total_misses(),
+        miss_ratio: stats.miss_ratio(),
+        instruction_miss_ratio: stats.instruction_miss_ratio(),
+        data_miss_ratio: stats.data_miss_ratio(),
+        traffic_bytes: stats.traffic_bytes(),
+        queue_ms: 0,
+        exec_ms: 0,
+    })
+}
+
+/// Runs one `sweep` job (one stack-analysis pass, all sizes at once).
+/// Timing fields are left zero; the worker fills them in.
+///
+/// # Errors
+///
+/// Returns a typed error for unknown workloads or a bad line size.
+pub fn run_sweep(pool: &TracePool, spec: &SweepSpec) -> Result<SweepResult, ErrorBody> {
+    check_len(spec.len)?;
+    if spec.line == 0 || !spec.line.is_power_of_two() {
+        return Err(ErrorBody::new(
+            ErrorCode::BadRequest,
+            "\"line\" must be a power of two",
+        ));
+    }
+    let workload = resolve_workload(&spec.workload, spec.seed)?;
+    let sizes: &[usize] = if spec.sizes.is_empty() {
+        &PAPER_SIZES
+    } else {
+        &spec.sizes
+    };
+    let trace = pool.workload(&workload, spec.len);
+    let replay = &trace.as_slice()[..spec.len];
+    let mut analyzer = StackAnalyzer::with_line_size_and_capacity(spec.line, spec.len);
+    analyzer.observe_slice(replay);
+    let profile = analyzer.finish();
+    Ok(SweepResult {
+        workload: spec.workload.clone(),
+        len: spec.len,
+        points: sizes
+            .iter()
+            .map(|&size| SweepPoint {
+                size,
+                miss_ratio: profile.miss_ratio(size),
+            })
+            .collect(),
+        queue_ms: 0,
+        exec_ms: 0,
+    })
+}
+
+/// The `catalog` response: all 49 profiles plus the mix names.
+pub fn catalog_result() -> CatalogResult {
+    CatalogResult {
+        profiles: catalog::all()
+            .iter()
+            .map(|spec| {
+                let p = spec.profile();
+                CatalogEntry {
+                    name: spec.name().to_string(),
+                    group: spec.group().to_string(),
+                    arch: p.arch.to_string(),
+                    language: p.language.to_string(),
+                }
+            })
+            .collect(),
+        mixes: catalog::table3_mixes()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CacheSpec;
+
+    fn simulate_spec(workload: &str, len: usize, size: usize) -> SimulateSpec {
+        SimulateSpec {
+            workload: workload.to_string(),
+            len,
+            seed: None,
+            cache: CacheSpec {
+                size,
+                line: 16,
+                ways: None,
+                purge: None,
+            },
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn simulate_matches_a_direct_library_run() {
+        let pool = TracePool::new();
+        let spec = simulate_spec("VCCOM", 5_000, 4_096);
+        let served = run_simulate(&pool, &spec).unwrap();
+
+        let profile = catalog::by_name("VCCOM").unwrap().profile().clone();
+        let trace = profile.generate(5_000);
+        let config = CacheConfig::builder(4_096).line_size(16).build().unwrap();
+        let mut cache = UnifiedCache::new(config).unwrap();
+        cache.run_slice(trace.as_slice());
+        assert_eq!(served.miss_ratio.to_bits(), cache.stats().miss_ratio().to_bits());
+        assert_eq!(served.misses, cache.stats().total_misses());
+        assert_eq!(served.refs, 5_000);
+    }
+
+    #[test]
+    fn seed_override_changes_the_stream() {
+        let pool = TracePool::new();
+        let base = run_simulate(&pool, &simulate_spec("ZGREP", 4_000, 1_024)).unwrap();
+        let mut reseeded_spec = simulate_spec("ZGREP", 4_000, 1_024);
+        reseeded_spec.seed = Some(12_345);
+        let reseeded = run_simulate(&pool, &reseeded_spec).unwrap();
+        assert_ne!(base.miss_ratio.to_bits(), reseeded.miss_ratio.to_bits());
+        assert_eq!(pool.stats().entries, 2, "distinct seeds pool separately");
+    }
+
+    #[test]
+    fn mixes_resolve_by_display_name() {
+        let w = resolve_workload("Z8000 - Assorted", None).unwrap();
+        assert!(matches!(w, Workload::Mix { ref members, .. } if members.len() == 5));
+        let pool = TracePool::new();
+        let result = run_simulate(&pool, &simulate_spec("Z8000 - Assorted", 3_000, 2_048));
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn unknown_workload_is_typed() {
+        let err = resolve_workload("NOPE", None).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownWorkload);
+        assert!(err.message.contains("NOPE"));
+    }
+
+    #[test]
+    fn bad_lengths_and_configs_are_typed() {
+        let pool = TracePool::new();
+        let mut zero = simulate_spec("VCCOM", 0, 1_024);
+        zero.len = 0;
+        assert_eq!(run_simulate(&pool, &zero).unwrap_err().code, ErrorCode::BadRequest);
+        let huge = simulate_spec("VCCOM", MAX_REQUEST_LEN + 1, 1_024);
+        assert_eq!(run_simulate(&pool, &huge).unwrap_err().code, ErrorCode::BadRequest);
+        let mut bad_cache = simulate_spec("VCCOM", 1_000, 1_000); // not a power of two
+        bad_cache.cache.line = 16;
+        assert_eq!(
+            run_simulate(&pool, &bad_cache).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(pool.stats().entries, 0, "invalid requests must not pool traces");
+    }
+
+    #[test]
+    fn sweep_matches_the_analyzer_and_defaults_to_paper_sizes() {
+        let pool = TracePool::new();
+        let spec = SweepSpec {
+            workload: "ZGREP".to_string(),
+            len: 5_000,
+            seed: None,
+            sizes: Vec::new(),
+            line: 16,
+            deadline_ms: None,
+        };
+        let served = run_sweep(&pool, &spec).unwrap();
+        assert_eq!(served.points.len(), PAPER_SIZES.len());
+
+        let profile = catalog::by_name("ZGREP").unwrap().profile().clone();
+        let trace = profile.generate(5_000);
+        let mut analyzer = StackAnalyzer::with_line_size(16);
+        for a in &trace {
+            analyzer.observe(*a);
+        }
+        let direct = analyzer.finish();
+        for point in &served.points {
+            assert_eq!(
+                point.miss_ratio.to_bits(),
+                direct.miss_ratio(point.size).to_bits(),
+                "size {}",
+                point.size
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_lists_all_profiles_and_mixes() {
+        let c = catalog_result();
+        assert_eq!(c.profiles.len(), 49);
+        assert_eq!(c.mixes.len(), 4);
+        assert!(c.profiles.iter().any(|e| e.name == "VCCOM"));
+        assert!(c.mixes.iter().any(|m| m == "Z8000 - Assorted"));
+    }
+}

@@ -1,0 +1,50 @@
+//! smith85-serve: a networked simulation service for the Smith '85
+//! cache-evaluation reproduction.
+//!
+//! The server speaks newline-delimited JSON over TCP (and a Unix socket
+//! on unix targets). Expensive requests (`simulate`, `sweep`) flow
+//! through a bounded work queue with explicit admission control — a full
+//! queue answers `overloaded` immediately instead of building an
+//! unbounded backlog — and a worker pool that routes all trace
+//! generation through the shared [`smith85_core::trace_pool::TracePool`],
+//! so concurrent requests for the same workload materialize it once.
+//!
+//! Quick tour:
+//!
+//! ```no_run
+//! use smith85_serve::{Client, Request, Server, ServeOptions};
+//!
+//! let server = Server::spawn(ServeOptions {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     ..ServeOptions::default()
+//! })?;
+//! let mut client = Client::connect(&server.addr().to_string())?;
+//! let response = client.call(&Request::Catalog)?;
+//! println!("{}", response.encode());
+//! let final_stats = server.stop()?;
+//! println!("completed {} jobs", final_stats.completed);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! The wire schema lives in [`protocol`]; `docs/EXPERIMENTS.md` documents
+//! it with copy-pasteable sessions.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod exec;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+#[cfg(unix)]
+pub mod signal;
+pub mod stats;
+
+pub use client::Client;
+pub use protocol::{
+    CacheSpec, CatalogResult, ErrorBody, ErrorCode, Request, Response, SimulateResult,
+    SimulateSpec, StatsResult, SweepResult, SweepSpec,
+};
+pub use server::{RunningServer, ServeOptions, Server, ShutdownHandle};

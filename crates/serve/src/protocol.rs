@@ -1,0 +1,948 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request object per line, one response object per line, in order.
+//! Every object carries a `"type"` discriminator. The full schema is
+//! documented in `EXPERIMENTS.md`; the round-trip tests below pin every
+//! variant.
+//!
+//! Design points:
+//!
+//! * **Typed errors, always** — malformed input never kills a worker or
+//!   a connection; it produces an `{"type":"error","code":...}` response
+//!   with a stable machine-readable code ([`ErrorCode`]).
+//! * **Admission control is visible** — a full work queue answers
+//!   `overloaded` immediately instead of queueing unboundedly, so a
+//!   load generator can count rejections.
+//! * **Exact floats** — miss ratios are written with shortest
+//!   round-trip formatting; a client reads back the bit-identical `f64`
+//!   the simulator produced.
+
+use crate::json::{self, Json};
+use std::fmt;
+
+/// Hard cap on one request line; longer lines get an `oversized` error.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Default reference count for `simulate`/`sweep` when `len` is absent.
+pub const DEFAULT_TRACE_LEN: usize = 100_000;
+
+/// Default line size (bytes) for simulated caches, as in the paper.
+pub const DEFAULT_LINE_BYTES: usize = 16;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one cache configuration over one workload.
+    Simulate(SimulateSpec),
+    /// Miss ratio at several cache sizes in one stack-analysis pass.
+    Sweep(SweepSpec),
+    /// List the workload catalog (49 profiles + the 4 mixes).
+    Catalog,
+    /// Server counters: requests by type, queue depth, pool hit ratio…
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful shutdown: stop accepting, drain in-flight jobs.
+    Shutdown,
+}
+
+/// The cache configuration of a `simulate` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Cache capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Associativity: `None` is fully associative, `Some(1)` direct.
+    pub ways: Option<usize>,
+    /// Task-switch purge interval, if any.
+    pub purge: Option<u64>,
+}
+
+/// Parameters of a `simulate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSpec {
+    /// Catalog trace or mix name.
+    pub workload: String,
+    /// References simulated.
+    pub len: usize,
+    /// Overrides the profile's generator seed (mix members are XORed).
+    pub seed: Option<u64>,
+    /// The cache to simulate.
+    pub cache: CacheSpec,
+    /// Per-request deadline, measured from admission.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parameters of a `sweep` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Catalog trace or mix name.
+    pub workload: String,
+    /// References analyzed.
+    pub len: usize,
+    /// Overrides the profile's generator seed (mix members are XORed).
+    pub seed: Option<u64>,
+    /// Cache sizes evaluated; empty means the paper's size grid.
+    pub sizes: Vec<usize>,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Per-request deadline, measured from admission.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of a `simulate` request.
+    Simulate(SimulateResult),
+    /// Result of a `sweep` request.
+    Sweep(SweepResult),
+    /// The workload catalog.
+    Catalog(CatalogResult),
+    /// Server counters.
+    Stats(StatsResult),
+    /// Answer to `ping`.
+    Pong,
+    /// Shutdown acknowledged; the server drains and exits.
+    Ok,
+    /// Any failure, with a stable machine-readable code.
+    Error(ErrorBody),
+}
+
+/// One simulated cache configuration's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateResult {
+    /// Echo of the requested workload name.
+    pub workload: String,
+    /// Echo of the simulated reference count.
+    pub len: usize,
+    /// Echo of the cache capacity.
+    pub cache_bytes: usize,
+    /// References observed by the cache.
+    pub refs: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Overall miss ratio.
+    pub miss_ratio: f64,
+    /// Instruction-fetch miss ratio.
+    pub instruction_miss_ratio: f64,
+    /// Data miss ratio.
+    pub data_miss_ratio: f64,
+    /// Bus traffic in bytes.
+    pub traffic_bytes: u64,
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: u64,
+    /// Milliseconds of worker execution.
+    pub exec_ms: u64,
+}
+
+/// One point of a sweep curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Cache capacity in bytes.
+    pub size: usize,
+    /// Fully-associative LRU miss ratio at that capacity.
+    pub miss_ratio: f64,
+}
+
+/// A sweep curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Echo of the requested workload name.
+    pub workload: String,
+    /// Echo of the analyzed reference count.
+    pub len: usize,
+    /// Miss ratio per size, in request order.
+    pub points: Vec<SweepPoint>,
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: u64,
+    /// Milliseconds of worker execution.
+    pub exec_ms: u64,
+}
+
+/// One catalog row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Trace name (the `workload` key for `simulate`/`sweep`).
+    pub name: String,
+    /// Workload group (the paper's §3.1 clusters).
+    pub group: String,
+    /// Machine architecture.
+    pub arch: String,
+    /// Source language.
+    pub language: String,
+}
+
+/// The `catalog` response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogResult {
+    /// The 49 single-trace profiles.
+    pub profiles: Vec<CatalogEntry>,
+    /// The multiprogramming mix names (also valid `workload` keys).
+    pub mixes: Vec<String>,
+}
+
+/// Trace-pool counters inside a `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Distinct materialized workloads resident.
+    pub entries: usize,
+    /// Requests served from an existing entry.
+    pub hits: u64,
+    /// Requests that had to generate.
+    pub misses: u64,
+    /// Cumulative bytes ever materialized.
+    pub materialized_bytes: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+/// The `stats` response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsResult {
+    /// `simulate` requests admitted (including ones that later failed).
+    pub simulate_requests: u64,
+    /// `sweep` requests admitted.
+    pub sweep_requests: u64,
+    /// `catalog` requests answered.
+    pub catalog_requests: u64,
+    /// `stats` requests answered.
+    pub stats_requests: u64,
+    /// Jobs completed successfully by the worker pool.
+    pub completed: u64,
+    /// Jobs rejected by admission control (queue full).
+    pub rejected_overload: u64,
+    /// Requests that failed to parse or validate.
+    pub protocol_errors: u64,
+    /// Jobs whose deadline expired before or during execution.
+    pub deadline_misses: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Highest queue depth observed since start.
+    pub queue_high_water: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Cumulative worker milliseconds spent in `simulate` jobs.
+    pub busy_ms_simulate: u64,
+    /// Cumulative worker milliseconds spent in `sweep` jobs.
+    pub busy_ms_sweep: u64,
+    /// Shared trace-pool counters.
+    pub pool: PoolCounters,
+}
+
+/// Stable machine-readable failure codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The work queue is full; retry later (admission control).
+    Overloaded,
+    /// The request was syntactically or semantically invalid.
+    BadRequest,
+    /// The `"type"` discriminator is not a known request type.
+    UnknownType,
+    /// The named workload is not in the catalog.
+    UnknownWorkload,
+    /// The per-request deadline expired before a result was ready.
+    DeadlineExceeded,
+    /// A request line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+    /// The server is draining and no longer admits work.
+    ShuttingDown,
+    /// An unexpected server-side failure (e.g. a panicking job).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownType => "unknown_type",
+            ErrorCode::UnknownWorkload => "unknown_workload",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn parse(text: &str) -> Option<ErrorCode> {
+        Some(match text {
+            "overloaded" => ErrorCode::Overloaded,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_type" => ErrorCode::UnknownType,
+            "unknown_workload" => ErrorCode::UnknownWorkload,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "oversized" => ErrorCode::Oversized,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// The stable failure code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// Builds an error body.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ErrorBody {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ErrorBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            Request::Simulate(spec) => {
+                let mut fields = vec![
+                    ("type", json::s("simulate")),
+                    ("workload", json::s(&spec.workload)),
+                    ("len", Json::Uint(spec.len as u64)),
+                    ("size", Json::Uint(spec.cache.size as u64)),
+                    ("line", Json::Uint(spec.cache.line as u64)),
+                ];
+                if let Some(ways) = spec.cache.ways {
+                    fields.push(("ways", Json::Uint(ways as u64)));
+                }
+                if let Some(purge) = spec.cache.purge {
+                    fields.push(("purge", Json::Uint(purge)));
+                }
+                if let Some(seed) = spec.seed {
+                    fields.push(("seed", Json::Uint(seed)));
+                }
+                if let Some(ms) = spec.deadline_ms {
+                    fields.push(("deadline_ms", Json::Uint(ms)));
+                }
+                json::obj(fields)
+            }
+            Request::Sweep(spec) => {
+                let mut fields = vec![
+                    ("type", json::s("sweep")),
+                    ("workload", json::s(&spec.workload)),
+                    ("len", Json::Uint(spec.len as u64)),
+                    ("line", Json::Uint(spec.line as u64)),
+                ];
+                if !spec.sizes.is_empty() {
+                    fields.push((
+                        "sizes",
+                        Json::Arr(spec.sizes.iter().map(|&s| Json::Uint(s as u64)).collect()),
+                    ));
+                }
+                if let Some(seed) = spec.seed {
+                    fields.push(("seed", Json::Uint(seed)));
+                }
+                if let Some(ms) = spec.deadline_ms {
+                    fields.push(("deadline_ms", Json::Uint(ms)));
+                }
+                json::obj(fields)
+            }
+            Request::Catalog => json::obj(vec![("type", json::s("catalog"))]),
+            Request::Stats => json::obj(vec![("type", json::s("stats"))]),
+            Request::Ping => json::obj(vec![("type", json::s("ping"))]),
+            Request::Shutdown => json::obj(vec![("type", json::s("shutdown"))]),
+        };
+        value.to_string()
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ErrorBody`] (`bad_request`, `unknown_type`) the
+    /// server sends back verbatim.
+    pub fn decode(line: &str) -> Result<Request, ErrorBody> {
+        let value = Json::parse(line)
+            .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid JSON: {e}")))?;
+        if !matches!(value, Json::Obj(_)) {
+            return Err(ErrorBody::new(
+                ErrorCode::BadRequest,
+                "request must be a JSON object",
+            ));
+        }
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ErrorBody::new(ErrorCode::BadRequest, "missing \"type\" field"))?;
+        match kind {
+            "simulate" => Ok(Request::Simulate(SimulateSpec::from_json(&value)?)),
+            "sweep" => Ok(Request::Sweep(SweepSpec::from_json(&value)?)),
+            "catalog" => Ok(Request::Catalog),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ErrorBody::new(
+                ErrorCode::UnknownType,
+                format!("unknown request type {other:?}"),
+            )),
+        }
+    }
+}
+
+fn field_usize(value: &Json, key: &str, default: usize) -> Result<usize, ErrorBody> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_usize().ok_or_else(|| {
+            ErrorBody::new(
+                ErrorCode::BadRequest,
+                format!("\"{key}\" must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn field_opt_u64(value: &Json, key: &str) -> Result<Option<u64>, ErrorBody> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ErrorBody::new(
+                ErrorCode::BadRequest,
+                format!("\"{key}\" must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn field_workload(value: &Json) -> Result<String, ErrorBody> {
+    value
+        .get("workload")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ErrorBody::new(ErrorCode::BadRequest, "missing \"workload\" string"))
+}
+
+impl SimulateSpec {
+    fn from_json(value: &Json) -> Result<SimulateSpec, ErrorBody> {
+        let size = field_usize(value, "size", 0)?;
+        if size == 0 {
+            return Err(ErrorBody::new(
+                ErrorCode::BadRequest,
+                "missing \"size\" (cache capacity in bytes)",
+            ));
+        }
+        Ok(SimulateSpec {
+            workload: field_workload(value)?,
+            len: field_usize(value, "len", DEFAULT_TRACE_LEN)?,
+            seed: field_opt_u64(value, "seed")?,
+            cache: CacheSpec {
+                size,
+                line: field_usize(value, "line", DEFAULT_LINE_BYTES)?,
+                ways: match value.get("ways") {
+                    None => None,
+                    Some(Json::Str(s)) if s == "full" => None,
+                    Some(v) => Some(v.as_usize().ok_or_else(|| {
+                        ErrorBody::new(
+                            ErrorCode::BadRequest,
+                            "\"ways\" must be an integer or \"full\"",
+                        )
+                    })?),
+                },
+                purge: field_opt_u64(value, "purge")?,
+            },
+            deadline_ms: field_opt_u64(value, "deadline_ms")?,
+        })
+    }
+}
+
+impl SweepSpec {
+    fn from_json(value: &Json) -> Result<SweepSpec, ErrorBody> {
+        let sizes = match value.get("sizes") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| {
+                    ErrorBody::new(ErrorCode::BadRequest, "\"sizes\" must be an array")
+                })?
+                .iter()
+                .map(|item| {
+                    item.as_usize().ok_or_else(|| {
+                        ErrorBody::new(
+                            ErrorCode::BadRequest,
+                            "\"sizes\" entries must be non-negative integers",
+                        )
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(SweepSpec {
+            workload: field_workload(value)?,
+            len: field_usize(value, "len", DEFAULT_TRACE_LEN)?,
+            seed: field_opt_u64(value, "seed")?,
+            sizes,
+            line: field_usize(value, "line", DEFAULT_LINE_BYTES)?,
+            deadline_ms: field_opt_u64(value, "deadline_ms")?,
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            Response::Simulate(r) => json::obj(vec![
+                ("type", json::s("simulate_result")),
+                ("workload", json::s(&r.workload)),
+                ("len", Json::Uint(r.len as u64)),
+                ("cache_bytes", Json::Uint(r.cache_bytes as u64)),
+                ("refs", Json::Uint(r.refs)),
+                ("misses", Json::Uint(r.misses)),
+                ("miss_ratio", Json::Num(r.miss_ratio)),
+                ("instruction_miss_ratio", Json::Num(r.instruction_miss_ratio)),
+                ("data_miss_ratio", Json::Num(r.data_miss_ratio)),
+                ("traffic_bytes", Json::Uint(r.traffic_bytes)),
+                ("queue_ms", Json::Uint(r.queue_ms)),
+                ("exec_ms", Json::Uint(r.exec_ms)),
+            ]),
+            Response::Sweep(r) => json::obj(vec![
+                ("type", json::s("sweep_result")),
+                ("workload", json::s(&r.workload)),
+                ("len", Json::Uint(r.len as u64)),
+                (
+                    "points",
+                    Json::Arr(
+                        r.points
+                            .iter()
+                            .map(|p| {
+                                json::obj(vec![
+                                    ("size", Json::Uint(p.size as u64)),
+                                    ("miss_ratio", Json::Num(p.miss_ratio)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("queue_ms", Json::Uint(r.queue_ms)),
+                ("exec_ms", Json::Uint(r.exec_ms)),
+            ]),
+            Response::Catalog(r) => json::obj(vec![
+                ("type", json::s("catalog_result")),
+                (
+                    "profiles",
+                    Json::Arr(
+                        r.profiles
+                            .iter()
+                            .map(|e| {
+                                json::obj(vec![
+                                    ("name", json::s(&e.name)),
+                                    ("group", json::s(&e.group)),
+                                    ("arch", json::s(&e.arch)),
+                                    ("language", json::s(&e.language)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "mixes",
+                    Json::Arr(r.mixes.iter().map(json::s).collect()),
+                ),
+            ]),
+            Response::Stats(r) => json::obj(vec![
+                ("type", json::s("stats_result")),
+                (
+                    "requests",
+                    json::obj(vec![
+                        ("simulate", Json::Uint(r.simulate_requests)),
+                        ("sweep", Json::Uint(r.sweep_requests)),
+                        ("catalog", Json::Uint(r.catalog_requests)),
+                        ("stats", Json::Uint(r.stats_requests)),
+                    ]),
+                ),
+                ("completed", Json::Uint(r.completed)),
+                ("rejected_overload", Json::Uint(r.rejected_overload)),
+                ("protocol_errors", Json::Uint(r.protocol_errors)),
+                ("deadline_misses", Json::Uint(r.deadline_misses)),
+                (
+                    "queue",
+                    json::obj(vec![
+                        ("depth", Json::Uint(r.queue_depth as u64)),
+                        ("high_water", Json::Uint(r.queue_high_water as u64)),
+                    ]),
+                ),
+                ("workers", Json::Uint(r.workers as u64)),
+                (
+                    "busy_ms",
+                    json::obj(vec![
+                        ("simulate", Json::Uint(r.busy_ms_simulate)),
+                        ("sweep", Json::Uint(r.busy_ms_sweep)),
+                    ]),
+                ),
+                (
+                    "pool",
+                    json::obj(vec![
+                        ("entries", Json::Uint(r.pool.entries as u64)),
+                        ("hits", Json::Uint(r.pool.hits)),
+                        ("misses", Json::Uint(r.pool.misses)),
+                        ("materialized_bytes", Json::Uint(r.pool.materialized_bytes)),
+                        ("resident_bytes", Json::Uint(r.pool.resident_bytes)),
+                    ]),
+                ),
+            ]),
+            Response::Pong => json::obj(vec![("type", json::s("pong"))]),
+            Response::Ok => json::obj(vec![("type", json::s("ok"))]),
+            Response::Error(e) => json::obj(vec![
+                ("type", json::s("error")),
+                ("code", json::s(e.code.as_str())),
+                ("message", json::s(&e.message)),
+            ]),
+        };
+        value.to_string()
+    }
+
+    /// Decodes one response line (the client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of what failed to parse.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let value = Json::parse(line).map_err(|e| format!("invalid JSON response: {e}"))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("response missing \"type\"")?;
+        let need_u64 = |v: &Json, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing numeric \"{key}\""))
+        };
+        let need_f64 = |v: &Json, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("response missing numeric \"{key}\""))
+        };
+        let need_str = |v: &Json, key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("response missing string \"{key}\""))
+        };
+        match kind {
+            "simulate_result" => Ok(Response::Simulate(SimulateResult {
+                workload: need_str(&value, "workload")?,
+                len: need_u64(&value, "len")? as usize,
+                cache_bytes: need_u64(&value, "cache_bytes")? as usize,
+                refs: need_u64(&value, "refs")?,
+                misses: need_u64(&value, "misses")?,
+                miss_ratio: need_f64(&value, "miss_ratio")?,
+                instruction_miss_ratio: need_f64(&value, "instruction_miss_ratio")?,
+                data_miss_ratio: need_f64(&value, "data_miss_ratio")?,
+                traffic_bytes: need_u64(&value, "traffic_bytes")?,
+                queue_ms: need_u64(&value, "queue_ms")?,
+                exec_ms: need_u64(&value, "exec_ms")?,
+            })),
+            "sweep_result" => {
+                let points = value
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or("sweep_result missing \"points\"")?
+                    .iter()
+                    .map(|p| {
+                        Ok(SweepPoint {
+                            size: need_u64(p, "size")? as usize,
+                            miss_ratio: need_f64(p, "miss_ratio")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                Ok(Response::Sweep(SweepResult {
+                    workload: need_str(&value, "workload")?,
+                    len: need_u64(&value, "len")? as usize,
+                    points,
+                    queue_ms: need_u64(&value, "queue_ms")?,
+                    exec_ms: need_u64(&value, "exec_ms")?,
+                }))
+            }
+            "catalog_result" => {
+                let profiles = value
+                    .get("profiles")
+                    .and_then(Json::as_arr)
+                    .ok_or("catalog_result missing \"profiles\"")?
+                    .iter()
+                    .map(|e| {
+                        Ok(CatalogEntry {
+                            name: need_str(e, "name")?,
+                            group: need_str(e, "group")?,
+                            arch: need_str(e, "arch")?,
+                            language: need_str(e, "language")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                let mixes = value
+                    .get("mixes")
+                    .and_then(Json::as_arr)
+                    .ok_or("catalog_result missing \"mixes\"")?
+                    .iter()
+                    .map(|m| m.as_str().map(str::to_string).ok_or("mix must be a string"))
+                    .collect::<Result<_, _>>()?;
+                Ok(Response::Catalog(CatalogResult { profiles, mixes }))
+            }
+            "stats_result" => {
+                let requests = value.get("requests").ok_or("stats_result missing \"requests\"")?;
+                let queue = value.get("queue").ok_or("stats_result missing \"queue\"")?;
+                let busy = value.get("busy_ms").ok_or("stats_result missing \"busy_ms\"")?;
+                let pool = value.get("pool").ok_or("stats_result missing \"pool\"")?;
+                Ok(Response::Stats(StatsResult {
+                    simulate_requests: need_u64(requests, "simulate")?,
+                    sweep_requests: need_u64(requests, "sweep")?,
+                    catalog_requests: need_u64(requests, "catalog")?,
+                    stats_requests: need_u64(requests, "stats")?,
+                    completed: need_u64(&value, "completed")?,
+                    rejected_overload: need_u64(&value, "rejected_overload")?,
+                    protocol_errors: need_u64(&value, "protocol_errors")?,
+                    deadline_misses: need_u64(&value, "deadline_misses")?,
+                    queue_depth: need_u64(queue, "depth")? as usize,
+                    queue_high_water: need_u64(queue, "high_water")? as usize,
+                    workers: need_u64(&value, "workers")? as usize,
+                    busy_ms_simulate: need_u64(busy, "simulate")?,
+                    busy_ms_sweep: need_u64(busy, "sweep")?,
+                    pool: PoolCounters {
+                        entries: need_u64(pool, "entries")? as usize,
+                        hits: need_u64(pool, "hits")?,
+                        misses: need_u64(pool, "misses")?,
+                        materialized_bytes: need_u64(pool, "materialized_bytes")?,
+                        resident_bytes: need_u64(pool, "resident_bytes")?,
+                    },
+                }))
+            }
+            "pong" => Ok(Response::Pong),
+            "ok" => Ok(Response::Ok),
+            "error" => {
+                let code_text = need_str(&value, "code")?;
+                let code = ErrorCode::parse(&code_text)
+                    .ok_or_else(|| format!("unknown error code {code_text:?}"))?;
+                Ok(Response::Error(ErrorBody {
+                    code,
+                    message: need_str(&value, "message")?,
+                }))
+            }
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_round_trip(request: Request) {
+        let line = request.encode();
+        assert!(!line.contains('\n'), "encoded request must be one line");
+        assert_eq!(Request::decode(&line).unwrap(), request, "{line}");
+    }
+
+    fn response_round_trip(response: Response) {
+        let line = response.encode();
+        assert!(!line.contains('\n'), "encoded response must be one line");
+        assert_eq!(Response::decode(&line).unwrap(), response, "{line}");
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        request_round_trip(Request::Catalog);
+        request_round_trip(Request::Stats);
+        request_round_trip(Request::Ping);
+        request_round_trip(Request::Shutdown);
+        request_round_trip(Request::Simulate(SimulateSpec {
+            workload: "VCCOM".into(),
+            len: 25_000,
+            seed: Some(u64::MAX),
+            cache: CacheSpec {
+                size: 16 * 1024,
+                line: 32,
+                ways: Some(4),
+                purge: Some(20_000),
+            },
+            deadline_ms: Some(1_500),
+        }));
+        request_round_trip(Request::Simulate(SimulateSpec {
+            workload: "Z8000 - Assorted".into(),
+            len: DEFAULT_TRACE_LEN,
+            seed: None,
+            cache: CacheSpec {
+                size: 1024,
+                line: DEFAULT_LINE_BYTES,
+                ways: None,
+                purge: None,
+            },
+            deadline_ms: None,
+        }));
+        request_round_trip(Request::Sweep(SweepSpec {
+            workload: "ZGREP".into(),
+            len: 5_000,
+            seed: Some(7),
+            sizes: vec![256, 1024, 65_536],
+            line: 16,
+            deadline_ms: Some(100),
+        }));
+        request_round_trip(Request::Sweep(SweepSpec {
+            workload: "MVS1".into(),
+            len: DEFAULT_TRACE_LEN,
+            seed: None,
+            sizes: Vec::new(),
+            line: DEFAULT_LINE_BYTES,
+            deadline_ms: None,
+        }));
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        response_round_trip(Response::Pong);
+        response_round_trip(Response::Ok);
+        response_round_trip(Response::Simulate(SimulateResult {
+            workload: "VCCOM".into(),
+            len: 25_000,
+            cache_bytes: 16 * 1024,
+            refs: 25_000,
+            misses: 1_234,
+            miss_ratio: 0.049_36,
+            instruction_miss_ratio: 1.0 / 3.0,
+            data_miss_ratio: 2.5e-7,
+            traffic_bytes: 197_440,
+            queue_ms: 3,
+            exec_ms: 12,
+        }));
+        response_round_trip(Response::Sweep(SweepResult {
+            workload: "ZGREP".into(),
+            len: 5_000,
+            points: vec![
+                SweepPoint {
+                    size: 256,
+                    miss_ratio: 0.25,
+                },
+                SweepPoint {
+                    size: 65_536,
+                    miss_ratio: 0.001_953_125,
+                },
+            ],
+            queue_ms: 0,
+            exec_ms: 4,
+        }));
+        response_round_trip(Response::Catalog(CatalogResult {
+            profiles: vec![CatalogEntry {
+                name: "VCCOM".into(),
+                group: "VAX".into(),
+                arch: "VAX".into(),
+                language: "C".into(),
+            }],
+            mixes: vec!["Z8000 - Assorted".into()],
+        }));
+        response_round_trip(Response::Stats(StatsResult {
+            simulate_requests: 10,
+            sweep_requests: 2,
+            catalog_requests: 1,
+            stats_requests: 5,
+            completed: 11,
+            rejected_overload: 3,
+            protocol_errors: 4,
+            deadline_misses: 1,
+            queue_depth: 2,
+            queue_high_water: 9,
+            workers: 4,
+            busy_ms_simulate: 812,
+            busy_ms_sweep: 44,
+            pool: PoolCounters {
+                entries: 6,
+                hits: 9,
+                misses: 6,
+                materialized_bytes: 1 << 24,
+                resident_bytes: 1 << 22,
+            },
+        }));
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownType,
+            ErrorCode::UnknownWorkload,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Oversized,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            response_round_trip(Response::Error(ErrorBody::new(
+                code,
+                format!("detail for {code}"),
+            )));
+        }
+    }
+
+    #[test]
+    fn miss_ratios_survive_the_wire_bit_identically() {
+        let ratio = 1.0f64 / 7.0;
+        let encoded = Response::Simulate(SimulateResult {
+            workload: "W".into(),
+            len: 1,
+            cache_bytes: 1,
+            refs: 1,
+            misses: 1,
+            miss_ratio: ratio,
+            instruction_miss_ratio: ratio / 3.0,
+            data_miss_ratio: ratio / 5.0,
+            traffic_bytes: 0,
+            queue_ms: 0,
+            exec_ms: 0,
+        })
+        .encode();
+        match Response::decode(&encoded).unwrap() {
+            Response::Simulate(r) => {
+                assert_eq!(r.miss_ratio.to_bits(), ratio.to_bits());
+                assert_eq!(r.instruction_miss_ratio.to_bits(), (ratio / 3.0).to_bits());
+                assert_eq!(r.data_miss_ratio.to_bits(), (ratio / 5.0).to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_requests_with_typed_errors() {
+        let bad = Request::decode("{\"type\":\"simulate\"").unwrap_err();
+        assert_eq!(bad.code, ErrorCode::BadRequest);
+        let unknown = Request::decode("{\"type\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(unknown.code, ErrorCode::UnknownType);
+        let no_type = Request::decode("{\"workload\":\"VCCOM\"}").unwrap_err();
+        assert_eq!(no_type.code, ErrorCode::BadRequest);
+        let no_size = Request::decode("{\"type\":\"simulate\",\"workload\":\"VCCOM\"}")
+            .unwrap_err();
+        assert_eq!(no_size.code, ErrorCode::BadRequest);
+        assert!(no_size.message.contains("size"), "{no_size}");
+        let not_object = Request::decode("[1,2,3]").unwrap_err();
+        assert_eq!(not_object.code, ErrorCode::BadRequest);
+        let bad_ways =
+            Request::decode("{\"type\":\"simulate\",\"workload\":\"W\",\"size\":64,\"ways\":\"half\"}")
+                .unwrap_err();
+        assert_eq!(bad_ways.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn ways_accepts_the_full_spelling() {
+        let parsed = Request::decode(
+            "{\"type\":\"simulate\",\"workload\":\"W\",\"size\":1024,\"ways\":\"full\"}",
+        )
+        .unwrap();
+        match parsed {
+            Request::Simulate(spec) => assert_eq!(spec.cache.ways, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

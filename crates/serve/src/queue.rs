@@ -1,0 +1,198 @@
+//! A bounded MPMC work queue with explicit admission control.
+//!
+//! The server's load-shedding policy lives here: [`BoundedQueue::try_push`]
+//! never blocks and never grows the queue past its capacity — a full
+//! queue returns [`PushError::Full`] and the connection handler turns
+//! that into a typed `overloaded` response immediately. This keeps tail
+//! latency bounded under overload instead of letting every client wait
+//! on an ever-longer backlog.
+//!
+//! [`BoundedQueue::pop`] blocks workers until an item arrives; after
+//! [`BoundedQueue::close`], pops drain whatever is still queued (the
+//! graceful-shutdown contract: admitted work completes) and then return
+//! `None` so workers can exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] refused an item; the item comes back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (admission control rejection).
+    Full(T),
+    /// The queue is closed (server draining).
+    Closed(T),
+}
+
+/// A bounded thread-safe FIFO. Clones share the same queue.
+pub struct BoundedQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                    high_water: 0,
+                }),
+                available: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Admits `item` if there is room; never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`PushError::Full`] when at capacity
+    /// or [`PushError::Closed`] after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.shared.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or `None` once
+    /// the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .shared
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission; queued items still drain through `pop`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.shared.available.notify_all();
+    }
+
+    /// Items queued right now.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Highest depth ever observed.
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        // Rejection must not count toward the high-water mark.
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("job").unwrap();
+        q.close();
+        match q.try_push("late") {
+            Err(PushError::Closed("late")) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("job"), "admitted work still drains");
+        assert_eq!(q.pop(), None, "then pops return None");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = BoundedQueue::new(1);
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(handle.join().unwrap(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+}

@@ -1,0 +1,658 @@
+//! The simulation server: listeners, connection handlers, worker pool.
+//!
+//! Architecture (all `std`, no async runtime — the offline shims
+//! preclude tokio):
+//!
+//! ```text
+//!  TCP accept loop ──┐                        ┌─ worker 0 ─┐
+//!  Unix accept loop ─┼─ connection threads ──▶│ bounded    │──▶ TracePool
+//!                    │  (1/conn, parse NDJSON)│ work queue │    (shared)
+//!                    └──────────────────────  └─ worker N ─┘
+//! ```
+//!
+//! * Cheap requests (`catalog`, `stats`, `ping`, `shutdown`) are answered
+//!   inline on the connection thread.
+//! * `simulate`/`sweep` go through the [`BoundedQueue`]; a full queue is
+//!   an immediate typed `overloaded` response (admission control), never
+//!   an unbounded backlog.
+//! * Workers run jobs under `catch_unwind`, so a panicking job produces
+//!   an `internal` error response instead of a dead worker.
+//! * Graceful shutdown (SIGINT on unix, or a `shutdown` request): stop
+//!   accepting, close the queue, drain already-admitted jobs, join every
+//!   thread, then return the final stats snapshot.
+
+use crate::exec;
+use crate::protocol::{
+    ErrorBody, ErrorCode, Request, Response, SimulateSpec, StatsResult, SweepSpec, MAX_LINE_BYTES,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::ServerStats;
+use smith85_core::trace_pool::TracePool;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the accept loops recheck the shutdown
+/// flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Upper bound a connection waits for a worker reply after admission;
+/// a safety net against a lost reply, far above any legal job runtime.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP bind address, e.g. `"127.0.0.1:4085"` (port 0 for ephemeral).
+    pub addr: String,
+    /// Optional Unix-domain socket path (unix targets only; binding
+    /// fails with an error elsewhere). An existing socket file at the
+    /// path is replaced.
+    pub unix_path: Option<PathBuf>,
+    /// Worker threads executing `simulate`/`sweep` jobs.
+    pub workers: usize,
+    /// Work-queue capacity; submissions beyond it are rejected with
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Default per-job deadline applied when a request carries none.
+    pub default_deadline_ms: Option<u64>,
+    /// Shared trace pool (pass a clone to share with other components).
+    pub pool: TracePool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:4085".to_string(),
+            unix_path: None,
+            workers: smith85_core::sweep::default_threads(),
+            queue_capacity: 64,
+            default_deadline_ms: None,
+            pool: TracePool::new(),
+        }
+    }
+}
+
+enum JobKind {
+    Simulate(SimulateSpec),
+    Sweep(SweepSpec),
+}
+
+struct Job {
+    kind: JobKind,
+    reply: mpsc::SyncSender<Response>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+struct ServerState {
+    queue: BoundedQueue<Job>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    workers: usize,
+    default_deadline_ms: Option<u64>,
+    pool: TracePool,
+}
+
+impl ServerState {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn snapshot(&self) -> StatsResult {
+        self.stats.snapshot(
+            self.queue.depth(),
+            self.queue.high_water(),
+            self.workers,
+            &self.pool,
+        )
+    }
+}
+
+/// Requests a running server to shut down gracefully. Cloneable and
+/// usable from any thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+}
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown: stop accepting, drain in-flight jobs.
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    #[cfg(unix)]
+    unix_listener: Option<UnixListener>,
+    unix_path: Option<PathBuf>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the TCP (and optional Unix) listeners.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure, or `Unsupported` for a Unix-socket path
+    /// on a non-unix target.
+    pub fn bind(opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        #[cfg(unix)]
+        let unix_listener = match &opts.unix_path {
+            None => None,
+            Some(path) => {
+                // A previous run's socket file would make bind fail with
+                // AddrInUse; a fresh bind owns the path.
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Some(UnixListener::bind(path)?)
+            }
+        };
+        #[cfg(not(unix))]
+        if opts.unix_path.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are only available on unix targets",
+            ));
+        }
+        Ok(Server {
+            listener,
+            #[cfg(unix)]
+            unix_listener,
+            unix_path: opts.unix_path.clone(),
+            state: Arc::new(ServerState {
+                queue: BoundedQueue::new(opts.queue_capacity),
+                stats: ServerStats::default(),
+                shutdown: AtomicBool::new(false),
+                workers: opts.workers.max(1),
+                default_deadline_ms: opts.default_deadline_ms,
+                pool: opts.pool,
+            }),
+        })
+    }
+
+    /// The bound TCP address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's `local_addr` failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs until shutdown (SIGINT on unix, a `shutdown` request, or a
+    /// [`ShutdownHandle`]), then drains and returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns listener I/O failures; per-connection and per-job errors
+    /// are handled internally and never abort the server.
+    pub fn run(self) -> io::Result<StatsResult> {
+        #[cfg(unix)]
+        crate::signal::install_sigint_handler();
+
+        let state = Arc::clone(&self.state);
+        let mut workers = Vec::with_capacity(state.workers);
+        for i in 0..state.workers {
+            let state = Arc::clone(&state);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))?,
+            );
+        }
+
+        #[cfg(unix)]
+        let unix_accept = match self.unix_listener {
+            None => None,
+            Some(listener) => {
+                let state = Arc::clone(&state);
+                Some(
+                    thread::Builder::new()
+                        .name("serve-unix-accept".to_string())
+                        .spawn(move || accept_loop_unix(&listener, &state))?,
+                )
+            }
+        };
+
+        self.listener.set_nonblocking(true)?;
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !state.shutting_down() {
+            #[cfg(unix)]
+            if crate::signal::sigint_received() {
+                state.begin_shutdown();
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&state);
+                    match thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || handle_tcp_connection(stream, &state))
+                    {
+                        Ok(handle) => connections.push(handle),
+                        Err(e) => eprintln!("smith85-serve: spawn failed: {e}"),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_INTERVAL);
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Transient accept failures (e.g. EMFILE) must not
+                    // take the service down.
+                    eprintln!("smith85-serve: accept failed: {e}");
+                    thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+
+        // Drain: the queue is closed, workers finish admitted jobs and
+        // exit; connection threads notice the flag via their read
+        // timeout and exit after their in-flight request is answered.
+        state.begin_shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        #[cfg(unix)]
+        if let Some(handle) = unix_accept {
+            let _ = handle.join();
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(state.snapshot())
+    }
+
+    /// Binds and runs the server on a background thread; the returned
+    /// [`RunningServer`] exposes the bound address and a stop method.
+    /// This is the entry point tests, the load generator and embedders
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind or spawn failures.
+    pub fn spawn(opts: ServeOptions) -> io::Result<RunningServer> {
+        let server = Server::bind(opts)?;
+        let addr = server.local_addr()?;
+        let handle = server.shutdown_handle();
+        let thread = thread::Builder::new()
+            .name("serve-main".to_string())
+            .spawn(move || server.run())?;
+        Ok(RunningServer {
+            addr,
+            handle,
+            thread,
+        })
+    }
+}
+
+/// A server running on a background thread (see [`Server::spawn`]).
+pub struct RunningServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: thread::JoinHandle<io::Result<StatsResult>>,
+}
+
+impl RunningServer {
+    /// The bound TCP address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.handle.clone()
+    }
+
+    /// Requests shutdown, waits for the drain, and returns the final
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's I/O error, or `Other` if its thread
+    /// panicked.
+    pub fn stop(self) -> io::Result<StatsResult> {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        let queue_ms = job.admitted.elapsed().as_millis() as u64;
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                ServerStats::bump(&state.stats.deadline_misses);
+                let _ = job.reply.send(Response::Error(ErrorBody::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!("job waited {queue_ms} ms in queue, past its deadline"),
+                )));
+                continue;
+            }
+        }
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match &job.kind {
+            JobKind::Simulate(spec) => {
+                exec::run_simulate(&state.pool, spec).map(Response::Simulate)
+            }
+            JobKind::Sweep(spec) => exec::run_sweep(&state.pool, spec).map(Response::Sweep),
+        }));
+        let exec_ms = start.elapsed().as_millis() as u64;
+        let busy_counter = match &job.kind {
+            JobKind::Simulate(_) => &state.stats.busy_ms_simulate,
+            JobKind::Sweep(_) => &state.stats.busy_ms_sweep,
+        };
+        ServerStats::add_ms(busy_counter, exec_ms);
+        let response = match outcome {
+            Ok(Ok(mut response)) => {
+                if job
+                    .deadline
+                    .is_some_and(|deadline| Instant::now() > deadline)
+                {
+                    ServerStats::bump(&state.stats.deadline_misses);
+                    Response::Error(ErrorBody::new(
+                        ErrorCode::DeadlineExceeded,
+                        format!("job finished after its deadline ({exec_ms} ms of work)"),
+                    ))
+                } else {
+                    match &mut response {
+                        Response::Simulate(r) => {
+                            r.queue_ms = queue_ms;
+                            r.exec_ms = exec_ms;
+                        }
+                        Response::Sweep(r) => {
+                            r.queue_ms = queue_ms;
+                            r.exec_ms = exec_ms;
+                        }
+                        _ => {}
+                    }
+                    ServerStats::bump(&state.stats.completed);
+                    response
+                }
+            }
+            Ok(Err(error)) => {
+                ServerStats::bump(&state.stats.protocol_errors);
+                Response::Error(error)
+            }
+            Err(payload) => Response::Error(ErrorBody::new(
+                ErrorCode::Internal,
+                format!(
+                    "job panicked: {}",
+                    smith85_core::sweep::panic_message(payload.as_ref())
+                ),
+            )),
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+fn handle_tcp_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    serve_lines(reader, stream, state);
+}
+
+#[cfg(unix)]
+fn handle_unix_connection(stream: UnixStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    serve_lines(reader, stream, state);
+}
+
+#[cfg(unix)]
+fn accept_loop_unix(listener: &UnixListener, state: &Arc<ServerState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                if let Ok(handle) = thread::Builder::new()
+                    .name("serve-unix-conn".to_string())
+                    .spawn(move || handle_unix_connection(stream, &state))
+                {
+                    connections.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+}
+
+enum LineRead {
+    /// One complete line (without the newline).
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_LINE_BYTES`]; the connection is beyond
+    /// recovery (the rest of the line would have to be skipped
+    /// unboundedly), so the caller answers and closes.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+    /// Server shutdown observed while idle.
+    Shutdown,
+}
+
+/// Reads one newline-delimited line, polling the shutdown flag during
+/// read timeouts. A final line without a trailing newline still counts.
+fn read_line_bounded(
+    reader: &mut BufReader<impl Read>,
+    state: &ServerState,
+) -> io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buffered = match reader.fill_buf() {
+            Ok(buffered) => buffered,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if state.shutting_down() {
+                    return Ok(LineRead::Shutdown);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buffered.is_empty() {
+            return Ok(if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(line)
+            });
+        }
+        if let Some(pos) = buffered.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buffered[..pos]);
+            reader.consume(pos + 1);
+            if line.len() > MAX_LINE_BYTES {
+                return Ok(LineRead::Oversized);
+            }
+            return Ok(LineRead::Line(line));
+        }
+        let taken = buffered.len();
+        line.extend_from_slice(buffered);
+        reader.consume(taken);
+        if line.len() > MAX_LINE_BYTES {
+            return Ok(LineRead::Oversized);
+        }
+    }
+}
+
+fn serve_lines(reader: impl Read, mut writer: impl Write, state: &Arc<ServerState>) {
+    let mut reader = BufReader::new(reader);
+    loop {
+        let line = match read_line_bounded(&mut reader, state) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                ServerStats::bump(&state.stats.protocol_errors);
+                let response = Response::Error(ErrorBody::new(
+                    ErrorCode::Oversized,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+                let _ = write_response(&mut writer, &response);
+                return;
+            }
+            Ok(LineRead::Eof | LineRead::Shutdown) | Err(_) => return,
+        };
+        let text = match std::str::from_utf8(&line) {
+            Ok(text) => text,
+            Err(_) => {
+                ServerStats::bump(&state.stats.protocol_errors);
+                let response = Response::Error(ErrorBody::new(
+                    ErrorCode::BadRequest,
+                    "request line is not valid UTF-8",
+                ));
+                if write_response(&mut writer, &response).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let response = handle_request(text, state);
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut line = response.encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn handle_request(line: &str, state: &Arc<ServerState>) -> Response {
+    let request = match Request::decode(line) {
+        Ok(request) => request,
+        Err(error) => {
+            ServerStats::bump(&state.stats.protocol_errors);
+            return Response::Error(error);
+        }
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Catalog => {
+            ServerStats::bump(&state.stats.catalog_requests);
+            Response::Catalog(exec::catalog_result())
+        }
+        Request::Stats => {
+            ServerStats::bump(&state.stats.stats_requests);
+            Response::Stats(state.snapshot())
+        }
+        Request::Shutdown => {
+            state.begin_shutdown();
+            Response::Ok
+        }
+        Request::Simulate(spec) => {
+            let deadline_ms = spec.deadline_ms.or(state.default_deadline_ms);
+            submit_job(
+                state,
+                JobKind::Simulate(spec),
+                deadline_ms,
+                &state.stats.simulate_requests,
+            )
+        }
+        Request::Sweep(spec) => {
+            let deadline_ms = spec.deadline_ms.or(state.default_deadline_ms);
+            submit_job(
+                state,
+                JobKind::Sweep(spec),
+                deadline_ms,
+                &state.stats.sweep_requests,
+            )
+        }
+    }
+}
+
+fn submit_job(
+    state: &Arc<ServerState>,
+    kind: JobKind,
+    deadline_ms: Option<u64>,
+    admitted_counter: &std::sync::atomic::AtomicU64,
+) -> Response {
+    let admitted = Instant::now();
+    let (reply, receive) = mpsc::sync_channel(1);
+    let job = Job {
+        kind,
+        reply,
+        admitted,
+        deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
+    };
+    match state.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            ServerStats::bump(&state.stats.rejected_overload);
+            return Response::Error(ErrorBody::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "work queue is full ({} jobs); retry later",
+                    state.queue.depth()
+                ),
+            ));
+        }
+        Err(PushError::Closed(_)) => {
+            return Response::Error(ErrorBody::new(
+                ErrorCode::ShuttingDown,
+                "server is draining and no longer admits work",
+            ));
+        }
+    }
+    ServerStats::bump(admitted_counter);
+    match receive.recv_timeout(REPLY_TIMEOUT) {
+        Ok(response) => response,
+        Err(_) => Response::Error(ErrorBody::new(
+            ErrorCode::Internal,
+            "worker did not reply in time",
+        )),
+    }
+}

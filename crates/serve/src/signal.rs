@@ -1,0 +1,38 @@
+//! Minimal SIGINT handling without a libc dependency (unix only).
+//!
+//! The crate denies `unsafe_code`; this module carries the one allowance
+//! because registering a signal handler requires an `extern "C"`
+//! declaration. The handler only stores to an `AtomicBool` —
+//! async-signal-safe by construction — and the accept loop polls the
+//! flag.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+const SIGINT_NUM: i32 = 2;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT → flag handler. Idempotent; safe to call from
+/// multiple servers in one process.
+pub fn install_sigint_handler() {
+    // SAFETY: `signal(2)` with a handler that only performs an atomic
+    // store is async-signal-safe; no other state is touched.
+    unsafe {
+        signal(SIGINT_NUM, on_sigint);
+    }
+}
+
+/// Whether a SIGINT has arrived since the handler was installed.
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}

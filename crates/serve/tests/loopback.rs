@@ -1,0 +1,307 @@
+//! End-to-end tests against a real server on a loopback socket.
+//!
+//! These cover the acceptance criteria of the serving subsystem: served
+//! results are bit-identical to direct library runs even under
+//! concurrency, a full queue produces a typed `overloaded` rejection
+//! (never a hang), malformed input gets typed errors without killing any
+//! worker, and shutdown drains admitted work.
+
+use smith85_cachesim::{CacheConfig, Simulator, UnifiedCache};
+use smith85_serve::{
+    CacheSpec, Client, ErrorCode, Request, Response, ServeOptions, Server, SimulateSpec,
+};
+use smith85_synth::catalog;
+use std::time::{Duration, Instant};
+
+fn spawn_default() -> smith85_serve::RunningServer {
+    Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeOptions::default()
+    })
+    .expect("spawn server")
+}
+
+fn simulate_request(workload: &str, len: usize, size: usize) -> Request {
+    Request::Simulate(SimulateSpec {
+        workload: workload.to_string(),
+        len,
+        seed: None,
+        cache: CacheSpec {
+            size,
+            line: 16,
+            ways: None,
+            purge: None,
+        },
+        deadline_ms: None,
+    })
+}
+
+/// Miss ratio of a direct in-process library run, for comparison.
+fn direct_miss_ratio(workload: &str, len: usize, size: usize) -> f64 {
+    let profile = catalog::by_name(workload).expect("catalog name").profile().clone();
+    let trace = profile.generate(len);
+    let config = CacheConfig::builder(size).line_size(16).build().unwrap();
+    let mut cache = UnifiedCache::new(config).unwrap();
+    cache.run_slice(&trace.as_slice()[..len]);
+    cache.stats().miss_ratio()
+}
+
+fn fetch_stats(addr: &str) -> smith85_serve::StatsResult {
+    let mut client = Client::connect(addr).expect("stats client");
+    match client.call(&Request::Stats).expect("stats call") {
+        Response::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_get_bit_identical_results() {
+    let server = spawn_default();
+    let addr = server.addr().to_string();
+    const LEN: usize = 20_000;
+    let sizes = [1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17];
+
+    let served: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sizes
+            .iter()
+            .map(|&size| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    match client
+                        .call(&simulate_request("VCCOM", LEN, size))
+                        .expect("call")
+                    {
+                        Response::Simulate(r) => {
+                            assert_eq!(r.refs, LEN as u64);
+                            (size, r.miss_ratio)
+                        }
+                        other => panic!("expected simulate result, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (size, served_ratio) in served {
+        let direct = direct_miss_ratio("VCCOM", LEN, size);
+        assert_eq!(
+            served_ratio.to_bits(),
+            direct.to_bits(),
+            "size {size}: served {served_ratio} != direct {direct}"
+        );
+    }
+
+    // All eight requests shared one workload: exactly one materialization.
+    let stats = fetch_stats(&addr);
+    assert_eq!(stats.pool.misses, 1, "concurrent requests must dedupe");
+    assert_eq!(stats.pool.hits, 7);
+    assert_eq!(stats.completed, 8);
+
+    let final_stats = server.stop().expect("clean shutdown");
+    assert_eq!(final_stats.simulate_requests, 8);
+}
+
+#[test]
+fn full_queue_rejects_with_typed_overloaded_not_a_hang() {
+    // One worker and a queue bound of one: a slow executing job plus one
+    // queued job leaves no room for a third.
+    let server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeOptions::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr().to_string();
+
+    // Maximum-length jobs keep the single worker busy for seconds, so
+    // the queue-full window is wide enough to probe reliably.
+    let slow = simulate_request("VCCOM", 2_000_000, 1 << 14);
+    let queued = simulate_request("VCCOM", 2_000_000, 1 << 15);
+
+    std::thread::scope(|scope| {
+        let slow_handle = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.call(&slow).expect("slow job")
+            })
+        };
+        // Wait until the worker has picked the slow job up (admitted and
+        // no longer queued).
+        wait_until(|| {
+            let s = fetch_stats(&addr);
+            s.simulate_requests >= 1 && s.queue_depth == 0
+        });
+
+        let queued_handle = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.call(&queued).expect("queued job")
+            })
+        };
+        wait_until(|| fetch_stats(&addr).queue_depth == 1);
+
+        // Queue full: this must come back immediately and typed.
+        let mut client = Client::connect(&addr).expect("connect");
+        let start = Instant::now();
+        match client
+            .call(&simulate_request("VCCOM", 1_000, 1 << 12))
+            .expect("rejected call still answers")
+        {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded, "{e:?}");
+            }
+            other => panic!("expected overloaded error, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "rejection must not wait for the queue to drain"
+        );
+
+        // The admitted jobs still complete normally.
+        assert!(matches!(slow_handle.join().unwrap(), Response::Simulate(_)));
+        assert!(matches!(queued_handle.join().unwrap(), Response::Simulate(_)));
+    });
+
+    let stats = server.stop().expect("clean shutdown");
+    assert_eq!(stats.rejected_overload, 1);
+    assert_eq!(stats.queue_high_water, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn malformed_input_gets_typed_errors_and_workers_survive() {
+    let server = spawn_default();
+    let addr = server.addr().to_string();
+
+    // Truncated JSON.
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.send_raw_line("{\"type\": \"sim").expect("answer") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{e:?}"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // Unknown request type.
+    match client
+        .send_raw_line("{\"type\": \"frobnicate\"}")
+        .expect("answer")
+    {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownType, "{e:?}"),
+        other => panic!("expected unknown_type, got {other:?}"),
+    }
+
+    // Not JSON at all.
+    match client.send_raw_line("hello there").expect("answer") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{e:?}"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // A structurally valid request with a bad payload type.
+    match client
+        .send_raw_line("{\"type\": \"simulate\", \"workload\": 7}")
+        .expect("answer")
+    {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{e:?}"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // Oversized line: typed error, then the server closes that
+    // connection (the remainder of the line cannot be skipped safely).
+    let huge = "x".repeat(smith85_serve::protocol::MAX_LINE_BYTES + 1024);
+    match client.send_raw_line(&huge).expect("answer") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Oversized, "{e:?}"),
+        other => panic!("expected oversized, got {other:?}"),
+    }
+
+    // A fresh connection still gets real work done: nothing died.
+    let mut client = Client::connect(&addr).expect("reconnect");
+    assert!(matches!(
+        client.call(&Request::Ping).expect("ping"),
+        Response::Pong
+    ));
+    match client
+        .call(&simulate_request("ZGREP", 2_000, 1 << 12))
+        .expect("simulate after abuse")
+    {
+        Response::Simulate(r) => assert!(r.miss_ratio > 0.0),
+        other => panic!("expected simulate result, got {other:?}"),
+    }
+
+    let stats = server.stop().expect("clean shutdown");
+    assert!(stats.protocol_errors >= 5, "{stats:?}");
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn shutdown_request_drains_and_stops_admitting() {
+    let server = spawn_default();
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    match client
+        .call(&simulate_request("PL0", 5_000, 1 << 12))
+        .expect("job before shutdown")
+    {
+        Response::Simulate(_) => {}
+        other => panic!("expected simulate result, got {other:?}"),
+    }
+    assert!(matches!(
+        client.call(&Request::Shutdown).expect("shutdown"),
+        Response::Ok
+    ));
+
+    // Late submissions are refused with a typed shutting_down error (the
+    // connection may also already be closed, which is equally fine).
+    if let Ok(response) = client.call(&simulate_request("PL0", 5_000, 1 << 13)) {
+        match response {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown, "{e:?}"),
+            other => panic!("expected shutting_down, got {other:?}"),
+        }
+    }
+
+    let stats = server.stop().expect("clean shutdown");
+    assert_eq!(stats.completed, 1);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    let path = std::env::temp_dir().join(format!("smith85-serve-{}.sock", std::process::id()));
+    let server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        unix_path: Some(path.clone()),
+        ..ServeOptions::default()
+    })
+    .expect("spawn server with unix socket");
+
+    let mut client = Client::connect_unix(&path).expect("unix connect");
+    assert!(matches!(
+        client.call(&Request::Ping).expect("ping"),
+        Response::Pong
+    ));
+    match client
+        .call(&simulate_request("VCCOM", 2_000, 1 << 12))
+        .expect("simulate over unix socket")
+    {
+        Response::Simulate(r) => {
+            let direct = direct_miss_ratio("VCCOM", 2_000, 1 << 12);
+            assert_eq!(r.miss_ratio.to_bits(), direct.to_bits());
+        }
+        other => panic!("expected simulate result, got {other:?}"),
+    }
+
+    server.stop().expect("clean shutdown");
+    assert!(!path.exists(), "socket file must be cleaned up");
+}
+
+fn wait_until(mut condition: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !condition() {
+        assert!(Instant::now() < deadline, "condition not reached in 30s");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
