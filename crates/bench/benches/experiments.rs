@@ -10,12 +10,12 @@ use smith85_core::experiments::{
 };
 
 fn bench_config() -> ExperimentConfig {
-    ExperimentConfig {
-        trace_len: 10_000,
-        sizes: vec![256, 4096],
-        threads: 1, // single-threaded for stable timing
-        pool: Default::default(),
-    }
+    ExperimentConfig::builder()
+        .trace_len(10_000)
+        .sizes(vec![256, 4096])
+        .threads(1) // single-threaded for stable timing
+        .build()
+        .unwrap()
 }
 
 fn bench_experiments(c: &mut Criterion) {

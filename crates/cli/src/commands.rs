@@ -2,11 +2,11 @@
 
 use crate::{CliError, Opts};
 use smith85_cachesim::{
-    CacheConfig, FetchPolicy, Mapping, Replacement, Simulator, SplitCache, StackAnalyzer,
-    UnifiedCache, WritePolicy, PAPER_SIZES,
+    CacheConfig, FetchPolicy, Mapping, Replacement, StackAnalyzer, WritePolicy, PAPER_SIZES,
 };
-use smith85_core::experiments::{self, ExperimentConfig};
+use smith85_core::experiments::{self};
 use smith85_core::runner;
+use smith85_core::session::SimSession;
 use smith85_core::targets::{design_target, traffic_factor, CacheKind};
 use smith85_synth::catalog;
 use smith85_trace::{io as trace_io, Trace};
@@ -58,17 +58,18 @@ USAGE:
       under the same configuration. A panicking experiment is recorded
       and the rest of the suite still runs.
   smith85 serve [--addr HOST:PORT] [--unix PATH] [--workers N] [--queue N]
-          [--deadline-ms N]
+          [--deadline-ms N] [--metrics-addr HOST:PORT]
       Run the simulation server (newline-delimited JSON over TCP, plus a
       Unix socket with --unix). Requests past the queue bound get a typed
-      \"overloaded\" rejection. Ctrl-C drains in-flight jobs and exits.
+      \"overloaded\" rejection. --metrics-addr serves Prometheus text
+      exposition at /metrics. Ctrl-C drains in-flight jobs and exits.
   smith85 submit TYPE [--addr HOST:PORT] [--unix PATH] [--json true] ...
       Send one request to a running server. TYPE is one of:
         simulate --workload NAME --size BYTES [--len N] [--seed N]
                  [--line BYTES] [--ways N|full] [--purge N] [--deadline-ms N]
         sweep    --workload NAME [--len N] [--seed N] [--sizes a,b,c]
                  [--line BYTES] [--deadline-ms N]
-        catalog | stats | ping | shutdown
+        catalog | stats | metrics | ping | shutdown
       --json true prints the raw response line instead of a summary.
 "
     .to_string()
@@ -248,21 +249,20 @@ pub(crate) fn simulate(opts: &Opts) -> Result<String, CliError> {
     }
     let trace = trace;
     let config = parse_config(opts)?;
+    let session = SimSession::default();
     match opts.get("org").unwrap_or("unified") {
         "unified" => {
-            let mut cache = UnifiedCache::new(config)?;
-            cache.run(trace.iter().copied());
-            Ok(format!("{}\n{}", config, render_stats(cache.stats())))
+            let stats = session.simulate_unified(trace.as_slice(), config)?;
+            Ok(format!("{}\n{}", config, render_stats(&stats)))
         }
         "split" => {
             let purge = config.purge_interval();
-            let mut cache = SplitCache::new(config, config, purge)?;
-            cache.run(trace.iter().copied());
+            let split = session.simulate_split(trace.as_slice(), config, config, purge)?;
             Ok(format!(
                 "{} (split)\n--- instruction ---\n{}--- data ---\n{}",
                 config,
-                render_stats(cache.instruction_stats()),
-                render_stats(cache.data_stats())
+                render_stats(&split.instruction),
+                render_stats(&split.data)
             ))
         }
         other => Err(CliError::usage(format!("unknown organisation {other:?}"))),
@@ -284,11 +284,7 @@ pub(crate) fn sweep(opts: &Opts) -> Result<String, CliError> {
             .collect::<Result<_, _>>()?,
     };
     let line = opts.get_parse("line", 16usize)?;
-    let mut analyzer = StackAnalyzer::with_line_size(line);
-    for access in &trace {
-        analyzer.observe(*access);
-    }
-    let profile = analyzer.finish();
+    let profile = SimSession::default().sweep_stack(trace.as_slice(), line);
     let mut out = String::new();
     let _ = writeln!(out, "{:>10}  {:>9}  (fully associative LRU, {line}-byte lines)", "size", "miss");
     for size in sizes {
@@ -404,23 +400,40 @@ pub(crate) fn custom(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds an instrumented session from the shared `--quick`/`--len`/
+/// `--threads` flags — the one configure→run surface the `experiment`
+/// and `suite` subcommands share with the serve workers.
+fn session_from_opts(opts: &Opts) -> Result<SimSession, CliError> {
+    let mut builder = SimSession::builder();
+    if opts.get("quick").is_some() {
+        builder = builder.quick();
+    }
+    if let Some(len) = opts.get("len") {
+        builder = builder.trace_len(
+            len.parse()
+                .map_err(|_| CliError::usage(format!("bad --len {len:?}")))?,
+        );
+    }
+    if let Some(threads) = opts.get("threads") {
+        builder = builder.threads(
+            threads
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad --threads {threads:?}")))?,
+        );
+    }
+    builder
+        .build()
+        .map_err(|e| CliError::usage(format!("invalid configuration: {e}")))
+}
+
 pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
     opts.expect_only(&["quick", "len", "csv", "threads"])?;
     let name = opts
         .positional()
         .first()
         .ok_or_else(|| CliError::usage("which experiment? (e.g. `smith85 experiment table1`)"))?;
-    let mut config = if opts.get("quick").is_some() {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::paper()
-    };
-    if let Some(len) = opts.get("len") {
-        config.trace_len = len
-            .parse()
-            .map_err(|_| CliError::usage(format!("bad --len {len:?}")))?;
-    }
-    config.threads = opts.get_parse("threads", config.threads)?;
+    let session = session_from_opts(opts)?;
+    let config = session.config().clone();
     let csv = opts.get("csv").is_some();
     let out = match name.as_str() {
         "table1" | "fig1" => {
@@ -460,17 +473,8 @@ pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
 
 pub(crate) fn suite(opts: &Opts) -> Result<String, CliError> {
     opts.expect_only(&["out", "resume", "quick", "len", "threads"])?;
-    let mut config = if opts.get("quick").is_some() {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::paper()
-    };
-    if let Some(len) = opts.get("len") {
-        config.trace_len = len
-            .parse()
-            .map_err(|_| CliError::usage(format!("bad --len {len:?}")))?;
-    }
-    config.threads = opts.get_parse("threads", config.threads)?;
+    let session = session_from_opts(opts)?;
+    let config = session.config().clone();
     let options = runner::RunnerOptions {
         out_dir: std::path::PathBuf::from(opts.get("out").unwrap_or("suite-results")),
         resume: opts.get_parse("resume", false)?,
@@ -518,7 +522,7 @@ fn pool_summary(stats: &smith85_core::trace_pool::PoolStats) -> String {
 }
 
 pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
-    opts.expect_only(&["addr", "unix", "workers", "queue", "deadline-ms"])?;
+    opts.expect_only(&["addr", "unix", "workers", "queue", "deadline-ms", "metrics-addr"])?;
     let mut options = smith85_serve::ServeOptions {
         addr: opts.get("addr").unwrap_or("127.0.0.1:4085").to_string(),
         ..smith85_serve::ServeOptions::default()
@@ -532,6 +536,7 @@ pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
                 .map_err(|_| CliError::usage(format!("bad --deadline-ms {ms:?}")))?,
         );
     }
+    options.metrics_addr = opts.get("metrics-addr").map(str::to_string);
     let (workers, queue) = (options.workers, options.queue_capacity);
     let unix = options.unix_path.clone();
     let server = smith85_serve::Server::bind(options)?;
@@ -547,6 +552,9 @@ pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
             .map(|p| format!(", unix socket {}", p.display()))
             .unwrap_or_default(),
     );
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("smith85-serve: Prometheus metrics on http://{addr}/metrics");
+    }
     eprintln!("smith85-serve: ctrl-c drains in-flight jobs and exits");
     let stats = server.run()?;
     Ok(format!(
@@ -633,10 +641,11 @@ fn build_request(kind: &str, opts: &Opts) -> Result<smith85_serve::Request, CliE
         })),
         "catalog" => Ok(smith85_serve::Request::Catalog),
         "stats" => Ok(smith85_serve::Request::Stats),
+        "metrics" => Ok(smith85_serve::Request::Metrics),
         "ping" => Ok(smith85_serve::Request::Ping),
         "shutdown" => Ok(smith85_serve::Request::Shutdown),
         other => Err(CliError::usage(format!(
-            "unknown request type {other:?} (simulate, sweep, catalog, stats, ping, shutdown)"
+            "unknown request type {other:?} (simulate, sweep, catalog, stats, metrics, ping, shutdown)"
         ))),
     }
 }
@@ -709,6 +718,24 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
                 s.pool.resident_bytes as f64 / (1024.0 * 1024.0),
             );
         }
+        Response::Metrics(snapshot) => {
+            let _ = writeln!(out, "counters:");
+            for c in &snapshot.counters {
+                let _ = writeln!(out, "  {:<40} {}", c.name, c.value);
+            }
+            let _ = writeln!(out, "gauges:");
+            for g in &snapshot.gauges {
+                let _ = writeln!(out, "  {:<40} {}", g.name, g.value);
+            }
+            let _ = writeln!(out, "histograms:");
+            for h in &snapshot.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} count {}  p50 {:.3}  p95 {:.3}  p99 {:.3}",
+                    h.name, h.count, h.p50, h.p95, h.p99
+                );
+            }
+        }
         Response::Pong => out.push_str("pong\n"),
         Response::Ok => out.push_str("ok (server is draining)\n"),
         Response::Error(e) => {
@@ -742,7 +769,9 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
         .first()
         .map(String::as_str)
         .ok_or_else(|| {
-            CliError::usage("need a request type: simulate, sweep, catalog, stats, ping or shutdown")
+            CliError::usage(
+                "need a request type: simulate, sweep, catalog, stats, metrics, ping or shutdown",
+            )
         })?;
     let request = build_request(kind, opts)?;
     let mut client = match opts.get("unix") {

@@ -390,12 +390,12 @@ mod tests {
     fn shared() -> &'static Ablations {
         static CELL: OnceLock<Ablations> = OnceLock::new();
         CELL.get_or_init(|| {
-            run(&ExperimentConfig {
-                trace_len: 90_000,
-                sizes: vec![4096],
-                threads: crate::sweep::default_threads(),
-                pool: Default::default(),
-            })
+            run(&ExperimentConfig::builder()
+                .trace_len(90_000)
+                .sizes(vec![4096])
+                .threads(crate::sweep::default_threads())
+                .build()
+                .unwrap())
         })
     }
 

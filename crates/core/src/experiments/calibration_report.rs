@@ -176,12 +176,12 @@ mod tests {
     fn shared() -> &'static CalibrationReport {
         static CELL: OnceLock<CalibrationReport> = OnceLock::new();
         CELL.get_or_init(|| {
-            run(&ExperimentConfig {
-                trace_len: 60_000,
-                sizes: vec![1024],
-                threads: crate::sweep::default_threads(),
-                pool: Default::default(),
-            })
+            run(&ExperimentConfig::builder()
+                .trace_len(60_000)
+                .sizes(vec![1024])
+                .threads(crate::sweep::default_threads())
+                .build()
+                .unwrap())
         })
     }
 

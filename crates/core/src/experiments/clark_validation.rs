@@ -112,12 +112,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 20_000,
-            sizes: vec![8192],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(20_000)
+            .sizes(vec![8192])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -200,12 +200,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 30_000,
-            sizes: vec![256, 1024, 8192],
-            threads: crate::sweep::default_threads(),
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(30_000)
+            .sizes(vec![256, 1024, 8192])
+            .threads(crate::sweep::default_threads())
+            .build()
+            .unwrap()
     }
 
     #[test]

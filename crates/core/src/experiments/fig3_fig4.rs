@@ -124,12 +124,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 25_000,
-            sizes: vec![256, 2048],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(25_000)
+            .sizes(vec![256, 2048])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -156,12 +156,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 25_000,
-            sizes: vec![EVAL_SIZE],
-            threads: crate::sweep::default_threads(),
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(25_000)
+            .sizes(vec![EVAL_SIZE])
+            .threads(crate::sweep::default_threads())
+            .build()
+            .unwrap()
     }
 
     #[test]

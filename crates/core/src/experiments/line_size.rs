@@ -164,12 +164,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 25_000,
-            sizes: vec![1024],
-            threads: crate::sweep::default_threads(),
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(25_000)
+            .sizes(vec![1024])
+            .threads(crate::sweep::default_threads())
+            .build()
+            .unwrap()
     }
 
     #[test]

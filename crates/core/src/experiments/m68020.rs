@@ -127,12 +127,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 30_000,
-            sizes: vec![256],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(30_000)
+            .sizes(vec![256])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod trace_length;
 pub mod traffic_ratio;
 pub mod z80000;
 
+use crate::session::ProbeHandle;
 use crate::sweep;
 use crate::trace_pool::TracePool;
 use smith85_cachesim::PAPER_SIZES;
@@ -35,9 +36,13 @@ use smith85_trace::mix::RoundRobinMix;
 use smith85_trace::{
     MachineArch, MemoryAccess, Trace, PAPER_PURGE_INTERVAL, PAPER_PURGE_INTERVAL_M68000,
 };
+use std::fmt;
 use std::sync::Arc;
 
 /// Common experiment parameters.
+///
+/// Construct via [`ExperimentConfig::builder`] (validated), or the
+/// [`paper`](Self::paper)/[`quick`](Self::quick) presets.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// References simulated per workload.
@@ -50,9 +55,137 @@ pub struct ExperimentConfig {
     /// clones the *handle*: every experiment run from the same config (the
     /// whole suite) replays the same materialized traces.
     pub pool: TracePool,
+    // Instrumentation sink for everything run under this config. Crate-
+    // private so struct-literal construction outside the builder/presets
+    // is impossible, which keeps validation mandatory for callers.
+    pub(crate) probe: ProbeHandle,
+}
+
+/// A validation failure from [`ExperimentConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `trace_len` was zero.
+    ZeroTraceLen,
+    /// The size sweep was empty.
+    EmptySizes,
+    /// A swept cache size was not a power of two.
+    SizeNotPowerOfTwo(usize),
+    /// `threads` was zero.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTraceLen => write!(f, "trace_len must be at least 1"),
+            ConfigError::EmptySizes => write!(f, "the size sweep must not be empty"),
+            ConfigError::SizeNotPowerOfTwo(size) => {
+                write!(f, "cache size {size} is not a power of two")
+            }
+            ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated builder for [`ExperimentConfig`]; defaults match
+/// [`ExperimentConfig::paper`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    trace_len: usize,
+    sizes: Vec<usize>,
+    threads: usize,
+    pool: TracePool,
+    probe: ProbeHandle,
+}
+
+impl Default for ExperimentConfigBuilder {
+    fn default() -> Self {
+        ExperimentConfigBuilder {
+            trace_len: 250_000,
+            sizes: PAPER_SIZES.to_vec(),
+            threads: sweep::default_threads(),
+            pool: TracePool::new(),
+            probe: ProbeHandle::default(),
+        }
+    }
+}
+
+impl ExperimentConfigBuilder {
+    /// Switches every field to the [`ExperimentConfig::quick`] preset.
+    pub fn quick(mut self) -> Self {
+        self.trace_len = 30_000;
+        self.sizes = vec![64, 256, 1024, 4096, 16384];
+        self
+    }
+
+    /// References simulated per workload.
+    pub fn trace_len(mut self, trace_len: usize) -> Self {
+        self.trace_len = trace_len;
+        self
+    }
+
+    /// Cache sizes swept.
+    pub fn sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Worker threads for the simulation grid.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The shared trace pool (to share materializations across configs).
+    pub fn pool(mut self, pool: TracePool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The instrumentation sink (defaults to a no-op).
+    pub fn probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for a zero trace length or thread
+    /// count, an empty size sweep, or a non-power-of-two cache size.
+    pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
+        if self.trace_len == 0 {
+            return Err(ConfigError::ZeroTraceLen);
+        }
+        if self.sizes.is_empty() {
+            return Err(ConfigError::EmptySizes);
+        }
+        if let Some(&bad) = self.sizes.iter().find(|s| !s.is_power_of_two()) {
+            return Err(ConfigError::SizeNotPowerOfTwo(bad));
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(ExperimentConfig {
+            trace_len: self.trace_len,
+            sizes: self.sizes,
+            threads: self.threads,
+            pool: self.pool,
+            probe: self.probe,
+        })
+    }
 }
 
 impl ExperimentConfig {
+    /// A validated builder, seeded with the [`paper`](Self::paper)
+    /// defaults.
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder::default()
+    }
+
     /// The paper's scale: 250,000 references, the full 32 B – 64 KiB sweep.
     pub fn paper() -> Self {
         ExperimentConfig {
@@ -60,6 +193,7 @@ impl ExperimentConfig {
             sizes: PAPER_SIZES.to_vec(),
             threads: sweep::default_threads(),
             pool: TracePool::new(),
+            probe: ProbeHandle::default(),
         }
     }
 
@@ -70,7 +204,13 @@ impl ExperimentConfig {
             sizes: vec![64, 256, 1024, 4096, 16384],
             threads: sweep::default_threads(),
             pool: TracePool::new(),
+            probe: ProbeHandle::default(),
         }
+    }
+
+    /// The instrumentation sink attached to this configuration.
+    pub fn probe(&self) -> &ProbeHandle {
+        &self.probe
     }
 
     /// The pooled trace for `workload` at this config's
@@ -189,6 +329,63 @@ pub fn table3_workloads() -> Vec<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let built = ExperimentConfig::builder().build().unwrap();
+        let paper = ExperimentConfig::paper();
+        assert_eq!(built.trace_len, paper.trace_len);
+        assert_eq!(built.sizes, paper.sizes);
+        assert_eq!(built.threads, paper.threads);
+    }
+
+    #[test]
+    fn builder_quick_preset_matches_quick() {
+        let built = ExperimentConfig::builder().quick().build().unwrap();
+        let quick = ExperimentConfig::quick();
+        assert_eq!(built.trace_len, quick.trace_len);
+        assert_eq!(built.sizes, quick.sizes);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            ExperimentConfig::builder().trace_len(0).build().unwrap_err(),
+            ConfigError::ZeroTraceLen
+        );
+        assert_eq!(
+            ExperimentConfig::builder().sizes(vec![]).build().unwrap_err(),
+            ConfigError::EmptySizes
+        );
+        assert_eq!(
+            ExperimentConfig::builder()
+                .sizes(vec![1024, 1000])
+                .build()
+                .unwrap_err(),
+            ConfigError::SizeNotPowerOfTwo(1000)
+        );
+        assert_eq!(
+            ExperimentConfig::builder().threads(0).build().unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+        let err = ConfigError::SizeNotPowerOfTwo(1000).to_string();
+        assert!(err.contains("1000"), "{err}");
+    }
+
+    #[test]
+    fn builder_shares_a_supplied_pool() {
+        let pool = TracePool::new();
+        let config = ExperimentConfig::builder()
+            .trace_len(1_000)
+            .sizes(vec![256])
+            .threads(1)
+            .pool(pool.clone())
+            .build()
+            .unwrap();
+        let w = Workload::Single(catalog::by_name("VCCOM").unwrap().profile().clone());
+        let _ = config.workload_trace(&w);
+        assert_eq!(pool.stats().entries, 1, "builder must keep the handle");
+    }
 
     #[test]
     fn quick_config_is_smaller() {

@@ -133,12 +133,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 30_000,
-            sizes: vec![CACHE_BYTES],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(30_000)
+            .sizes(vec![CACHE_BYTES])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -110,12 +110,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 120_000,
-            sizes: vec![16 * 1024],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(120_000)
+            .sizes(vec![16 * 1024])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -135,12 +135,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 60_000,
-            sizes: vec![CACHE_BYTES],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(60_000)
+            .sizes(vec![CACHE_BYTES])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -312,12 +312,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 25_000,
-            sizes: vec![512, 8192],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(25_000)
+            .sizes(vec![512, 8192])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -162,12 +162,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 6_000,
-            sizes: vec![256, 1024, 8192],
-            threads: 2,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(6_000)
+            .sizes(vec![256, 1024, 8192])
+            .threads(2)
+            .build()
+            .unwrap()
     }
 
     #[test]

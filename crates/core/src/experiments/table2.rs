@@ -129,12 +129,12 @@ mod tests {
     use crate::experiments::ExperimentConfig;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 8_000,
-            sizes: vec![1024],
-            threads: 2,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(8_000)
+            .sizes(vec![1024])
+            .threads(2)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -175,12 +175,12 @@ mod tests {
 
     #[test]
     fn mvs_has_largest_footprint_m68000_smallest() {
-        let cfg = ExperimentConfig {
-            trace_len: 40_000,
-            sizes: vec![1024],
-            threads: 4,
-            pool: Default::default(),
-        };
+        let cfg = ExperimentConfig::builder()
+            .trace_len(40_000)
+            .sizes(vec![1024])
+            .threads(4)
+            .build()
+            .unwrap();
         let t = run(&cfg);
         let aspace = |label: &str| {
             t.group_aspace

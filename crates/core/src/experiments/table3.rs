@@ -126,12 +126,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 45_000, // at least two purge cycles
-            sizes: vec![1024],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(45_000) // at least two purge cycles
+            .sizes(vec![1024])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

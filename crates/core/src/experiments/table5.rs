@@ -120,12 +120,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 12_000,
-            sizes: vec![256, 4096],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(12_000)
+            .sizes(vec![256, 4096])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -128,12 +128,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 80_000,
-            sizes: vec![1024],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(80_000)
+            .sizes(vec![1024])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

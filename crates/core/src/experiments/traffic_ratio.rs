@@ -125,12 +125,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 25_000,
-            sizes: vec![64, 1024, 16384],
-            threads: 4,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(25_000)
+            .sizes(vec![64, 1024, 16384])
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]

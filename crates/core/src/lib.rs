@@ -22,6 +22,9 @@
 //!   percentiles;
 //! * [`trace_pool`] — the generate-once/replay-many trace cache every
 //!   sweep draws from;
+//! * [`session`] — the instrumented [`SimSession`](session::SimSession)
+//!   entry surface shared by the CLI, the suite runner and the serve
+//!   workers (see also [`prelude`]);
 //! * [`runner`] — the checkpointed, resumable suite runner behind
 //!   `smith85 suite`;
 //! * [`guide`] — a guided tour of the three designer workflows, with
@@ -50,11 +53,14 @@ pub mod fudge;
 pub mod guide;
 pub mod hard80;
 pub mod performance;
+pub mod prelude;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod stat_util;
 pub mod sweep;
 pub mod targets;
 pub mod trace_pool;
 
+pub use session::{Probe, ProbeHandle, SimSession, SimSessionBuilder};
 pub use trace_pool::{PoolStats, TracePool};

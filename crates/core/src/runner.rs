@@ -180,6 +180,7 @@ pub fn run_suite_with(
 ) -> io::Result<SuiteReport> {
     fs::create_dir_all(&opts.out_dir)?;
     let hash = config_hash(config);
+    let suite_start = Instant::now();
     let mut outcomes: Vec<ExperimentOutcome> = Vec::with_capacity(entries.len());
     for entry in entries {
         let result_path = opts.out_dir.join(format!("{}.json", entry.name));
@@ -225,13 +226,24 @@ pub fn run_suite_with(
                 }
             }
         };
+        if outcome.status != ExperimentStatus::Skip {
+            config.probe().count("suite_experiments_total", 1);
+            config
+                .probe()
+                .observe("suite_experiment_ms", outcome.duration_ms as f64);
+        }
         progress(&outcome);
         outcomes.push(outcome);
         // Rewriting the manifest after every experiment keeps it honest
         // even if the process dies mid-suite.
         write_atomic(
             &opts.out_dir.join("manifest.json"),
-            &manifest_json(&hash, config.threads, &outcomes),
+            &manifest_json(
+                &hash,
+                config.threads,
+                &outcomes,
+                suite_start.elapsed().as_millis() as u64,
+            ),
         )?;
     }
     Ok(SuiteReport {
@@ -293,11 +305,29 @@ fn result_json(name: &str, hash: &str, duration_ms: u64, rendered: &str) -> Stri
     )
 }
 
-fn manifest_json(hash: &str, threads: usize, outcomes: &[ExperimentOutcome]) -> String {
+fn manifest_json(
+    hash: &str,
+    threads: usize,
+    outcomes: &[ExperimentOutcome],
+    total_wall_ms: u64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"config_hash\": \"{hash}\",\n"));
     s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"timing\": {\n");
+    s.push_str(&format!("    \"total_wall_ms\": {total_wall_ms},\n"));
+    s.push_str("    \"phases\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"wall_ms\": {}}}{}\n",
+            json_escape(o.name),
+            o.duration_ms,
+            if i + 1 < outcomes.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
     s.push_str("  \"experiments\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         let error = match &o.error {
@@ -339,12 +369,12 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> ExperimentConfig {
-        ExperimentConfig {
-            trace_len: 500,
-            sizes: vec![256, 1024],
-            threads: 1,
-            pool: Default::default(),
-        }
+        ExperimentConfig::builder()
+            .trace_len(500)
+            .sizes(vec![256, 1024])
+            .threads(1)
+            .build()
+            .unwrap()
     }
 
     fn temp_out(tag: &str) -> PathBuf {
@@ -405,6 +435,11 @@ mod tests {
         assert!(manifest.contains("\"status\": \"fail\""), "{manifest}");
         assert!(manifest.contains("deliberate failure"), "{manifest}");
         assert!(manifest.contains("\"threads\": 1"), "{manifest}");
+        assert!(manifest.contains("\"total_wall_ms\":"), "{manifest}");
+        assert!(
+            manifest.contains("{\"name\": \"ok_a\", \"wall_ms\":"),
+            "per-phase timing missing: {manifest}"
+        );
         assert!(out.join("ok_a.json").exists());
         assert!(!out.join("boom.json").exists());
         fs::remove_dir_all(&out).unwrap();

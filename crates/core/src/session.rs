@@ -1,0 +1,540 @@
+//! The unified configure→instrument→run entry surface.
+//!
+//! Before this module existed the workspace had three copies of the
+//! "build a config, resolve a workload, pump a trace through a
+//! simulator" dance: the CLI's `simulate`/`experiment` commands, the
+//! suite runner, and the serve worker. [`SimSession`] is the one front
+//! door: a builder configures the run (trace length, sizes, threads,
+//! shared pool), wires an instrumentation [`Probe`] through every hot
+//! layer (trace pool, sweep engine, cachesim batch loop), and the
+//! session then exposes the simulation kernels all three callers share.
+//! Because the kernels are the same code paths as before — `UnifiedCache
+//! ::run_slice`, `StackAnalyzer::observe_slice` — results are
+//! bit-identical to direct library calls; the serve loopback tests pin
+//! that.
+//!
+//! Instrumentation is *structural*, not optional bolted-on logging: the
+//! probe rides inside [`ExperimentConfig`], so anything run under a
+//! session's config (including every suite experiment) reports into the
+//! same [`Registry`].
+//!
+//! ```
+//! use smith85_core::session::SimSession;
+//! use smith85_cachesim::CacheConfig;
+//!
+//! let session = SimSession::builder().quick().build().unwrap();
+//! let trace = session.pool().profile(
+//!     &smith85_synth::catalog::by_name("VCCOM").unwrap().profile().clone(),
+//!     2_000,
+//! );
+//! let config = CacheConfig::paper_table1(4 * 1024).unwrap();
+//! let stats = session.simulate_unified(&trace.as_slice()[..2_000], config).unwrap();
+//! assert_eq!(stats.total_refs(), 2_000);
+//! let snapshot = session.registry().snapshot();
+//! assert!(snapshot.counters.iter().any(|c| c.name == "cachesim_refs_total" && c.value == 2_000));
+//! ```
+
+use crate::experiments::{ConfigError, ExperimentConfig, Workload};
+use crate::runner::{self, RunnerOptions, SuiteReport};
+use crate::sweep;
+use crate::trace_pool::TracePool;
+use smith85_cachesim::{
+    CacheConfig, CacheStats, ConfigError as CacheConfigError, Simulator, SplitCache, StackAnalyzer,
+    StackProfile, UnifiedCache,
+};
+use smith85_obs::{Registry, MS_BOUNDS, REFS_PER_SEC_BOUNDS};
+use smith85_trace::MemoryAccess;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An instrumentation sink. All methods default to no-ops, so an
+/// implementation only overrides the signals it cares about; every call
+/// site treats the probe as fire-and-forget (a probe must never panic
+/// or block on the hot path).
+pub trait Probe: Send + Sync {
+    /// Adds `n` to the monotonic counter `name`.
+    fn count(&self, name: &str, n: u64) {
+        let _ = (name, n);
+    }
+
+    /// Sets the instantaneous gauge `name`.
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation into the distribution `name`.
+    fn observe(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// The default probe: discards every signal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// A probe that records into a [`Registry`]. Distribution names ending
+/// in `refs_per_sec` use throughput buckets; everything else is assumed
+/// to be a millisecond timing.
+#[derive(Debug, Clone)]
+pub struct RegistryProbe {
+    registry: Registry,
+}
+
+impl RegistryProbe {
+    /// Wraps a registry.
+    pub fn new(registry: Registry) -> Self {
+        RegistryProbe { registry }
+    }
+}
+
+impl Probe for RegistryProbe {
+    fn count(&self, name: &str, n: u64) {
+        self.registry.counter(name).add(n);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.registry.gauge(name).set(value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.registry.histogram(name, bounds_for(name)).observe(value);
+    }
+}
+
+/// Histogram bucket bounds for a distribution name.
+fn bounds_for(name: &str) -> &'static [f64] {
+    if name.ends_with("refs_per_sec") {
+        REFS_PER_SEC_BOUNDS
+    } else {
+        MS_BOUNDS
+    }
+}
+
+/// A cheaply-cloneable, shared handle to a [`Probe`]. Defaults to
+/// [`NoopProbe`], so un-instrumented configs pay one virtual call per
+/// event and nothing else.
+#[derive(Clone)]
+pub struct ProbeHandle {
+    inner: Arc<dyn Probe>,
+}
+
+impl Default for ProbeHandle {
+    fn default() -> Self {
+        ProbeHandle {
+            inner: Arc::new(NoopProbe),
+        }
+    }
+}
+
+impl fmt::Debug for ProbeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeHandle").finish_non_exhaustive()
+    }
+}
+
+impl ProbeHandle {
+    /// Wraps any probe implementation.
+    pub fn new(probe: impl Probe + 'static) -> Self {
+        ProbeHandle {
+            inner: Arc::new(probe),
+        }
+    }
+
+    /// A handle that records into `registry`.
+    pub fn for_registry(registry: Registry) -> Self {
+        Self::new(RegistryProbe::new(registry))
+    }
+
+    /// Adds `n` to the monotonic counter `name`.
+    pub fn count(&self, name: &str, n: u64) {
+        self.inner.count(name, n);
+    }
+
+    /// Sets the instantaneous gauge `name`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.inner.gauge(name, value);
+    }
+
+    /// Records one observation into the distribution `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.inner.observe(name, value);
+    }
+}
+
+/// Both halves of a split-cache run (plus the merged total).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitStats {
+    /// The instruction half.
+    pub instruction: CacheStats,
+    /// The data half.
+    pub data: CacheStats,
+    /// Both halves merged.
+    pub total: CacheStats,
+}
+
+/// Builder for [`SimSession`]; defaults mirror
+/// [`ExperimentConfig::paper`].
+#[derive(Debug, Clone, Default)]
+pub struct SimSessionBuilder {
+    config: crate::experiments::ExperimentConfigBuilder,
+    registry: Option<Registry>,
+    probe: Option<ProbeHandle>,
+}
+
+impl SimSessionBuilder {
+    /// Switches to the reduced [`ExperimentConfig::quick`] scale.
+    pub fn quick(mut self) -> Self {
+        self.config = self.config.quick();
+        self
+    }
+
+    /// References simulated per workload.
+    pub fn trace_len(mut self, trace_len: usize) -> Self {
+        self.config = self.config.trace_len(trace_len);
+        self
+    }
+
+    /// Cache sizes swept.
+    pub fn sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.config = self.config.sizes(sizes);
+        self
+    }
+
+    /// Worker threads for the simulation grid.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.threads(threads);
+        self
+    }
+
+    /// A shared trace pool (to share materializations across sessions).
+    pub fn pool(mut self, pool: TracePool) -> Self {
+        self.config = self.config.pool(pool);
+        self
+    }
+
+    /// The metrics registry to record into (a fresh one by default).
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// A custom instrumentation sink, replacing the default
+    /// registry-backed probe. The session still carries a registry, but
+    /// only this probe sees the signals.
+    pub fn instrument(mut self, probe: impl Probe + 'static) -> Self {
+        self.probe = Some(ProbeHandle::new(probe));
+        self
+    }
+
+    /// Validates the configuration, wires the probe through the trace
+    /// pool and sweep engine, and pre-registers the core metric
+    /// families so an exposition scrape sees them even before traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is invalid (see
+    /// [`ExperimentConfigBuilder::build`](crate::experiments::ExperimentConfigBuilder::build)).
+    pub fn build(self) -> Result<SimSession, ConfigError> {
+        let registry = self.registry.unwrap_or_default();
+        let probe = self
+            .probe
+            .unwrap_or_else(|| ProbeHandle::for_registry(registry.clone()));
+        let config = self.config.probe(probe.clone()).build()?;
+        config.pool.set_probe(probe.clone());
+        sweep::set_probe(probe.clone());
+        for counter in [
+            "pool_hits_total",
+            "pool_misses_total",
+            "pool_materialized_bytes_total",
+            "sweep_jobs_total",
+            "sweep_panics_total",
+            "cachesim_refs_total",
+            "cachesim_batches_total",
+        ] {
+            registry.counter(counter);
+        }
+        registry.histogram("sweep_job_ms", MS_BOUNDS);
+        registry.histogram("cachesim_batch_ms", MS_BOUNDS);
+        registry.histogram("cachesim_refs_per_sec", REFS_PER_SEC_BOUNDS);
+        Ok(SimSession {
+            config,
+            registry,
+            probe,
+        })
+    }
+}
+
+/// One configured, instrumented simulation context: the single entry
+/// surface shared by the CLI, the suite runner and the serve workers.
+/// See the module docs for the full story.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    config: ExperimentConfig,
+    registry: Registry,
+    probe: ProbeHandle,
+}
+
+impl Default for SimSession {
+    fn default() -> Self {
+        // invariant: the builder's defaults are valid.
+        SimSession::builder()
+            .build()
+            .expect("default session config is valid")
+    }
+}
+
+impl SimSession {
+    /// A builder seeded with the paper-scale defaults.
+    pub fn builder() -> SimSessionBuilder {
+        SimSessionBuilder::default()
+    }
+
+    /// The session's experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The session's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The session's instrumentation sink.
+    pub fn probe(&self) -> &ProbeHandle {
+        &self.probe
+    }
+
+    /// The session's shared trace pool.
+    pub fn pool(&self) -> &TracePool {
+        &self.config.pool
+    }
+
+    /// Runs `replay` through a unified cache and returns its statistics
+    /// (bit-identical to a direct [`UnifiedCache`] run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the cache's [`CacheConfigError`] for an invalid
+    /// configuration.
+    pub fn simulate_unified(
+        &self,
+        replay: &[MemoryAccess],
+        config: CacheConfig,
+    ) -> Result<CacheStats, CacheConfigError> {
+        let mut cache = UnifiedCache::new(config)?;
+        self.timed_batch(replay.len(), || cache.run_slice(replay));
+        Ok(*cache.stats())
+    }
+
+    /// Runs `replay` through a split instruction/data cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the cache's [`CacheConfigError`] for an invalid
+    /// configuration.
+    pub fn simulate_split(
+        &self,
+        replay: &[MemoryAccess],
+        iconfig: CacheConfig,
+        dconfig: CacheConfig,
+        purge_interval: Option<u64>,
+    ) -> Result<SplitStats, CacheConfigError> {
+        let mut cache = SplitCache::new(iconfig, dconfig, purge_interval)?;
+        self.timed_batch(replay.len(), || cache.run_slice(replay));
+        Ok(SplitStats {
+            instruction: *cache.instruction_stats(),
+            data: *cache.data_stats(),
+            total: cache.total_stats(),
+        })
+    }
+
+    /// Simulates a pooled workload prefix of `len` references through a
+    /// unified cache (the serve `simulate` kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns the cache's [`CacheConfigError`] for an invalid
+    /// configuration.
+    pub fn simulate_workload(
+        &self,
+        workload: &Workload,
+        len: usize,
+        config: CacheConfig,
+    ) -> Result<CacheStats, CacheConfigError> {
+        let trace = self.config.pool.workload(workload, len);
+        self.simulate_unified(&trace.as_slice()[..len], config)
+    }
+
+    /// One stack-analysis pass over `replay`: the miss ratio at every
+    /// cache size at once (bit-identical to a direct [`StackAnalyzer`]
+    /// run).
+    pub fn sweep_stack(&self, replay: &[MemoryAccess], line_size: usize) -> StackProfile {
+        let mut analyzer = StackAnalyzer::with_line_size_and_capacity(line_size, replay.len());
+        self.timed_batch(replay.len(), || analyzer.observe_slice(replay));
+        analyzer.finish()
+    }
+
+    /// One stack-analysis pass over a pooled workload prefix (the serve
+    /// `sweep` kernel).
+    pub fn sweep_workload(&self, workload: &Workload, len: usize, line_size: usize) -> StackProfile {
+        let trace = self.config.pool.workload(workload, len);
+        self.sweep_stack(&trace.as_slice()[..len], line_size)
+    }
+
+    /// Runs the full experiment suite under this session's config; see
+    /// [`runner::run_suite`].
+    ///
+    /// # Errors
+    ///
+    /// See [`runner::run_suite`].
+    pub fn run_suite(&self, opts: &RunnerOptions) -> io::Result<SuiteReport> {
+        runner::run_suite(&self.config, opts)
+    }
+
+    /// Times one batched kernel invocation and reports throughput.
+    fn timed_batch(&self, refs: usize, kernel: impl FnOnce()) {
+        let start = Instant::now();
+        kernel();
+        let elapsed = start.elapsed().as_secs_f64();
+        self.probe.count("cachesim_refs_total", refs as u64);
+        self.probe.count("cachesim_batches_total", 1);
+        self.probe.observe("cachesim_batch_ms", elapsed * 1e3);
+        if elapsed > 0.0 {
+            self.probe
+                .observe("cachesim_refs_per_sec", refs as f64 / elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smith85_synth::catalog;
+
+    fn vccom() -> Workload {
+        Workload::Single(catalog::by_name("VCCOM").unwrap().profile().clone())
+    }
+
+    #[test]
+    fn session_results_are_bit_identical_to_direct_runs() {
+        let session = SimSession::builder().quick().build().unwrap();
+        const LEN: usize = 3_000;
+        let config = CacheConfig::builder(4_096).line_size(16).build().unwrap();
+
+        let served = session.simulate_workload(&vccom(), LEN, config).unwrap();
+
+        let profile = catalog::by_name("VCCOM").unwrap().profile().clone();
+        let trace = profile.generate(LEN);
+        let mut direct = UnifiedCache::new(config).unwrap();
+        direct.run_slice(trace.as_slice());
+        assert_eq!(
+            served.miss_ratio().to_bits(),
+            direct.stats().miss_ratio().to_bits()
+        );
+        assert_eq!(served.total_misses(), direct.stats().total_misses());
+    }
+
+    #[test]
+    fn sweep_matches_direct_stack_analysis() {
+        let session = SimSession::builder().quick().build().unwrap();
+        const LEN: usize = 2_000;
+        let profile = session.sweep_workload(&vccom(), LEN, 16);
+
+        let trace = catalog::by_name("VCCOM").unwrap().profile().generate(LEN);
+        let mut analyzer = StackAnalyzer::with_line_size_and_capacity(16, LEN);
+        analyzer.observe_slice(trace.as_slice());
+        let direct = analyzer.finish();
+        for size in [256, 1024, 4096] {
+            assert_eq!(
+                profile.miss_ratio(size).to_bits(),
+                direct.miss_ratio(size).to_bits(),
+                "size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_records_pool_and_cachesim_metrics() {
+        let session = SimSession::builder().quick().build().unwrap();
+        let config = CacheConfig::paper_table1(1_024).unwrap();
+        let _ = session.simulate_workload(&vccom(), 1_000, config).unwrap();
+        let _ = session.simulate_workload(&vccom(), 1_000, config).unwrap();
+
+        let snapshot = session.registry().snapshot();
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        assert_eq!(counter("pool_misses_total"), 1, "one materialization");
+        assert_eq!(counter("pool_hits_total"), 1, "second run replays");
+        assert!(counter("pool_materialized_bytes_total") > 0);
+        assert_eq!(counter("cachesim_refs_total"), 2_000);
+        assert_eq!(counter("cachesim_batches_total"), 2);
+        let batch = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "cachesim_batch_ms")
+            .unwrap();
+        assert_eq!(batch.count, 2);
+    }
+
+    #[test]
+    fn split_stats_merge_both_halves() {
+        let session = SimSession::builder().quick().build().unwrap();
+        let trace = session.pool().workload(&vccom(), 2_000);
+        let cfg = CacheConfig::paper_table1(1_024).unwrap();
+        let split = session
+            .simulate_split(&trace.as_slice()[..2_000], cfg, cfg, Some(20_000))
+            .unwrap();
+        assert_eq!(
+            split.total.total_refs(),
+            split.instruction.total_refs() + split.data.total_refs()
+        );
+        assert_eq!(split.total.total_refs(), 2_000);
+    }
+
+    #[test]
+    fn custom_instrument_sees_the_signals() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct CountingProbe {
+            events: AtomicU64,
+        }
+        impl Probe for CountingProbe {
+            fn count(&self, _name: &str, _n: u64) {
+                self.events.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counting = Arc::new(CountingProbe::default());
+        struct Fwd(Arc<CountingProbe>);
+        impl Probe for Fwd {
+            fn count(&self, name: &str, n: u64) {
+                self.0.count(name, n);
+            }
+        }
+        let session = SimSession::builder()
+            .quick()
+            .instrument(Fwd(Arc::clone(&counting)))
+            .build()
+            .unwrap();
+        let cfg = CacheConfig::paper_table1(1_024).unwrap();
+        let _ = session.simulate_workload(&vccom(), 500, cfg).unwrap();
+        assert!(counting.events.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn invalid_session_config_is_rejected() {
+        assert!(matches!(
+            SimSession::builder().trace_len(0).build(),
+            Err(ConfigError::ZeroTraceLen)
+        ));
+    }
+}

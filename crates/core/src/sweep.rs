@@ -14,10 +14,31 @@
 //! caller to choose between fail-fast ([`parallel_map`]) and
 //! skip-and-report (inspecting [`SweepError`]).
 
+use crate::session::ProbeHandle;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// The engine-wide instrumentation sink (see [`set_probe`]). Process
+/// global because sweep jobs are spawned from arbitrary call depths;
+/// the probe only carries metrics, never results, so "last session
+/// wins" is harmless.
+static SWEEP_PROBE: Mutex<Option<ProbeHandle>> = Mutex::new(None);
+
+/// Attaches an instrumentation sink to the sweep engine: every job then
+/// reports `sweep_jobs_total`, a `sweep_job_ms` timing, and panics bump
+/// `sweep_panics_total`. Called by
+/// [`SimSession`](crate::session::SimSession)'s builder; the last probe
+/// set wins.
+pub fn set_probe(probe: ProbeHandle) {
+    *SWEEP_PROBE.lock().unwrap_or_else(|e| e.into_inner()) = Some(probe);
+}
+
+fn probe() -> Option<ProbeHandle> {
+    SWEEP_PROBE.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
 
 /// One job's panic, captured by [`try_parallel_map`].
 #[derive(Debug)]
@@ -149,10 +170,20 @@ fn run_caught<T, R, F>(f: &F, index: usize, item: T) -> Result<R, JobFailure>
 where
     F: Fn(T) -> R + Sync,
 {
-    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobFailure {
+    let probe = probe();
+    let start = probe.as_ref().map(|_| Instant::now());
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobFailure {
         index,
         message: panic_message(payload.as_ref()),
-    })
+    });
+    if let (Some(probe), Some(start)) = (probe, start) {
+        probe.count("sweep_jobs_total", 1);
+        probe.observe("sweep_job_ms", start.elapsed().as_secs_f64() * 1e3);
+        if outcome.is_err() {
+            probe.count("sweep_panics_total", 1);
+        }
+    }
+    outcome
 }
 
 fn collect_outcomes<R>(slots: Vec<Result<R, JobFailure>>) -> Result<Vec<R>, SweepError<R>> {
@@ -301,6 +332,31 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("1 of 2"), "{text}");
         assert!(text.contains("nope"), "{text}");
+    }
+
+    #[test]
+    fn probe_counts_jobs_and_panics() {
+        let registry = smith85_obs::Registry::new();
+        // Another test (a session build) may swap the global probe out
+        // from under us; retry until a full batch lands in our registry.
+        for _ in 0..5 {
+            set_probe(ProbeHandle::for_registry(registry.clone()));
+            let _ = try_parallel_map(1, vec![1, 2, 3], |x: i32| {
+                assert!(x != 2, "instrumented failure");
+                x
+            });
+            if registry.counter("sweep_jobs_total").get() >= 3 {
+                break;
+            }
+        }
+        assert!(registry.counter("sweep_jobs_total").get() >= 3);
+        assert!(registry.counter("sweep_panics_total").get() >= 1);
+        assert!(
+            registry
+                .histogram("sweep_job_ms", smith85_obs::MS_BOUNDS)
+                .count()
+                >= 3
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! requested so far; shorter requests slice the shared buffer zero-copy.
 
 use crate::experiments::Workload;
+use crate::session::ProbeHandle;
 use smith85_synth::ProgramProfile;
 use smith85_trace::{MemoryAccess, Trace};
 use std::any::Any;
@@ -46,6 +47,9 @@ struct PoolShared {
     hits: AtomicU64,
     misses: AtomicU64,
     materialized_bytes: AtomicU64,
+    // Optional instrumentation sink (see `set_probe`), in its own lock
+    // so probing never contends with the state mutex.
+    probe: Mutex<Option<ProbeHandle>>,
 }
 
 #[derive(Default)]
@@ -182,6 +186,27 @@ impl TracePool {
         }
     }
 
+    /// Attaches an instrumentation sink: every subsequent hit, miss and
+    /// materialization also reports `pool_hits_total` /
+    /// `pool_misses_total` / `pool_materialized_bytes_total` through the
+    /// probe (the atomic counters keep counting regardless). The last
+    /// probe set wins; every clone of the pool shares it.
+    pub fn set_probe(&self, probe: ProbeHandle) {
+        *self
+            .inner
+            .probe
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(probe);
+    }
+
+    fn probe(&self) -> Option<ProbeHandle> {
+        self.inner
+            .probe
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// Drops every entry (the counters survive).
     pub fn clear(&self) {
         let mut state = self.lock();
@@ -204,6 +229,10 @@ impl TracePool {
                     if existing.len() >= len {
                         let shared = Arc::clone(existing);
                         self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                        drop(state);
+                        if let Some(probe) = self.probe() {
+                            probe.count("pool_hits_total", 1);
+                        }
                         return shared;
                     }
                 }
@@ -227,11 +256,15 @@ impl TracePool {
         // the same key from regenerating the same stream.
         let marker = InflightMarker { pool: self, key };
         let fresh = Arc::new(generate());
+        let fresh_bytes = (fresh.len() * std::mem::size_of::<MemoryAccess>()) as u64;
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
-        self.inner.materialized_bytes.fetch_add(
-            (fresh.len() * std::mem::size_of::<MemoryAccess>()) as u64,
-            Ordering::Relaxed,
-        );
+        self.inner
+            .materialized_bytes
+            .fetch_add(fresh_bytes, Ordering::Relaxed);
+        if let Some(probe) = self.probe() {
+            probe.count("pool_misses_total", 1);
+            probe.count("pool_materialized_bytes_total", fresh_bytes);
+        }
         let mut state = self.lock();
         let shared = match state.traces.get(&marker.key) {
             // A longer materialization can slip in between our length
@@ -472,6 +505,22 @@ mod tests {
             pool.stats().materialized_bytes,
             2_500 * ref_size,
             "clear() keeps the cumulative counter"
+        );
+    }
+
+    #[test]
+    fn probe_reports_hits_misses_and_bytes() {
+        let registry = smith85_obs::Registry::new();
+        let pool = TracePool::new();
+        pool.set_probe(ProbeHandle::for_registry(registry.clone()));
+        let p = profile("VCCOM");
+        let _ = pool.profile(&p, 1_000);
+        let _ = pool.profile(&p, 500); // prefix: a hit
+        assert_eq!(registry.counter("pool_misses_total").get(), 1);
+        assert_eq!(registry.counter("pool_hits_total").get(), 1);
+        assert_eq!(
+            registry.counter("pool_materialized_bytes_total").get(),
+            1_000 * std::mem::size_of::<MemoryAccess>() as u64
         );
     }
 

@@ -1,0 +1,606 @@
+//! Dependency-free metrics for the smith85 workspace.
+//!
+//! The workspace's external dependencies resolve to no-op offline shims,
+//! so this crate hand-rolls the three metric primitives the simulator
+//! needs — atomic [`Counter`]s, [`Gauge`]s and fixed-bucket
+//! [`Histogram`]s — plus a [`Registry`] that owns them by name and can
+//! render a point-in-time [`RegistrySnapshot`] or a Prometheus
+//! text-exposition page. A [`Span`] guard records wall-clock timing into
+//! a histogram on drop.
+//!
+//! Everything is lock-free on the hot path: metric handles are
+//! `Arc`-shared and updated with relaxed atomics; the registry's maps
+//! are only locked when a handle is first looked up or a snapshot is
+//! taken.
+//!
+//! ```
+//! use smith85_obs::{Registry, MS_BOUNDS};
+//!
+//! let registry = Registry::new();
+//! registry.counter("requests_total").inc();
+//! registry.gauge("queue_depth").set(3.0);
+//! registry.histogram("exec_ms", MS_BOUNDS).observe(12.5);
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters[0].value, 1);
+//! assert!(snapshot.to_prometheus().contains("smith85_requests_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Default bucket upper bounds for millisecond timings: 250µs up to one
+/// minute, roughly log-spaced.
+pub const MS_BOUNDS: &[f64] = &[
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+    10_000.0, 30_000.0, 60_000.0,
+];
+
+/// Default bucket upper bounds for simulation throughput in
+/// references/second (1e5 .. 1e9, 1-2.5-5 spaced).
+pub const REFS_PER_SEC_BOUNDS: &[f64] = &[
+    1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9,
+];
+
+/// Prefix applied to every metric name in the Prometheus exposition.
+const PROMETHEUS_PREFIX: &str = "smith85_";
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, pool bytes).
+///
+/// Stored as the `f64` bit pattern in an `AtomicU64` so reads and
+/// writes need no lock.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with Prometheus `le` semantics.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (the first such
+/// bound wins, so an exact boundary value lands in the bucket it
+/// bounds). Values above the last finite bound land in an implicit
+/// `+Inf` overflow bucket; values below the lowest bound land in bucket
+/// 0, which doubles as the underflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per finite bound, plus a trailing `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum, stored as `f64` bits and updated with a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given finite bucket upper bounds.
+    ///
+    /// Bounds must be finite and strictly increasing; violations are a
+    /// programming error and panic.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for pair in bounds.windows(2) {
+            assert!(pair[0] < pair[1], "histogram bounds must be increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let index = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the target rank.
+    ///
+    /// Returns `0.0` for an empty histogram; observations in the
+    /// overflow bucket report the last finite bound (the histogram
+    /// cannot resolve beyond it).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in counts.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= target {
+                return self.bounds.get(index).copied().unwrap_or_else(|| {
+                    // Overflow bucket: saturate at the last finite bound.
+                    *self.bounds.last().expect("bounds are non-empty")
+                });
+            }
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+}
+
+/// A timing guard: records the elapsed wall-clock milliseconds into a
+/// histogram when dropped.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span against the given histogram.
+    pub fn new(histogram: Arc<Histogram>) -> Span {
+        Span {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed milliseconds so far (without consuming the span).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.observe(self.elapsed_ms());
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A named collection of metrics, cheaply cloneable (clones share the
+/// underlying metrics).
+///
+/// `BTreeMap`s keep snapshot and exposition output deterministically
+/// ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+/// Recovers the map even if a panicking thread poisoned the lock;
+/// metric maps hold no invariants a half-finished insert can break.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.inner.counters)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(lock(&self.inner.gauges).entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use.
+    ///
+    /// The first registration wins: later calls return the existing
+    /// histogram and ignore their `bounds` argument.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.inner.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Starts a [`Span`] that records into the millisecond histogram
+    /// named `name` when dropped.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self.histogram(name, MS_BOUNDS))
+    }
+
+    /// A point-in-time copy of every metric, ordered by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = lock(&self.inner.counters)
+            .iter()
+            .map(|(name, counter)| CounterSnapshot {
+                name: name.clone(),
+                value: counter.get(),
+            })
+            .collect();
+        let gauges = lock(&self.inner.gauges)
+            .iter()
+            .map(|(name, gauge)| GaugeSnapshot {
+                name: name.clone(),
+                value: gauge.get(),
+            })
+            .collect();
+        let histograms = lock(&self.inner.histograms)
+            .iter()
+            .map(|(name, histogram)| {
+                let buckets = histogram
+                    .bounds
+                    .iter()
+                    .zip(&histogram.buckets)
+                    .map(|(&le, count)| BucketSnapshot {
+                        le,
+                        count: count.load(Ordering::Relaxed),
+                    })
+                    .collect();
+                HistogramSnapshot {
+                    name: name.clone(),
+                    count: histogram.count(),
+                    sum: histogram.sum(),
+                    overflow: histogram.buckets[histogram.bounds.len()].load(Ordering::Relaxed),
+                    p50: histogram.quantile(0.50),
+                    p95: histogram.quantile(0.95),
+                    p99: histogram.quantile(0.99),
+                    buckets,
+                }
+            })
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric name (unprefixed).
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name (unprefixed).
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: f64,
+}
+
+/// One histogram bucket: observations `<= le` (non-cumulative count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketSnapshot {
+    /// Upper bound of this bucket.
+    pub le: f64,
+    /// Raw (per-bucket, not cumulative) observation count.
+    pub count: u64,
+}
+
+/// One histogram in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name (unprefixed).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Observations above the last finite bound (the `+Inf` bucket).
+    pub overflow: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Finite buckets with raw counts, in bound order.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// A point-in-time copy of a [`Registry`], ordered by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), every metric prefixed `smith85_`.
+    ///
+    /// Histogram buckets are emitted cumulatively with a final
+    /// `le="+Inf"` bucket equal to `_count`, as the format requires.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for counter in &self.counters {
+            let name = format!("{PROMETHEUS_PREFIX}{}", counter.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.value);
+        }
+        for gauge in &self.gauges {
+            let name = format!("{PROMETHEUS_PREFIX}{}", gauge.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", gauge.value);
+        }
+        for histogram in &self.histograms {
+            let name = format!("{PROMETHEUS_PREFIX}{}", histogram.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for bucket in &histogram.buckets {
+                cumulative += bucket.count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket.le);
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.count);
+            let _ = writeln!(out, "{name}_sum {}", histogram.sum);
+            let _ = writeln!(out, "{name}_count {}", histogram.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let counter = Counter::default();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 42);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let gauge = Gauge::default();
+        assert_eq!(gauge.get(), 0.0);
+        gauge.set(7.5);
+        gauge.set(-2.25);
+        assert_eq!(gauge.get(), -2.25);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_lose_nothing() {
+        let registry = Registry::new();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    let counter = registry.counter("hits");
+                    for _ in 0..PER_THREAD {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("hits").get(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn histogram_exact_boundary_lands_in_the_bucket_it_bounds() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(1.0); // exactly on the first bound
+        h.observe(10.0); // exactly on the second bound
+        h.observe(100.0); // exactly on the last bound
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![1, 1, 1, 0], "le semantics: v <= bound");
+    }
+
+    #[test]
+    fn histogram_underflow_lands_in_the_first_bucket() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(-5.0);
+        h.observe(0.0);
+        h.observe(0.999);
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![3, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_overflow_lands_in_the_inf_bucket() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(10.0001);
+        h.observe(1e12);
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![0, 0, 2]);
+        assert_eq!(h.count(), 2);
+        // Quantiles saturate at the last finite bound.
+        assert_eq!(h.quantile(0.99), 10.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_cumulative_counts() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // 10 observations: 5 in le=1, 3 in le=2, 2 in le=4.
+        for _ in 0..5 {
+            h.observe(0.5);
+        }
+        for _ in 0..3 {
+            h.observe(1.5);
+        }
+        for _ in 0..2 {
+            h.observe(3.0);
+        }
+        assert_eq!(h.quantile(0.50), 1.0); // rank 5 of 10 -> first bucket
+        assert_eq!(h.quantile(0.80), 2.0); // rank 8 -> second bucket
+        assert_eq!(h.quantile(0.95), 4.0); // rank 10 -> third bucket
+        assert_eq!(h.count(), 10);
+        assert!((h.sum() - (5.0 * 0.5 + 3.0 * 1.5 + 2.0 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new(MS_BOUNDS);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn first_histogram_registration_wins_bounds() {
+        let registry = Registry::new();
+        let first = registry.histogram("t_ms", &[1.0, 2.0]);
+        let second = registry.histogram("t_ms", &[100.0]);
+        assert!(Arc::ptr_eq(&first, &second));
+        first.observe(1.5);
+        assert_eq!(second.count(), 1);
+    }
+
+    #[test]
+    fn span_records_elapsed_time_on_drop() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span("op_ms");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = registry.histogram("op_ms", MS_BOUNDS);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1.0, "span slept 2ms, recorded {}", h.sum());
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let registry = Registry::new();
+        registry.counter("zeta").inc();
+        registry.counter("alpha").add(3);
+        registry.gauge("mid").set(1.5);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(snapshot.counters[0].value, 3);
+        assert_eq!(snapshot.gauges[0].value, 1.5);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_with_inf_bucket() {
+        let registry = Registry::new();
+        registry.counter("reqs_total").add(2);
+        registry.gauge("depth").set(4.0);
+        let h = registry.histogram("lat_ms", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(99.0); // overflow
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE smith85_reqs_total counter"));
+        assert!(text.contains("smith85_reqs_total 2"));
+        assert!(text.contains("# TYPE smith85_depth gauge"));
+        assert!(text.contains("smith85_depth 4"));
+        assert!(text.contains("smith85_lat_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("smith85_lat_ms_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("smith85_lat_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("smith85_lat_ms_count 3"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value_part) =
+                line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name_part.is_empty());
+            assert!(value_part.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn registry_clones_share_metrics() {
+        let registry = Registry::new();
+        let clone = registry.clone();
+        clone.counter("shared").add(5);
+        assert_eq!(registry.counter("shared").get(), 5);
+    }
+}

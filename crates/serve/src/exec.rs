@@ -1,20 +1,21 @@
 //! Request execution: workload resolution and the simulation kernels.
 //!
-//! Every job goes through the shared [`TracePool`], so concurrent
+//! Every job runs through a [`SimSession`], so trace generation goes
+//! through the shared [`smith85_core::trace_pool::TracePool`] (concurrent
 //! requests for the same `(workload, seed, len)` deduplicate into one
-//! materialization and replays are zero-copy slices of one buffer. The
-//! kernels are the same ones the CLI and the experiment suite use
-//! ([`UnifiedCache`] for `simulate`, [`StackAnalyzer`] for `sweep`), so a
-//! served result is bit-identical to a direct library call — the
+//! materialization) and every batch feeds the session's metrics registry
+//! (`cachesim_refs_total`, `cachesim_batch_ms`, pool hit/miss counters…).
+//! The kernels are the same ones the CLI and the experiment suite use,
+//! so a served result is bit-identical to a direct library call — the
 //! loopback integration tests assert exactly that.
 
 use crate::protocol::{
     CatalogEntry, CatalogResult, ErrorBody, ErrorCode, SimulateResult, SimulateSpec, SweepPoint,
     SweepResult, SweepSpec,
 };
-use smith85_cachesim::{CacheConfig, Mapping, Simulator, StackAnalyzer, UnifiedCache, PAPER_SIZES};
+use smith85_cachesim::{CacheConfig, Mapping, PAPER_SIZES};
 use smith85_core::experiments::Workload;
-use smith85_core::trace_pool::TracePool;
+use smith85_core::session::SimSession;
 use smith85_synth::catalog;
 
 /// References a single request may ask for; keeps one malicious or
@@ -77,7 +78,10 @@ fn check_len(len: usize) -> Result<(), ErrorBody> {
 ///
 /// Returns a typed error for unknown workloads or invalid cache
 /// configurations.
-pub fn run_simulate(pool: &TracePool, spec: &SimulateSpec) -> Result<SimulateResult, ErrorBody> {
+pub fn run_simulate(
+    session: &SimSession,
+    spec: &SimulateSpec,
+) -> Result<SimulateResult, ErrorBody> {
     check_len(spec.len)?;
     let workload = resolve_workload(&spec.workload, spec.seed)?;
     let mapping = match spec.cache.ways {
@@ -85,18 +89,17 @@ pub fn run_simulate(pool: &TracePool, spec: &SimulateSpec) -> Result<SimulateRes
         Some(1) => Mapping::Direct,
         Some(n) => Mapping::SetAssociative(n),
     };
+    // Validate the cache config before touching the session so invalid
+    // requests never materialize traces into the shared pool.
     let config = CacheConfig::builder(spec.cache.size)
         .line_size(spec.cache.line)
         .mapping(mapping)
         .purge_interval(spec.cache.purge)
         .build()
         .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
-    let trace = pool.workload(&workload, spec.len);
-    let replay = &trace.as_slice()[..spec.len];
-    let mut cache = UnifiedCache::new(config)
+    let stats = session
+        .simulate_workload(&workload, spec.len, config)
         .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
-    cache.run_slice(replay);
-    let stats = cache.stats();
     Ok(SimulateResult {
         workload: spec.workload.clone(),
         len: spec.len,
@@ -118,7 +121,7 @@ pub fn run_simulate(pool: &TracePool, spec: &SimulateSpec) -> Result<SimulateRes
 /// # Errors
 ///
 /// Returns a typed error for unknown workloads or a bad line size.
-pub fn run_sweep(pool: &TracePool, spec: &SweepSpec) -> Result<SweepResult, ErrorBody> {
+pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, ErrorBody> {
     check_len(spec.len)?;
     if spec.line == 0 || !spec.line.is_power_of_two() {
         return Err(ErrorBody::new(
@@ -132,11 +135,7 @@ pub fn run_sweep(pool: &TracePool, spec: &SweepSpec) -> Result<SweepResult, Erro
     } else {
         &spec.sizes
     };
-    let trace = pool.workload(&workload, spec.len);
-    let replay = &trace.as_slice()[..spec.len];
-    let mut analyzer = StackAnalyzer::with_line_size_and_capacity(spec.line, spec.len);
-    analyzer.observe_slice(replay);
-    let profile = analyzer.finish();
+    let profile = session.sweep_workload(&workload, spec.len, spec.line);
     Ok(SweepResult {
         workload: spec.workload.clone(),
         len: spec.len,
@@ -178,6 +177,11 @@ pub fn catalog_result() -> CatalogResult {
 mod tests {
     use super::*;
     use crate::protocol::CacheSpec;
+    use smith85_cachesim::{Simulator, StackAnalyzer, UnifiedCache};
+
+    fn session() -> SimSession {
+        SimSession::builder().quick().build().unwrap()
+    }
 
     fn simulate_spec(workload: &str, len: usize, size: usize) -> SimulateSpec {
         SimulateSpec {
@@ -196,9 +200,9 @@ mod tests {
 
     #[test]
     fn simulate_matches_a_direct_library_run() {
-        let pool = TracePool::new();
+        let session = session();
         let spec = simulate_spec("VCCOM", 5_000, 4_096);
-        let served = run_simulate(&pool, &spec).unwrap();
+        let served = run_simulate(&session, &spec).unwrap();
 
         let profile = catalog::by_name("VCCOM").unwrap().profile().clone();
         let trace = profile.generate(5_000);
@@ -212,21 +216,21 @@ mod tests {
 
     #[test]
     fn seed_override_changes_the_stream() {
-        let pool = TracePool::new();
-        let base = run_simulate(&pool, &simulate_spec("ZGREP", 4_000, 1_024)).unwrap();
+        let session = session();
+        let base = run_simulate(&session, &simulate_spec("ZGREP", 4_000, 1_024)).unwrap();
         let mut reseeded_spec = simulate_spec("ZGREP", 4_000, 1_024);
         reseeded_spec.seed = Some(12_345);
-        let reseeded = run_simulate(&pool, &reseeded_spec).unwrap();
+        let reseeded = run_simulate(&session, &reseeded_spec).unwrap();
         assert_ne!(base.miss_ratio.to_bits(), reseeded.miss_ratio.to_bits());
-        assert_eq!(pool.stats().entries, 2, "distinct seeds pool separately");
+        assert_eq!(session.pool().stats().entries, 2, "distinct seeds pool separately");
     }
 
     #[test]
     fn mixes_resolve_by_display_name() {
         let w = resolve_workload("Z8000 - Assorted", None).unwrap();
         assert!(matches!(w, Workload::Mix { ref members, .. } if members.len() == 5));
-        let pool = TracePool::new();
-        let result = run_simulate(&pool, &simulate_spec("Z8000 - Assorted", 3_000, 2_048));
+        let session = session();
+        let result = run_simulate(&session, &simulate_spec("Z8000 - Assorted", 3_000, 2_048));
         assert!(result.is_ok(), "{result:?}");
     }
 
@@ -239,24 +243,28 @@ mod tests {
 
     #[test]
     fn bad_lengths_and_configs_are_typed() {
-        let pool = TracePool::new();
+        let session = session();
         let mut zero = simulate_spec("VCCOM", 0, 1_024);
         zero.len = 0;
-        assert_eq!(run_simulate(&pool, &zero).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(run_simulate(&session, &zero).unwrap_err().code, ErrorCode::BadRequest);
         let huge = simulate_spec("VCCOM", MAX_REQUEST_LEN + 1, 1_024);
-        assert_eq!(run_simulate(&pool, &huge).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(run_simulate(&session, &huge).unwrap_err().code, ErrorCode::BadRequest);
         let mut bad_cache = simulate_spec("VCCOM", 1_000, 1_000); // not a power of two
         bad_cache.cache.line = 16;
         assert_eq!(
-            run_simulate(&pool, &bad_cache).unwrap_err().code,
+            run_simulate(&session, &bad_cache).unwrap_err().code,
             ErrorCode::BadRequest
         );
-        assert_eq!(pool.stats().entries, 0, "invalid requests must not pool traces");
+        assert_eq!(
+            session.pool().stats().entries,
+            0,
+            "invalid requests must not pool traces"
+        );
     }
 
     #[test]
     fn sweep_matches_the_analyzer_and_defaults_to_paper_sizes() {
-        let pool = TracePool::new();
+        let session = session();
         let spec = SweepSpec {
             workload: "ZGREP".to_string(),
             len: 5_000,
@@ -265,7 +273,7 @@ mod tests {
             line: 16,
             deadline_ms: None,
         };
-        let served = run_sweep(&pool, &spec).unwrap();
+        let served = run_sweep(&session, &spec).unwrap();
         assert_eq!(served.points.len(), PAPER_SIZES.len());
 
         let profile = catalog::by_name("ZGREP").unwrap().profile().clone();

@@ -5,9 +5,13 @@
 //! on unix targets). Expensive requests (`simulate`, `sweep`) flow
 //! through a bounded work queue with explicit admission control — a full
 //! queue answers `overloaded` immediately instead of building an
-//! unbounded backlog — and a worker pool that routes all trace
-//! generation through the shared [`smith85_core::trace_pool::TracePool`],
-//! so concurrent requests for the same workload materialize it once.
+//! unbounded backlog — and a worker pool that runs every job through an
+//! instrumented [`smith85_core::session::SimSession`]: trace generation
+//! goes through the shared [`smith85_core::trace_pool::TracePool`] (so
+//! concurrent requests for the same workload materialize it once) and
+//! every job feeds the session's metrics registry, exposed both as a
+//! `metrics` request and as an optional Prometheus text endpoint
+//! ([`ServeOptions::metrics_addr`]).
 //!
 //! Quick tour:
 //!
@@ -26,7 +30,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
-//! The wire schema lives in [`protocol`]; `docs/EXPERIMENTS.md` documents
+//! The wire schema lives in [`protocol`]; `EXPERIMENTS.md` documents
 //! it with copy-pasteable sessions.
 
 #![deny(unsafe_code)]
@@ -45,6 +49,7 @@ pub mod stats;
 pub use client::Client;
 pub use protocol::{
     CacheSpec, CatalogResult, ErrorBody, ErrorCode, Request, Response, SimulateResult,
-    SimulateSpec, StatsResult, SweepResult, SweepSpec,
+    SimulateSpec, StatsResult, SweepResult, SweepSpec, PROTOCOL_VERSION,
 };
 pub use server::{RunningServer, ServeOptions, Server, ShutdownHandle};
+pub use smith85_obs::RegistrySnapshot;

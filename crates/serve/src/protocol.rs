@@ -18,7 +18,17 @@
 //!   the simulator produced.
 
 use crate::json::{self, Json};
+use smith85_obs::{
+    BucketSnapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, RegistrySnapshot,
+};
 use std::fmt;
+
+/// The wire protocol version this build speaks. Encoded requests carry
+/// it as `"v"`; the server accepts requests with no `"v"` at all
+/// (pre-versioning clients) or `"v"` equal to this value, and rejects
+/// anything else with `bad_request`. Unknown request fields are always
+/// ignored, so the envelope can grow without breaking old servers.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Hard cap on one request line; longer lines get an `oversized` error.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
@@ -40,6 +50,10 @@ pub enum Request {
     Catalog,
     /// Server counters: requests by type, queue depth, pool hit ratio…
     Stats,
+    /// A snapshot of the metrics registry (counters, gauges,
+    /// histograms with quantiles) — the JSON twin of the Prometheus
+    /// endpoint.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Begin graceful shutdown: stop accepting, drain in-flight jobs.
@@ -102,6 +116,8 @@ pub enum Response {
     Catalog(CatalogResult),
     /// Server counters.
     Stats(StatsResult),
+    /// The metrics-registry snapshot.
+    Metrics(RegistrySnapshot),
     /// Answer to `ping`.
     Pong,
     /// Shutdown acknowledged; the server drains and exits.
@@ -314,9 +330,10 @@ impl fmt::Display for ErrorBody {
 }
 
 impl Request {
-    /// Encodes the request as one JSON line (no trailing newline).
+    /// Encodes the request as one JSON line (no trailing newline),
+    /// with the [`PROTOCOL_VERSION`] envelope (`"v":1`) leading.
     pub fn encode(&self) -> String {
-        let value = match self {
+        let mut value = match self {
             Request::Simulate(spec) => {
                 let mut fields = vec![
                     ("type", json::s("simulate")),
@@ -362,9 +379,13 @@ impl Request {
             }
             Request::Catalog => json::obj(vec![("type", json::s("catalog"))]),
             Request::Stats => json::obj(vec![("type", json::s("stats"))]),
+            Request::Metrics => json::obj(vec![("type", json::s("metrics"))]),
             Request::Ping => json::obj(vec![("type", json::s("ping"))]),
             Request::Shutdown => json::obj(vec![("type", json::s("shutdown"))]),
         };
+        if let Json::Obj(fields) = &mut value {
+            fields.insert(0, ("v".to_string(), Json::Uint(PROTOCOL_VERSION)));
+        }
         value.to_string()
     }
 
@@ -383,6 +404,19 @@ impl Request {
                 "request must be a JSON object",
             ));
         }
+        // Version envelope: absent means a pre-versioning client and is
+        // accepted; present must match. Unknown fields elsewhere are
+        // ignored, so only an explicit mismatch is an error.
+        match value.get("v") {
+            None => {}
+            Some(v) if v.as_u64() == Some(PROTOCOL_VERSION) => {}
+            Some(v) => {
+                return Err(ErrorBody::new(
+                    ErrorCode::BadRequest,
+                    format!("unsupported protocol version {v} (this server speaks v{PROTOCOL_VERSION})"),
+                ));
+            }
+        }
         let kind = value
             .get("type")
             .and_then(Json::as_str)
@@ -392,6 +426,7 @@ impl Request {
             "sweep" => Ok(Request::Sweep(SweepSpec::from_json(&value)?)),
             "catalog" => Ok(Request::Catalog),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ErrorBody::new(
@@ -601,6 +636,73 @@ impl Response {
                     ]),
                 ),
             ]),
+            Response::Metrics(snapshot) => json::obj(vec![
+                ("type", json::s("metrics_result")),
+                (
+                    "counters",
+                    Json::Arr(
+                        snapshot
+                            .counters
+                            .iter()
+                            .map(|c| {
+                                json::obj(vec![
+                                    ("name", json::s(&c.name)),
+                                    ("value", Json::Uint(c.value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges",
+                    Json::Arr(
+                        snapshot
+                            .gauges
+                            .iter()
+                            .map(|g| {
+                                json::obj(vec![
+                                    ("name", json::s(&g.name)),
+                                    ("value", Json::Num(g.value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms",
+                    Json::Arr(
+                        snapshot
+                            .histograms
+                            .iter()
+                            .map(|h| {
+                                json::obj(vec![
+                                    ("name", json::s(&h.name)),
+                                    ("count", Json::Uint(h.count)),
+                                    ("sum", Json::Num(h.sum)),
+                                    ("overflow", Json::Uint(h.overflow)),
+                                    ("p50", Json::Num(h.p50)),
+                                    ("p95", Json::Num(h.p95)),
+                                    ("p99", Json::Num(h.p99)),
+                                    (
+                                        "buckets",
+                                        Json::Arr(
+                                            h.buckets
+                                                .iter()
+                                                .map(|b| {
+                                                    json::obj(vec![
+                                                        ("le", Json::Num(b.le)),
+                                                        ("count", Json::Uint(b.count)),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Response::Pong => json::obj(vec![("type", json::s("pong"))]),
             Response::Ok => json::obj(vec![("type", json::s("ok"))]),
             Response::Error(e) => json::obj(vec![
@@ -726,6 +828,67 @@ impl Response {
                     },
                 }))
             }
+            "metrics_result" => {
+                let counters = value
+                    .get("counters")
+                    .and_then(Json::as_arr)
+                    .ok_or("metrics_result missing \"counters\"")?
+                    .iter()
+                    .map(|c| {
+                        Ok(CounterSnapshot {
+                            name: need_str(c, "name")?,
+                            value: need_u64(c, "value")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                let gauges = value
+                    .get("gauges")
+                    .and_then(Json::as_arr)
+                    .ok_or("metrics_result missing \"gauges\"")?
+                    .iter()
+                    .map(|g| {
+                        Ok(GaugeSnapshot {
+                            name: need_str(g, "name")?,
+                            value: need_f64(g, "value")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                let histograms = value
+                    .get("histograms")
+                    .and_then(Json::as_arr)
+                    .ok_or("metrics_result missing \"histograms\"")?
+                    .iter()
+                    .map(|h| {
+                        let buckets = h
+                            .get("buckets")
+                            .and_then(Json::as_arr)
+                            .ok_or("histogram missing \"buckets\"")?
+                            .iter()
+                            .map(|b| {
+                                Ok(BucketSnapshot {
+                                    le: need_f64(b, "le")?,
+                                    count: need_u64(b, "count")?,
+                                })
+                            })
+                            .collect::<Result<_, String>>()?;
+                        Ok(HistogramSnapshot {
+                            name: need_str(h, "name")?,
+                            count: need_u64(h, "count")?,
+                            sum: need_f64(h, "sum")?,
+                            overflow: need_u64(h, "overflow")?,
+                            p50: need_f64(h, "p50")?,
+                            p95: need_f64(h, "p95")?,
+                            p99: need_f64(h, "p99")?,
+                            buckets,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                Ok(Response::Metrics(RegistrySnapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                }))
+            }
             "pong" => Ok(Response::Pong),
             "ok" => Ok(Response::Ok),
             "error" => {
@@ -762,6 +925,7 @@ mod tests {
     fn every_request_variant_round_trips() {
         request_round_trip(Request::Catalog);
         request_round_trip(Request::Stats);
+        request_round_trip(Request::Metrics);
         request_round_trip(Request::Ping);
         request_round_trip(Request::Shutdown);
         request_round_trip(Request::Simulate(SimulateSpec {
@@ -885,6 +1049,72 @@ mod tests {
                 format!("detail for {code}"),
             )));
         }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        response_round_trip(Response::Metrics(RegistrySnapshot::default()));
+        response_round_trip(Response::Metrics(RegistrySnapshot {
+            counters: vec![CounterSnapshot {
+                name: "pool_hits_total".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "serve_queue_depth".into(),
+                value: 3.0,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "sweep_job_ms".into(),
+                count: 7,
+                sum: 123.5,
+                overflow: 1,
+                p50: 4.0,
+                p95: 16.0,
+                p99: 64.0,
+                buckets: vec![
+                    BucketSnapshot { le: 0.25, count: 2 },
+                    BucketSnapshot { le: 1.0, count: 4 },
+                ],
+            }],
+        }));
+    }
+
+    #[test]
+    fn version_envelope_is_optional_but_checked() {
+        // Every encoded request carries the envelope.
+        assert!(Request::Ping.encode().starts_with("{\"v\":1,"));
+        // A v-less request (pre-versioning client) still decodes.
+        assert_eq!(Request::decode("{\"type\":\"ping\"}").unwrap(), Request::Ping);
+        // The current version decodes.
+        assert_eq!(
+            Request::decode("{\"v\":1,\"type\":\"ping\"}").unwrap(),
+            Request::Ping
+        );
+        // A future version is a typed bad_request, not a parse panic.
+        let future = Request::decode("{\"v\":2,\"type\":\"ping\"}").unwrap_err();
+        assert_eq!(future.code, ErrorCode::BadRequest);
+        assert!(future.message.contains("protocol version"), "{future}");
+        let junk = Request::decode("{\"v\":\"one\",\"type\":\"ping\"}").unwrap_err();
+        assert_eq!(junk.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn unknown_request_fields_are_ignored() {
+        let parsed = Request::decode(
+            "{\"type\":\"simulate\",\"workload\":\"VCCOM\",\"size\":1024,\"future_knob\":true}",
+        )
+        .unwrap();
+        match parsed {
+            Request::Simulate(spec) => {
+                assert_eq!(spec.workload, "VCCOM");
+                assert_eq!(spec.cache.size, 1024);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(
+            Request::decode("{\"type\":\"stats\",\"extra\":[1,2,3]}").unwrap(),
+            Request::Stats
+        );
     }
 
     #[test]

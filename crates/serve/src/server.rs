@@ -27,7 +27,8 @@ use crate::protocol::{
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServerStats;
-use smith85_core::trace_pool::TracePool;
+use smith85_core::session::SimSession;
+use smith85_obs::MS_BOUNDS;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -63,8 +64,14 @@ pub struct ServeOptions {
     pub queue_capacity: usize,
     /// Default per-job deadline applied when a request carries none.
     pub default_deadline_ms: Option<u64>,
-    /// Shared trace pool (pass a clone to share with other components).
-    pub pool: TracePool,
+    /// The instrumented simulation session every job runs through.
+    /// Pass a clone to share its trace pool and metrics registry with
+    /// other components; the default is a fresh session with a fresh
+    /// registry.
+    pub session: SimSession,
+    /// Optional bind address for the Prometheus text-exposition
+    /// endpoint (`GET /metrics`); `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -75,7 +82,8 @@ impl Default for ServeOptions {
             workers: smith85_core::sweep::default_threads(),
             queue_capacity: 64,
             default_deadline_ms: None,
-            pool: TracePool::new(),
+            session: SimSession::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -98,7 +106,7 @@ struct ServerState {
     shutdown: AtomicBool,
     workers: usize,
     default_deadline_ms: Option<u64>,
-    pool: TracePool,
+    session: SimSession,
 }
 
 impl ServerState {
@@ -116,7 +124,7 @@ impl ServerState {
             self.queue.depth(),
             self.queue.high_water(),
             self.workers,
-            &self.pool,
+            self.session.pool(),
         )
     }
 }
@@ -141,6 +149,7 @@ pub struct Server {
     #[cfg(unix)]
     unix_listener: Option<UnixListener>,
     unix_path: Option<PathBuf>,
+    metrics_listener: Option<TcpListener>,
     state: Arc<ServerState>,
 }
 
@@ -172,20 +181,41 @@ impl Server {
                 "unix sockets are only available on unix targets",
             ));
         }
+        let metrics_listener = match &opts.metrics_addr {
+            None => None,
+            Some(addr) => Some(TcpListener::bind(addr)?),
+        };
+        // Pre-register the serve-layer metrics so the Prometheus
+        // exposition lists every family from the first scrape, before
+        // any job has run.
+        let registry = opts.session.registry();
+        registry.counter("serve_deadline_misses_total");
+        registry.gauge("serve_queue_depth");
+        registry.histogram("serve_queue_wait_ms", MS_BOUNDS);
+        registry.histogram("serve_exec_ms", MS_BOUNDS);
         Ok(Server {
             listener,
             #[cfg(unix)]
             unix_listener,
             unix_path: opts.unix_path.clone(),
+            metrics_listener,
             state: Arc::new(ServerState {
                 queue: BoundedQueue::new(opts.queue_capacity),
                 stats: ServerStats::default(),
                 shutdown: AtomicBool::new(false),
                 workers: opts.workers.max(1),
                 default_deadline_ms: opts.default_deadline_ms,
-                pool: opts.pool,
+                session: opts.session,
             }),
         })
+    }
+
+    /// The bound Prometheus endpoint address, when one was requested
+    /// (useful after binding port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The bound TCP address (useful after binding port 0).
@@ -239,6 +269,18 @@ impl Server {
             }
         };
 
+        let metrics_thread = match self.metrics_listener {
+            None => None,
+            Some(listener) => {
+                let state = Arc::clone(&state);
+                Some(
+                    thread::Builder::new()
+                        .name("serve-metrics".to_string())
+                        .spawn(move || metrics_loop(&listener, &state))?,
+                )
+            }
+        };
+
         self.listener.set_nonblocking(true)?;
         let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
         while !state.shutting_down() {
@@ -283,6 +325,9 @@ impl Server {
         if let Some(handle) = unix_accept {
             let _ = handle.join();
         }
+        if let Some(handle) = metrics_thread {
+            let _ = handle.join();
+        }
         for connection in connections {
             let _ = connection.join();
         }
@@ -303,12 +348,14 @@ impl Server {
     pub fn spawn(opts: ServeOptions) -> io::Result<RunningServer> {
         let server = Server::bind(opts)?;
         let addr = server.local_addr()?;
+        let metrics_addr = server.metrics_addr();
         let handle = server.shutdown_handle();
         let thread = thread::Builder::new()
             .name("serve-main".to_string())
             .spawn(move || server.run())?;
         Ok(RunningServer {
             addr,
+            metrics_addr,
             handle,
             thread,
         })
@@ -318,6 +365,7 @@ impl Server {
 /// A server running on a background thread (see [`Server::spawn`]).
 pub struct RunningServer {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     handle: ShutdownHandle,
     thread: thread::JoinHandle<io::Result<StatsResult>>,
 }
@@ -326,6 +374,11 @@ impl RunningServer {
     /// The bound TCP address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus endpoint address, when one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// A shutdown handle usable from other threads.
@@ -350,10 +403,15 @@ impl RunningServer {
 
 fn worker_loop(state: &ServerState) {
     while let Some(job) = state.queue.pop() {
-        let queue_ms = job.admitted.elapsed().as_millis() as u64;
+        let probe = state.session.probe();
+        probe.gauge("serve_queue_depth", state.queue.depth() as f64);
+        let queue_wait = job.admitted.elapsed();
+        let queue_ms = queue_wait.as_millis() as u64;
+        probe.observe("serve_queue_wait_ms", queue_wait.as_secs_f64() * 1_000.0);
         if let Some(deadline) = job.deadline {
             if Instant::now() > deadline {
                 ServerStats::bump(&state.stats.deadline_misses);
+                probe.count("serve_deadline_misses_total", 1);
                 let _ = job.reply.send(Response::Error(ErrorBody::new(
                     ErrorCode::DeadlineExceeded,
                     format!("job waited {queue_ms} ms in queue, past its deadline"),
@@ -364,11 +422,13 @@ fn worker_loop(state: &ServerState) {
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| match &job.kind {
             JobKind::Simulate(spec) => {
-                exec::run_simulate(&state.pool, spec).map(Response::Simulate)
+                exec::run_simulate(&state.session, spec).map(Response::Simulate)
             }
-            JobKind::Sweep(spec) => exec::run_sweep(&state.pool, spec).map(Response::Sweep),
+            JobKind::Sweep(spec) => exec::run_sweep(&state.session, spec).map(Response::Sweep),
         }));
-        let exec_ms = start.elapsed().as_millis() as u64;
+        let exec_elapsed = start.elapsed();
+        let exec_ms = exec_elapsed.as_millis() as u64;
+        probe.observe("serve_exec_ms", exec_elapsed.as_secs_f64() * 1_000.0);
         let busy_counter = match &job.kind {
             JobKind::Simulate(_) => &state.stats.busy_ms_simulate,
             JobKind::Sweep(_) => &state.stats.busy_ms_sweep,
@@ -381,6 +441,7 @@ fn worker_loop(state: &ServerState) {
                     .is_some_and(|deadline| Instant::now() > deadline)
                 {
                     ServerStats::bump(&state.stats.deadline_misses);
+                    probe.count("serve_deadline_misses_total", 1);
                     Response::Error(ErrorBody::new(
                         ErrorCode::DeadlineExceeded,
                         format!("job finished after its deadline ({exec_ms} ms of work)"),
@@ -415,6 +476,54 @@ fn worker_loop(state: &ServerState) {
         };
         let _ = job.reply.send(response);
     }
+}
+
+/// Accept loop for the Prometheus endpoint: a deliberately minimal
+/// HTTP/1.1 responder (no routing beyond `GET`, no keep-alive) — the
+/// offline toolchain has no HTTP dependency, and scrapers only ever
+/// issue one-shot GETs.
+fn metrics_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_metrics_scrape(stream, state),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn serve_metrics_scrape(mut stream: TcpStream, state: &Arc<ServerState>) {
+    // Read the request head (first line is enough to validate the
+    // method); a short timeout keeps a stalled scraper from pinning
+    // the loop.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut head = [0u8; 1024];
+    let read = match stream.read(&mut head) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let request = String::from_utf8_lossy(&head[..read]);
+    let response = if request.starts_with("GET ") {
+        let body = state.session.registry().snapshot().to_prometheus();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "metrics endpoint only answers GET\n";
+        format!(
+            "HTTP/1.1 405 Method Not Allowed\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }
 
 fn handle_tcp_connection(stream: TcpStream, state: &Arc<ServerState>) {
@@ -589,6 +698,7 @@ fn handle_request(line: &str, state: &Arc<ServerState>) -> Response {
             ServerStats::bump(&state.stats.stats_requests);
             Response::Stats(state.snapshot())
         }
+        Request::Metrics => Response::Metrics(state.session.registry().snapshot()),
         Request::Shutdown => {
             state.begin_shutdown();
             Response::Ok
@@ -648,6 +758,10 @@ fn submit_job(
         }
     }
     ServerStats::bump(admitted_counter);
+    state
+        .session
+        .probe()
+        .gauge("serve_queue_depth", state.queue.depth() as f64);
     match receive.recv_timeout(REPLY_TIMEOUT) {
         Ok(response) => response,
         Err(_) => Response::Error(ErrorBody::new(

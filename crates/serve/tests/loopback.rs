@@ -298,6 +298,145 @@ fn unix_socket_round_trip() {
     assert!(!path.exists(), "socket file must be cleaned up");
 }
 
+#[test]
+fn metrics_request_parses_and_counters_are_monotonic() {
+    let server = spawn_default();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let fetch_metrics = |client: &mut Client| match client.call(&Request::Metrics).expect("metrics")
+    {
+        Response::Metrics(snapshot) => snapshot,
+        other => panic!("expected metrics_result, got {other:?}"),
+    };
+
+    assert!(matches!(
+        client.call(&simulate_request("VCCOM", 3_000, 1 << 12)).expect("job"),
+        Response::Simulate(_)
+    ));
+    let first = fetch_metrics(&mut client);
+    let counter = |snapshot: &smith85_serve::RegistrySnapshot, name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .value
+    };
+    assert_eq!(counter(&first, "cachesim_refs_total"), 3_000);
+    assert_eq!(counter(&first, "pool_misses_total"), 1);
+    assert!(
+        first.histograms.iter().any(|h| h.name == "serve_exec_ms" && h.count == 1),
+        "serve_exec_ms must record the job: {first:?}"
+    );
+
+    assert!(matches!(
+        client.call(&simulate_request("VCCOM", 3_000, 1 << 13)).expect("job"),
+        Response::Simulate(_)
+    ));
+    let second = fetch_metrics(&mut client);
+    for c in &first.counters {
+        assert!(
+            counter(&second, &c.name) >= c.value,
+            "counter {} went backwards: {} -> {}",
+            c.name,
+            c.value,
+            counter(&second, &c.name)
+        );
+    }
+    assert_eq!(counter(&second, "cachesim_refs_total"), 6_000);
+    assert_eq!(counter(&second, "pool_hits_total"), 1, "same workload pools");
+
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn v_less_client_round_trips_bit_identically() {
+    // A pre-versioning client sends no "v" envelope at all; the served
+    // result must still be bit-identical to a direct library run.
+    let server = spawn_default();
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let raw = "{\"type\":\"simulate\",\"workload\":\"VCCOM\",\"len\":2000,\"size\":4096,\"line\":16}";
+    match client.send_raw_line(raw).expect("answer") {
+        Response::Simulate(r) => {
+            let direct = direct_miss_ratio("VCCOM", 2_000, 4_096);
+            assert_eq!(r.miss_ratio.to_bits(), direct.to_bits());
+        }
+        other => panic!("expected simulate result, got {other:?}"),
+    }
+    // And an explicit future version is refused without killing the
+    // connection.
+    match client
+        .send_raw_line("{\"v\":99,\"type\":\"ping\"}")
+        .expect("answer")
+    {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{e:?}"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn prometheus_endpoint_serves_valid_exposition() {
+    use std::io::{Read as _, Write as _};
+
+    let server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServeOptions::default()
+    })
+    .expect("spawn server with metrics endpoint");
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    assert!(matches!(
+        client.call(&simulate_request("ZGREP", 2_000, 1 << 12)).expect("job"),
+        Response::Simulate(_)
+    ));
+
+    let mut stream = std::net::TcpStream::connect(metrics_addr).expect("scrape connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: loopback\r\n\r\n")
+        .expect("scrape request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("scrape response");
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).expect("response body");
+
+    // Every non-comment line must be `name{labels} value` with a
+    // parseable float value — the exposition-format contract.
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in line {line:?}"
+        );
+        assert!(
+            series.starts_with("smith85_"),
+            "unprefixed series in line {line:?}"
+        );
+    }
+    for family in [
+        "smith85_serve_queue_depth",
+        "smith85_pool_hits_total",
+        "smith85_pool_misses_total",
+        "smith85_pool_materialized_bytes_total",
+        "smith85_serve_exec_ms",
+        "smith85_cachesim_refs_per_sec",
+    ] {
+        assert!(body.contains(family), "missing family {family} in:\n{body}");
+    }
+    assert!(
+        body.contains("le=\"+Inf\""),
+        "histograms must end with a +Inf bucket:\n{body}"
+    );
+
+    server.stop().expect("clean shutdown");
+}
+
 fn wait_until(mut condition: impl FnMut() -> bool) {
     let deadline = Instant::now() + Duration::from_secs(30);
     while !condition() {

@@ -16,12 +16,12 @@ fn generators_are_deterministic_across_runs() {
 
 #[test]
 fn experiments_are_invariant_to_thread_count() {
-    let config = |threads| ExperimentConfig {
-        trace_len: 8_000,
-        sizes: vec![256, 4096],
-        threads,
-        pool: Default::default(),
-    };
+    let config = |threads| ExperimentConfig::builder()
+        .trace_len(8_000)
+        .sizes(vec![256, 4096])
+        .threads(threads)
+        .build()
+        .unwrap();
     let serial = table1::run(&config(1));
     let parallel = table1::run(&config(8));
     assert_eq!(serial.rows, parallel.rows);
@@ -52,12 +52,12 @@ fn catalog_is_stable_between_calls() {
 /// must update EXPERIMENTS.md along with these numbers.
 #[test]
 fn table1_golden_values() {
-    let config = ExperimentConfig {
-        trace_len: 10_000,
-        sizes: vec![1024],
-        threads: 4,
-        pool: Default::default(),
-    };
+    let config = ExperimentConfig::builder()
+        .trace_len(10_000)
+        .sizes(vec![1024])
+        .threads(4)
+        .build()
+        .unwrap();
     let t = table1::run(&config);
     let mvs1 = &t.rows[0];
     assert_eq!(mvs1.name, "MVS1");

@@ -8,12 +8,12 @@ use smith85::core::experiments::{
 use smith85::core::targets::CacheKind;
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig {
-        trace_len: 25_000,
-        sizes: vec![256, 1024, 8192],
-        threads: smith85::core::sweep::default_threads(),
-        pool: Default::default(),
-    }
+    ExperimentConfig::builder()
+        .trace_len(25_000)
+        .sizes(vec![256, 1024, 8192])
+        .threads(smith85::core::sweep::default_threads())
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -31,12 +31,12 @@ fn table1_reproduces_figure1_shape() {
 
 #[test]
 fn table3_dirty_push_rule_of_thumb() {
-    let config = ExperimentConfig {
-        trace_len: 60_000,
-        sizes: vec![1024],
-        threads: smith85::core::sweep::default_threads(),
-        pool: Default::default(),
-    };
+    let config = ExperimentConfig::builder()
+        .trace_len(60_000)
+        .sizes(vec![1024])
+        .threads(smith85::core::sweep::default_threads())
+        .build()
+        .unwrap();
     // A smaller half keeps replacement traffic alive at test lengths.
     let t = table3::run_with_half_size(&config, 4 * 1024);
     assert_eq!(t.rows.len(), 16);
@@ -112,12 +112,12 @@ fn fig2_and_clark_reference_models() {
 
 #[test]
 fn z80000_story_end_to_end() {
-    let config = ExperimentConfig {
-        trace_len: 20_000,
-        sizes: vec![256],
-        threads: smith85::core::sweep::default_threads(),
-        pool: Default::default(),
-    };
+    let config = ExperimentConfig::builder()
+        .trace_len(20_000)
+        .sizes(vec![256])
+        .threads(smith85::core::sweep::default_threads())
+        .build()
+        .unwrap();
     let s = z80000::run(&config);
     // The 16-byte-transfer rows carry the paper's punchline.
     let r16 = &s.rows[2];

@@ -56,12 +56,12 @@ fn profile_clone_roundtrip_preserves_behaviour() {
 
 #[test]
 fn experiment_results_compare_structurally() {
-    let config = ExperimentConfig {
-        trace_len: 4_000,
-        sizes: vec![512],
-        threads: 2,
-        pool: Default::default(),
-    };
+    let config = ExperimentConfig::builder()
+        .trace_len(4_000)
+        .sizes(vec![512])
+        .threads(2)
+        .build()
+        .unwrap();
     let a = table1::run(&config);
     let b = table1::run(&config);
     assert_eq!(a, b);
