@@ -7,11 +7,19 @@
 //! * `stack_analysis` — one-pass LRU stack distances ([`StackAnalyzer`]);
 //! * `assoc_analysis` — one-pass per-set stack distances ([`AssocAnalyzer`]);
 //! * `set_assoc_sim` — an 8-way 16 KiB cache driven by the slice path;
-//! * `unified_sim` — the fully associative paper cache, purges on.
+//! * `unified_sim` — the fully associative paper cache, purges on;
+//! * `session_unified` — the same cache through the instrumented
+//!   [`SimSession`] entry point (metrics and, with `--journal`, tracing).
 //!
 //! ```text
 //! cargo run --release -p smith85-bench --bin throughput -- [quick|paper] [OUT.json]
+//!     [--journal PATH]
 //! ```
+//!
+//! `--journal PATH` attaches an NDJSON trace journal to the session
+//! kernel, so comparing `session_unified` with and without the flag
+//! bounds the journaling overhead. The non-session kernels never touch
+//! the tracing layer, so for them the cost is zero by construction.
 //!
 //! Results land in `OUT.json` (default `BENCH_sim.json`), documented in
 //! `EXPERIMENTS.md`.
@@ -55,7 +63,7 @@ fn kernel(name: &'static str, refs: usize, f: impl FnMut()) -> KernelResult {
     }
 }
 
-fn run_kernels(len: usize) -> Vec<KernelResult> {
+fn run_kernels(len: usize, journal: Option<&str>) -> Vec<KernelResult> {
     let spec = catalog::by_name(TRACE).expect("VCCOM is in the catalog");
     let profile = spec.profile().clone();
     let trace = profile.generate(len);
@@ -100,14 +108,30 @@ fn run_kernels(len: usize) -> Vec<KernelResult> {
         c.run_slice(replay);
         assert_eq!(c.stats().total_refs(), len as u64);
     }));
+
+    let mut builder = smith85_core::session::SimSession::builder();
+    if let Some(path) = journal {
+        let writer = smith85_tracelog::NdjsonWriter::create(path).expect("create journal file");
+        builder = builder.journal(smith85_tracelog::SinkHandle::new(std::sync::Arc::new(writer)));
+    }
+    let session = builder.build().expect("default session configuration");
+    results.push(kernel("session_unified", len, || {
+        let cfg = CacheConfig::builder(16 * 1024)
+            .purge_interval(Some(smith85_trace::PAPER_PURGE_INTERVAL))
+            .build()
+            .expect("valid configuration");
+        let stats = session.simulate_unified(replay, cfg).expect("valid config");
+        assert_eq!(stats.total_refs(), len as u64);
+    }));
     results
 }
 
-fn render_json(mode: &str, len: usize, results: &[KernelResult]) -> String {
+fn render_json(mode: &str, len: usize, journaled: bool, results: &[KernelResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"smith85-throughput-v1\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"journaled\": {journaled},\n"));
     s.push_str(&format!("  \"trace\": \"{TRACE}\",\n"));
     s.push_str(&format!("  \"trace_len\": {len},\n"));
     s.push_str(&format!("  \"repeats\": {REPEATS},\n"));
@@ -129,14 +153,19 @@ fn render_json(mode: &str, len: usize, results: &[KernelResult]) -> String {
 fn main() {
     let mut mode = "paper".to_string();
     let mut out_path = "BENCH_sim.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut journal = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "quick" | "paper" => mode = arg,
+            "--journal" => {
+                journal = Some(args.next().expect("--journal needs a file path"));
+            }
             other => out_path = other.to_string(),
         }
     }
     let len = if mode == "quick" { 50_000 } else { 250_000 };
-    let results = run_kernels(len);
+    let results = run_kernels(len, journal.as_deref());
     for r in &results {
         println!(
             "{:<16} {:>9} refs  {:>9.1} ms  {:>12.0} refs/sec",
@@ -146,7 +175,7 @@ fn main() {
             r.refs_per_sec
         );
     }
-    let json = render_json(&mode, len, &results);
+    let json = render_json(&mode, len, journal.is_some(), &results);
     std::fs::write(&out_path, &json).expect("write benchmark result file");
     println!("wrote {out_path}");
 }

@@ -58,11 +58,13 @@ USAGE:
       under the same configuration. A panicking experiment is recorded
       and the rest of the suite still runs.
   smith85 serve [--addr HOST:PORT] [--unix PATH] [--workers N] [--queue N]
-          [--deadline-ms N] [--metrics-addr HOST:PORT]
+          [--deadline-ms N] [--metrics-addr HOST:PORT] [--journal PATH]
       Run the simulation server (newline-delimited JSON over TCP, plus a
       Unix socket with --unix). Requests past the queue bound get a typed
       \"overloaded\" rejection. --metrics-addr serves Prometheus text
-      exposition at /metrics. Ctrl-C drains in-flight jobs and exits.
+      exposition at /metrics. --journal appends every request's spans and
+      access-log events to an NDJSON trace journal (see `smith85 trace`).
+      Ctrl-C drains in-flight jobs and exits.
   smith85 submit TYPE [--addr HOST:PORT] [--unix PATH] [--json true] ...
       Send one request to a running server. TYPE is one of:
         simulate --workload NAME --size BYTES [--len N] [--seed N]
@@ -71,6 +73,13 @@ USAGE:
                  [--line BYTES] [--deadline-ms N]
         catalog | stats | metrics | ping | shutdown
       --json true prints the raw response line instead of a summary.
+  smith85 trace report JOURNAL [--top N] [--format tree|collapsed]
+      Render an NDJSON trace journal as per-trace span trees with total
+      and self times (slowest first, --top per default 10), or as
+      collapsed stacks (`root;child;leaf self_us`) for flamegraph tools.
+  smith85 trace follow JOURNAL [--max-events N]
+      Tail a journal: print events as they are appended (ctrl-c stops;
+      --max-events exits after N events).
 "
     .to_string()
 }
@@ -522,7 +531,9 @@ fn pool_summary(stats: &smith85_core::trace_pool::PoolStats) -> String {
 }
 
 pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
-    opts.expect_only(&["addr", "unix", "workers", "queue", "deadline-ms", "metrics-addr"])?;
+    opts.expect_only(&[
+        "addr", "unix", "workers", "queue", "deadline-ms", "metrics-addr", "journal",
+    ])?;
     let mut options = smith85_serve::ServeOptions {
         addr: opts.get("addr").unwrap_or("127.0.0.1:4085").to_string(),
         ..smith85_serve::ServeOptions::default()
@@ -537,6 +548,7 @@ pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
         );
     }
     options.metrics_addr = opts.get("metrics-addr").map(str::to_string);
+    options.journal = opts.get("journal").map(std::path::PathBuf::from);
     let (workers, queue) = (options.workers, options.queue_capacity);
     let unix = options.unix_path.clone();
     let server = smith85_serve::Server::bind(options)?;
@@ -554,6 +566,9 @@ pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
     );
     if let Some(addr) = server.metrics_addr() {
         eprintln!("smith85-serve: Prometheus metrics on http://{addr}/metrics");
+    }
+    if let Some(path) = opts.get("journal") {
+        eprintln!("smith85-serve: journaling traces to {path} (render with `smith85 trace report {path}`)");
     }
     eprintln!("smith85-serve: ctrl-c drains in-flight jobs and exits");
     let stats = server.run()?;
@@ -664,6 +679,9 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
             let _ = writeln!(out, "  data         {:.6}", r.data_miss_ratio);
             let _ = writeln!(out, "traffic bytes  {}", r.traffic_bytes);
             let _ = writeln!(out, "queued/exec ms {} / {}", r.queue_ms, r.exec_ms);
+            if !r.trace_id.is_empty() {
+                let _ = writeln!(out, "trace id       {}", r.trace_id);
+            }
         }
         Response::Sweep(r) => {
             let _ = writeln!(out, "workload {} ({} refs)", r.workload, r.len);
@@ -672,6 +690,9 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
                 let _ = writeln!(out, "{:>10}  {:.6}", point.size, point.miss_ratio);
             }
             let _ = writeln!(out, "queued/exec ms {} / {}", r.queue_ms, r.exec_ms);
+            if !r.trace_id.is_empty() {
+                let _ = writeln!(out, "trace id       {}", r.trace_id);
+            }
         }
         Response::Catalog(c) => {
             let _ = writeln!(out, "{} profiles:", c.profiles.len());
@@ -792,6 +813,101 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
         return Ok(line);
     }
     render_response(&response)
+}
+
+pub(crate) fn trace(opts: &Opts) -> Result<String, CliError> {
+    let action = opts.positional().first().map(String::as_str).ok_or_else(|| {
+        CliError::usage("need an action: `smith85 trace report JOURNAL` or `smith85 trace follow JOURNAL`")
+    })?;
+    let journal = opts
+        .positional()
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage(format!("`smith85 trace {action}` needs a journal path")))?;
+    match action {
+        "report" => {
+            opts.expect_only(&["top", "format"])?;
+            let (header, events) = smith85_tracelog::report::read_journal(journal)?;
+            if let Some(header) = &header {
+                if header.version != smith85_tracelog::JOURNAL_VERSION {
+                    return Err(CliError::usage(format!(
+                        "journal {journal:?} is format v{}, this build reads v{}",
+                        header.version,
+                        smith85_tracelog::JOURNAL_VERSION
+                    )));
+                }
+            }
+            let trees = smith85_tracelog::report::build_trees(&events);
+            match opts.get("format").unwrap_or("tree") {
+                "tree" => {
+                    let top = opts.get_parse("top", 10usize)?;
+                    Ok(smith85_tracelog::report::render_report(&trees, top))
+                }
+                "collapsed" => Ok(smith85_tracelog::report::collapsed_stacks(&trees)),
+                other => Err(CliError::usage(format!(
+                    "unknown format {other:?} (tree or collapsed)"
+                ))),
+            }
+        }
+        "follow" => {
+            opts.expect_only(&["max-events"])?;
+            let max_events = opts.get_parse("max-events", usize::MAX)?;
+            follow_journal(journal, max_events)
+        }
+        other => Err(CliError::usage(format!(
+            "unknown trace action {other:?} (report or follow)"
+        ))),
+    }
+}
+
+/// Tails a journal file: prints each event line as it lands, polling for
+/// growth. With `max_events == usize::MAX` it runs until interrupted, so
+/// events go straight to stdout rather than the returned string.
+fn follow_journal(path: &str, max_events: usize) -> Result<String, CliError> {
+    use std::io::BufRead as _;
+    let file = File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    let mut printed = 0usize;
+    let mut header_seen = false;
+    while printed < max_events {
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            // At EOF: a bounded follow with no more data would otherwise
+            // spin forever in tests, so only block when tailing live.
+            if max_events != usize::MAX {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            continue;
+        }
+        if !line.ends_with('\n') {
+            // A partially written line: keep it and wait for the writer
+            // to finish it (the next read appends the remainder).
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        if !header_seen {
+            header_seen = true;
+            if trimmed.contains("\"schema\"") {
+                line.clear();
+                continue; // journal header, not an event
+            }
+        }
+        let value = smith85_tracelog::json::parse(trimmed)
+            .map_err(|e| CliError::usage(format!("bad journal line: {e}")))?;
+        let event = smith85_tracelog::report::parse_event(&value)
+            .map_err(|e| CliError::usage(format!("bad journal event: {e}")))?;
+        println!("{}", smith85_tracelog::report::render_event_line(&event));
+        printed += 1;
+        line.clear();
+    }
+    Ok(format!("followed {printed} event(s) from {path}\n"))
 }
 
 #[cfg(test)]

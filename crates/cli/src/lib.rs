@@ -118,6 +118,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "suite" => commands::suite(&opts),
         "serve" => commands::serve(&opts),
         "submit" => commands::submit(&opts),
+        "trace" => commands::trace(&opts),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
@@ -343,6 +344,40 @@ mod tests {
             run_str(&["submit", "--addr", "127.0.0.1:1"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn trace_report_and_follow_render_a_journal() {
+        let journal = std::env::temp_dir()
+            .join(format!("smith85-cli-journal-{}.ndjson", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let server = smith85_serve::Server::spawn(smith85_serve::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            journal: Some(journal.clone()),
+            ..smith85_serve::ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let out = run_str(&[
+            "submit", "simulate", "--addr", &addr, "--workload", "VCCOM", "--len", "3000",
+            "--size", "4096",
+        ])
+        .unwrap();
+        assert!(out.contains("trace id"), "{out}");
+        server.stop().unwrap();
+
+        let path = journal.to_str().unwrap();
+        let report = run_str(&["trace", "report", path]).unwrap();
+        assert!(report.contains("request"), "{report}");
+        assert!(report.contains("simulate_workload"), "{report}");
+        let collapsed = run_str(&["trace", "report", path, "--format", "collapsed"]).unwrap();
+        assert!(collapsed.contains("request;simulate_workload"), "{collapsed}");
+        let followed = run_str(&["trace", "follow", path, "--max-events", "3"]).unwrap();
+        assert!(followed.contains("followed 3 event(s)"), "{followed}");
+
+        assert!(matches!(run_str(&["trace", "frobnicate", path]), Err(CliError::Usage(_))));
+        assert!(matches!(run_str(&["trace", "report"]), Err(CliError::Usage(_))));
+        std::fs::remove_file(&journal).unwrap();
     }
 
     #[test]

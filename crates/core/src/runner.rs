@@ -194,7 +194,32 @@ pub fn run_suite_with(
         } else {
             let start = Instant::now();
             let run = entry.run;
+            let trace_ctx = smith85_tracelog::current();
+            let span = trace_ctx.enabled().then(|| {
+                trace_ctx.child(
+                    "experiment",
+                    vec![("name".to_string(), entry.name.into())],
+                )
+            });
+            let _enter = span
+                .as_ref()
+                .map(|s| smith85_tracelog::enter(s.ctx().clone()));
             let caught = catch_unwind(AssertUnwindSafe(|| run(config)));
+            if let (Some(span), Err(payload)) = (&span, &caught) {
+                span.ctx().event(
+                    smith85_tracelog::Severity::Error,
+                    "experiment_panic",
+                    vec![
+                        ("name".to_string(), entry.name.into()),
+                        (
+                            "message".to_string(),
+                            crate::sweep::panic_message(payload.as_ref()).into(),
+                        ),
+                    ],
+                );
+            }
+            drop(_enter);
+            drop(span);
             let duration_ms = start.elapsed().as_millis() as u64;
             match caught {
                 Ok(rendered) => {

@@ -44,6 +44,7 @@ use smith85_cachesim::{
 };
 use smith85_obs::{Registry, MS_BOUNDS, REFS_PER_SEC_BOUNDS};
 use smith85_trace::MemoryAccess;
+use smith85_tracelog::{self as tracelog, FieldValue, SinkHandle, TraceContext};
 use std::fmt;
 use std::io;
 use std::sync::Arc;
@@ -183,6 +184,7 @@ pub struct SimSessionBuilder {
     config: crate::experiments::ExperimentConfigBuilder,
     registry: Option<Registry>,
     probe: Option<ProbeHandle>,
+    journal: SinkHandle,
 }
 
 impl SimSessionBuilder {
@@ -230,6 +232,16 @@ impl SimSessionBuilder {
         self
     }
 
+    /// A structured-event journal. Every kernel run then opens a trace
+    /// span (rooting a fresh trace id unless the caller already entered
+    /// one via [`tracelog::enter`]), and the pool/sweep/runner seams
+    /// record their own child spans into the same sink. The default is
+    /// [`SinkHandle::disabled`], which costs nothing.
+    pub fn journal(mut self, sink: SinkHandle) -> Self {
+        self.journal = sink;
+        self
+    }
+
     /// Validates the configuration, wires the probe through the trace
     /// pool and sweep engine, and pre-registers the core metric
     /// families so an exposition scrape sees them even before traffic.
@@ -264,6 +276,7 @@ impl SimSessionBuilder {
             config,
             registry,
             probe,
+            journal: self.journal,
         })
     }
 }
@@ -276,6 +289,7 @@ pub struct SimSession {
     config: ExperimentConfig,
     registry: Registry,
     probe: ProbeHandle,
+    journal: SinkHandle,
 }
 
 impl Default for SimSession {
@@ -313,6 +327,34 @@ impl SimSession {
         &self.config.pool
     }
 
+    /// The session's structured-event journal (disabled by default).
+    pub fn journal(&self) -> &SinkHandle {
+        &self.journal
+    }
+
+    /// Runs `f` inside a trace span named `name`: a child of the
+    /// thread's current context if one is entered (e.g. a serve
+    /// worker's request span), else a root span with a fresh trace id
+    /// when this session journals, else uninstrumented. `fields` is
+    /// only invoked when the span is actually recorded.
+    fn traced<R>(
+        &self,
+        name: &str,
+        fields: impl FnOnce() -> Vec<(String, FieldValue)>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let current = tracelog::current();
+        let span = if current.enabled() {
+            current.child(name, fields())
+        } else if self.journal.enabled() {
+            TraceContext::root(self.journal.clone(), name, fields())
+        } else {
+            return f();
+        };
+        let _enter = tracelog::enter(span.ctx().clone());
+        f()
+    }
+
     /// Runs `replay` through a unified cache and returns its statistics
     /// (bit-identical to a direct [`UnifiedCache`] run).
     ///
@@ -325,9 +367,15 @@ impl SimSession {
         replay: &[MemoryAccess],
         config: CacheConfig,
     ) -> Result<CacheStats, CacheConfigError> {
-        let mut cache = UnifiedCache::new(config)?;
-        self.timed_batch(replay.len(), || cache.run_slice(replay));
-        Ok(*cache.stats())
+        self.traced(
+            "simulate_unified",
+            || vec![("refs".to_string(), FieldValue::U64(replay.len() as u64))],
+            || {
+                let mut cache = UnifiedCache::new(config)?;
+                self.timed_batch(replay.len(), || cache.run_slice(replay));
+                Ok(*cache.stats())
+            },
+        )
     }
 
     /// Runs `replay` through a split instruction/data cache.
@@ -343,13 +391,19 @@ impl SimSession {
         dconfig: CacheConfig,
         purge_interval: Option<u64>,
     ) -> Result<SplitStats, CacheConfigError> {
-        let mut cache = SplitCache::new(iconfig, dconfig, purge_interval)?;
-        self.timed_batch(replay.len(), || cache.run_slice(replay));
-        Ok(SplitStats {
-            instruction: *cache.instruction_stats(),
-            data: *cache.data_stats(),
-            total: cache.total_stats(),
-        })
+        self.traced(
+            "simulate_split",
+            || vec![("refs".to_string(), FieldValue::U64(replay.len() as u64))],
+            || {
+                let mut cache = SplitCache::new(iconfig, dconfig, purge_interval)?;
+                self.timed_batch(replay.len(), || cache.run_slice(replay));
+                Ok(SplitStats {
+                    instruction: *cache.instruction_stats(),
+                    data: *cache.data_stats(),
+                    total: cache.total_stats(),
+                })
+            },
+        )
     }
 
     /// Simulates a pooled workload prefix of `len` references through a
@@ -365,24 +419,43 @@ impl SimSession {
         len: usize,
         config: CacheConfig,
     ) -> Result<CacheStats, CacheConfigError> {
-        let trace = self.config.pool.workload(workload, len);
-        self.simulate_unified(&trace.as_slice()[..len], config)
+        self.traced(
+            "simulate_workload",
+            || workload_fields(workload, len),
+            || {
+                let trace = self.config.pool.workload(workload, len);
+                self.simulate_unified(&trace.as_slice()[..len], config)
+            },
+        )
     }
 
     /// One stack-analysis pass over `replay`: the miss ratio at every
     /// cache size at once (bit-identical to a direct [`StackAnalyzer`]
     /// run).
     pub fn sweep_stack(&self, replay: &[MemoryAccess], line_size: usize) -> StackProfile {
-        let mut analyzer = StackAnalyzer::with_line_size_and_capacity(line_size, replay.len());
-        self.timed_batch(replay.len(), || analyzer.observe_slice(replay));
-        analyzer.finish()
+        self.traced(
+            "sweep_stack",
+            || vec![("refs".to_string(), FieldValue::U64(replay.len() as u64))],
+            || {
+                let mut analyzer =
+                    StackAnalyzer::with_line_size_and_capacity(line_size, replay.len());
+                self.timed_batch(replay.len(), || analyzer.observe_slice(replay));
+                analyzer.finish()
+            },
+        )
     }
 
     /// One stack-analysis pass over a pooled workload prefix (the serve
     /// `sweep` kernel).
     pub fn sweep_workload(&self, workload: &Workload, len: usize, line_size: usize) -> StackProfile {
-        let trace = self.config.pool.workload(workload, len);
-        self.sweep_stack(&trace.as_slice()[..len], line_size)
+        self.traced(
+            "sweep_workload",
+            || workload_fields(workload, len),
+            || {
+                let trace = self.config.pool.workload(workload, len);
+                self.sweep_stack(&trace.as_slice()[..len], line_size)
+            },
+        )
     }
 
     /// Runs the full experiment suite under this session's config; see
@@ -392,7 +465,11 @@ impl SimSession {
     ///
     /// See [`runner::run_suite`].
     pub fn run_suite(&self, opts: &RunnerOptions) -> io::Result<SuiteReport> {
-        runner::run_suite(&self.config, opts)
+        self.traced(
+            "suite",
+            Vec::new,
+            || runner::run_suite(&self.config, opts),
+        )
     }
 
     /// Times one batched kernel invocation and reports throughput.
@@ -408,6 +485,18 @@ impl SimSession {
                 .observe("cachesim_refs_per_sec", refs as f64 / elapsed);
         }
     }
+}
+
+/// Span fields identifying a workload-level kernel run.
+fn workload_fields(workload: &Workload, len: usize) -> Vec<(String, FieldValue)> {
+    let label = match workload {
+        Workload::Single(p) => p.name.clone(),
+        Workload::Mix { members, .. } => format!("mix[{}]", members.len()),
+    };
+    vec![
+        ("workload".to_string(), FieldValue::Str(label)),
+        ("len".to_string(), FieldValue::U64(len as u64)),
+    ]
 }
 
 #[cfg(test)]
@@ -528,6 +617,49 @@ mod tests {
         let cfg = CacheConfig::paper_table1(1_024).unwrap();
         let _ = session.simulate_workload(&vccom(), 500, cfg).unwrap();
         assert!(counting.events.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn journaled_session_emits_span_tree_with_pool_child() {
+        use smith85_tracelog::{EventKind, RingJournal, SinkHandle};
+        let journal = Arc::new(RingJournal::new(2, 1024));
+        let session = SimSession::builder()
+            .quick()
+            .journal(SinkHandle::new(journal.clone()))
+            .build()
+            .unwrap();
+        let cfg = CacheConfig::paper_table1(1_024).unwrap();
+        let _ = session.simulate_workload(&vccom(), 1_000, cfg).unwrap();
+
+        let events = journal.snapshot();
+        let root = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart && e.name == "simulate_workload")
+            .expect("workload root span");
+        assert_eq!(root.parent_span_id, 0, "fresh trace id roots the run");
+        assert!(!root.trace_id.is_empty());
+        let materialize = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart && e.name == "pool_materialize")
+            .expect("pool materialization span");
+        assert_eq!(materialize.trace_id, root.trace_id, "same trace");
+        assert_eq!(materialize.parent_span_id, root.span_id);
+        let unified_end = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd && e.name == "simulate_unified")
+            .expect("inner kernel span closes");
+        assert!(unified_end.fields.iter().any(|(k, _)| k == "dur_us"));
+    }
+
+    #[test]
+    fn unjournaled_session_records_no_trace_events() {
+        // Guard for the zero-overhead claim: with no journal and no
+        // entered context, kernels must not mint trace ids or spans.
+        let session = SimSession::builder().quick().build().unwrap();
+        assert!(!session.journal().enabled());
+        let cfg = CacheConfig::paper_table1(1_024).unwrap();
+        let _ = session.simulate_workload(&vccom(), 500, cfg).unwrap();
+        assert!(!smith85_tracelog::current().enabled());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! skip-and-report (inspecting [`SweepError`]).
 
 use crate::session::ProbeHandle;
+use smith85_tracelog::{self as tracelog, FieldValue, Severity, TraceContext};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -118,10 +119,14 @@ where
 {
     let threads = threads.max(1);
     let n = items.len();
+    // Captured on the calling thread: sweep workers are fresh threads
+    // with no thread-local context of their own, so the caller's trace
+    // context is re-entered around every job.
+    let trace_ctx = tracelog::current();
     let mut slots: Vec<Result<R, JobFailure>> = Vec::with_capacity(n);
     if threads == 1 || n <= 1 {
         for (index, item) in items.into_iter().enumerate() {
-            slots.push(run_caught(&f, index, item));
+            slots.push(run_caught(&f, index, item, &trace_ctx));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -147,7 +152,7 @@ where
                     // invariant: each index is dispensed once by the atomic
                     // counter, so the slot is always still populated.
                     let Some(item) = item else { break };
-                    let out = run_caught(&f, i, item);
+                    let out = run_caught(&f, i, item, &trace_ctx);
                     *outputs[i]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
@@ -166,16 +171,38 @@ where
     collect_outcomes(slots)
 }
 
-fn run_caught<T, R, F>(f: &F, index: usize, item: T) -> Result<R, JobFailure>
+fn run_caught<T, R, F>(
+    f: &F,
+    index: usize,
+    item: T,
+    trace_ctx: &TraceContext,
+) -> Result<R, JobFailure>
 where
     F: Fn(T) -> R + Sync,
 {
     let probe = probe();
     let start = probe.as_ref().map(|_| Instant::now());
+    let span = trace_ctx.enabled().then(|| {
+        trace_ctx.child(
+            "sweep_job",
+            vec![("index".to_string(), FieldValue::U64(index as u64))],
+        )
+    });
+    let _enter = span.as_ref().map(|s| tracelog::enter(s.ctx().clone()));
     let outcome = catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobFailure {
         index,
         message: panic_message(payload.as_ref()),
     });
+    if let (Some(span), Err(failure)) = (&span, &outcome) {
+        span.ctx().event(
+            Severity::Error,
+            "sweep_job_panic",
+            vec![
+                ("index".to_string(), FieldValue::U64(index as u64)),
+                ("message".to_string(), FieldValue::Str(failure.message.clone())),
+            ],
+        );
+    }
     if let (Some(probe), Some(start)) = (probe, start) {
         probe.count("sweep_jobs_total", 1);
         probe.observe("sweep_job_ms", start.elapsed().as_secs_f64() * 1e3);
@@ -357,6 +384,48 @@ mod tests {
                 .count()
                 >= 3
         );
+    }
+
+    #[test]
+    fn journaled_sweep_records_job_spans_and_panic_events() {
+        use smith85_tracelog::{EventKind, RingJournal, SinkHandle};
+        let journal = std::sync::Arc::new(RingJournal::new(2, 1024));
+        let root = TraceContext::root_with_id(
+            SinkHandle::new(journal.clone()),
+            "sweeptest",
+            "sweep",
+            vec![],
+        );
+        {
+            let _enter = tracelog::enter(root.ctx().clone());
+            let _ = try_parallel_map(4, (0..6).collect(), |x: i32| {
+                assert!(x != 2, "cell {x} dies");
+                x
+            });
+        }
+        drop(root);
+        let events = journal.snapshot();
+        let starts = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart && e.name == "sweep_job")
+            .count();
+        assert_eq!(starts, 6, "one span per job");
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == "sweep_job")
+            .count();
+        assert_eq!(ends, 6, "panicked job's span still closes");
+        let panic_event = events
+            .iter()
+            .find(|e| e.kind == EventKind::Event && e.name == "sweep_job_panic")
+            .expect("panic error event");
+        assert_eq!(panic_event.severity, Severity::Error);
+        assert!(panic_event
+            .fields
+            .iter()
+            .any(|(k, v)| k == "message"
+                && v.as_str().is_some_and(|m| m.contains("cell 2 dies"))));
+        assert!(events.iter().all(|e| &*e.trace_id == "sweeptest"));
     }
 
     #[test]

@@ -222,6 +222,7 @@ impl TracePool {
     }
 
     fn entry(&self, key: String, len: usize, generate: impl FnOnce() -> Trace) -> Arc<Trace> {
+        let trace_ctx = smith85_tracelog::current();
         {
             let mut state = self.lock();
             loop {
@@ -232,6 +233,16 @@ impl TracePool {
                         drop(state);
                         if let Some(probe) = self.probe() {
                             probe.count("pool_hits_total", 1);
+                        }
+                        if trace_ctx.enabled() {
+                            trace_ctx.event(
+                                smith85_tracelog::Severity::Debug,
+                                "pool_hit",
+                                vec![
+                                    ("key".to_string(), key.clone().into()),
+                                    ("len".to_string(), (len as u64).into()),
+                                ],
+                            );
                         }
                         return shared;
                     }
@@ -255,8 +266,21 @@ impl TracePool {
         // generator cannot strand waiters) keeps concurrent requests for
         // the same key from regenerating the same stream.
         let marker = InflightMarker { pool: self, key };
+        let mut span = trace_ctx.enabled().then(|| {
+            trace_ctx.child(
+                "pool_materialize",
+                vec![
+                    ("key".to_string(), marker.key.clone().into()),
+                    ("len".to_string(), (len as u64).into()),
+                ],
+            )
+        });
         let fresh = Arc::new(generate());
         let fresh_bytes = (fresh.len() * std::mem::size_of::<MemoryAccess>()) as u64;
+        if let Some(span) = span.as_mut() {
+            span.add_field("bytes", fresh_bytes.into());
+        }
+        drop(span);
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         self.inner
             .materialized_bytes

@@ -189,7 +189,10 @@ impl Histogram {
         if total == 0 {
             return 0.0;
         }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        // NaN would silently fall to the lowest bucket via the `as u64`
+        // cast; treat it as an explicit "lowest quantile" instead.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * total as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for (index, &bucket_count) in counts.iter().enumerate() {
             cumulative += bucket_count;
@@ -532,6 +535,40 @@ mod tests {
         let h = Histogram::new(MS_BOUNDS);
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp_instead_of_panicking() {
+        // Empty: every q, however malformed, reports 0.0.
+        let empty = Histogram::new(&[1.0, 10.0]);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(empty.quantile(q), 0.0, "q={q}");
+        }
+        // Populated: q < 0 clamps to the lowest bucket, q > 1 to the
+        // highest populated one, and NaN behaves like q = 0.
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(50.0);
+        assert_eq!(h.quantile(-3.0), 1.0);
+        assert_eq!(h.quantile(0.0), 1.0, "q=0 still reports rank 1");
+        assert_eq!(h.quantile(7.0), 100.0);
+        assert_eq!(h.quantile(f64::INFINITY), 100.0);
+        assert_eq!(h.quantile(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn span_records_duration_even_when_the_caller_panics() {
+        let h = Arc::new(Histogram::new(&[1e6]));
+        let result = std::panic::catch_unwind({
+            let h = Arc::clone(&h);
+            move || {
+                let _span = Span::new(h);
+                panic!("timed section dies");
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(h.count(), 1, "Drop must run during unwind");
+        assert!(h.sum() >= 0.0);
     }
 
     #[test]

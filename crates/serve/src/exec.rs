@@ -23,6 +23,13 @@ use smith85_synth::catalog;
 /// pool.
 pub const MAX_REQUEST_LEN: usize = 2_000_000;
 
+/// A reserved diagnostic workload name that panics inside the worker's
+/// `catch_unwind`. It exists so operators (and the loopback tests) can
+/// exercise the panic path end to end — the `internal` response, the
+/// access-log `outcome=panic` event, and the queue-depth gauge's
+/// recovery — without a debug build or an environment variable.
+pub const PANIC_WORKLOAD: &str = "__panic__";
+
 /// Resolves a workload name against the catalog: single traces by name
 /// (case-insensitive) or one of the Table 3 mixes by its display name.
 /// A `seed` override replaces each profile's generator seed (mix members
@@ -83,6 +90,9 @@ pub fn run_simulate(
     spec: &SimulateSpec,
 ) -> Result<SimulateResult, ErrorBody> {
     check_len(spec.len)?;
+    if spec.workload == PANIC_WORKLOAD {
+        panic!("diagnostic {PANIC_WORKLOAD} workload: injected worker panic");
+    }
     let workload = resolve_workload(&spec.workload, spec.seed)?;
     let mapping = match spec.cache.ways {
         None => Mapping::FullyAssociative,
@@ -112,6 +122,7 @@ pub fn run_simulate(
         traffic_bytes: stats.traffic_bytes(),
         queue_ms: 0,
         exec_ms: 0,
+        trace_id: String::new(),
     })
 }
 
@@ -148,6 +159,7 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
             .collect(),
         queue_ms: 0,
         exec_ms: 0,
+        trace_id: String::new(),
     })
 }
 

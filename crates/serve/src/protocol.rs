@@ -151,6 +151,10 @@ pub struct SimulateResult {
     pub queue_ms: u64,
     /// Milliseconds of worker execution.
     pub exec_ms: u64,
+    /// Request trace id, minted at admission; matches this request's
+    /// records in the server's trace journal (empty from pre-tracing
+    /// servers).
+    pub trace_id: String,
 }
 
 /// One point of a sweep curve.
@@ -175,6 +179,10 @@ pub struct SweepResult {
     pub queue_ms: u64,
     /// Milliseconds of worker execution.
     pub exec_ms: u64,
+    /// Request trace id, minted at admission; matches this request's
+    /// records in the server's trace journal (empty from pre-tracing
+    /// servers).
+    pub trace_id: String,
 }
 
 /// One catalog row.
@@ -437,6 +445,16 @@ impl Request {
     }
 }
 
+/// An optional string field, defaulting to empty when absent (used for
+/// keys newer than the peer, e.g. `trace_id` from a pre-tracing server).
+fn opt_str(value: &Json, key: &str) -> String {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
 fn field_usize(value: &Json, key: &str, default: usize) -> Result<usize, ErrorBody> {
     match value.get(key) {
         None => Ok(default),
@@ -550,6 +568,7 @@ impl Response {
                 ("traffic_bytes", Json::Uint(r.traffic_bytes)),
                 ("queue_ms", Json::Uint(r.queue_ms)),
                 ("exec_ms", Json::Uint(r.exec_ms)),
+                ("trace_id", json::s(&r.trace_id)),
             ]),
             Response::Sweep(r) => json::obj(vec![
                 ("type", json::s("sweep_result")),
@@ -571,6 +590,7 @@ impl Response {
                 ),
                 ("queue_ms", Json::Uint(r.queue_ms)),
                 ("exec_ms", Json::Uint(r.exec_ms)),
+                ("trace_id", json::s(&r.trace_id)),
             ]),
             Response::Catalog(r) => json::obj(vec![
                 ("type", json::s("catalog_result")),
@@ -754,6 +774,8 @@ impl Response {
                 traffic_bytes: need_u64(&value, "traffic_bytes")?,
                 queue_ms: need_u64(&value, "queue_ms")?,
                 exec_ms: need_u64(&value, "exec_ms")?,
+                // Optional for compatibility with pre-tracing servers.
+                trace_id: opt_str(&value, "trace_id"),
             })),
             "sweep_result" => {
                 let points = value
@@ -774,6 +796,7 @@ impl Response {
                     points,
                     queue_ms: need_u64(&value, "queue_ms")?,
                     exec_ms: need_u64(&value, "exec_ms")?,
+                    trace_id: opt_str(&value, "trace_id"),
                 }))
             }
             "catalog_result" => {
@@ -986,6 +1009,7 @@ mod tests {
             traffic_bytes: 197_440,
             queue_ms: 3,
             exec_ms: 12,
+            trace_id: "4f3a2b1c9d8e7f60".into(),
         }));
         response_round_trip(Response::Sweep(SweepResult {
             workload: "ZGREP".into(),
@@ -1002,6 +1026,7 @@ mod tests {
             ],
             queue_ms: 0,
             exec_ms: 4,
+            trace_id: "00ff00ff00ff00ff".into(),
         }));
         response_round_trip(Response::Catalog(CatalogResult {
             profiles: vec![CatalogEntry {
@@ -1118,6 +1143,19 @@ mod tests {
     }
 
     #[test]
+    fn result_without_trace_id_still_decodes() {
+        // A pre-tracing server's result line carries no trace_id key.
+        let line = "{\"type\":\"simulate_result\",\"workload\":\"W\",\"len\":1,\
+                    \"cache_bytes\":1,\"refs\":1,\"misses\":0,\"miss_ratio\":0,\
+                    \"instruction_miss_ratio\":0,\"data_miss_ratio\":0,\
+                    \"traffic_bytes\":0,\"queue_ms\":0,\"exec_ms\":0}";
+        match Response::decode(line).unwrap() {
+            Response::Simulate(r) => assert_eq!(r.trace_id, ""),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
     fn miss_ratios_survive_the_wire_bit_identically() {
         let ratio = 1.0f64 / 7.0;
         let encoded = Response::Simulate(SimulateResult {
@@ -1132,6 +1170,7 @@ mod tests {
             traffic_bytes: 0,
             queue_ms: 0,
             exec_ms: 0,
+            trace_id: String::new(),
         })
         .encode();
         match Response::decode(&encoded).unwrap() {

@@ -29,6 +29,9 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServerStats;
 use smith85_core::session::SimSession;
 use smith85_obs::MS_BOUNDS;
+use smith85_tracelog::{
+    self as tracelog, mint_trace_id, NdjsonWriter, Severity, SinkHandle, TraceContext,
+};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -72,6 +75,11 @@ pub struct ServeOptions {
     /// Optional bind address for the Prometheus text-exposition
     /// endpoint (`GET /metrics`); `None` disables it.
     pub metrics_addr: Option<String>,
+    /// Optional NDJSON trace-journal path. When set, every worker
+    /// records a per-request span tree (trace id minted at admission
+    /// and echoed in the response) plus an access-log event into the
+    /// file; `None` disables journaling at zero cost.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -84,6 +92,7 @@ impl Default for ServeOptions {
             default_deadline_ms: None,
             session: SimSession::default(),
             metrics_addr: None,
+            journal: None,
         }
     }
 }
@@ -98,6 +107,9 @@ struct Job {
     reply: mpsc::SyncSender<Response>,
     admitted: Instant,
     deadline: Option<Instant>,
+    /// Minted at admission, echoed in the response envelope and every
+    /// journal record for this request.
+    trace_id: String,
 }
 
 struct ServerState {
@@ -107,6 +119,7 @@ struct ServerState {
     workers: usize,
     default_deadline_ms: Option<u64>,
     session: SimSession,
+    journal: SinkHandle,
 }
 
 impl ServerState {
@@ -193,6 +206,10 @@ impl Server {
         registry.gauge("serve_queue_depth");
         registry.histogram("serve_queue_wait_ms", MS_BOUNDS);
         registry.histogram("serve_exec_ms", MS_BOUNDS);
+        let journal = match &opts.journal {
+            None => SinkHandle::disabled(),
+            Some(path) => SinkHandle::new(Arc::new(NdjsonWriter::create(path)?)),
+        };
         Ok(Server {
             listener,
             #[cfg(unix)]
@@ -206,6 +223,7 @@ impl Server {
                 workers: opts.workers.max(1),
                 default_deadline_ms: opts.default_deadline_ms,
                 session: opts.session,
+                journal,
             }),
         })
     }
@@ -408,14 +426,34 @@ fn worker_loop(state: &ServerState) {
         let queue_wait = job.admitted.elapsed();
         let queue_ms = queue_wait.as_millis() as u64;
         probe.observe("serve_queue_wait_ms", queue_wait.as_secs_f64() * 1_000.0);
+        let kind_name = match &job.kind {
+            JobKind::Simulate(_) => "simulate",
+            JobKind::Sweep(_) => "sweep",
+        };
+        // Root span for the whole request, under the trace id minted at
+        // admission; entered thread-locally so the session kernels and
+        // the pool record child spans into the same trace.
+        let span = state.journal.enabled().then(|| {
+            TraceContext::root_with_id(
+                state.journal.clone(),
+                &job.trace_id,
+                "request",
+                vec![("kind".to_string(), kind_name.into())],
+            )
+        });
+        let _enter = span.as_ref().map(|s| tracelog::enter(s.ctx().clone()));
         if let Some(deadline) = job.deadline {
             if Instant::now() > deadline {
                 ServerStats::bump(&state.stats.deadline_misses);
                 probe.count("serve_deadline_misses_total", 1);
+                access_log(&span, kind_name, "deadline_miss", queue_ms, 0);
                 let _ = job.reply.send(Response::Error(ErrorBody::new(
                     ErrorCode::DeadlineExceeded,
                     format!("job waited {queue_ms} ms in queue, past its deadline"),
                 )));
+                // The gauge must track the queue on *every* exit path,
+                // not just the next iteration's pop.
+                probe.gauge("serve_queue_depth", state.queue.depth() as f64);
                 continue;
             }
         }
@@ -434,7 +472,7 @@ fn worker_loop(state: &ServerState) {
             JobKind::Sweep(_) => &state.stats.busy_ms_sweep,
         };
         ServerStats::add_ms(busy_counter, exec_ms);
-        let response = match outcome {
+        let (response, outcome_name) = match outcome {
             Ok(Ok(mut response)) => {
                 if job
                     .deadline
@@ -442,40 +480,85 @@ fn worker_loop(state: &ServerState) {
                 {
                     ServerStats::bump(&state.stats.deadline_misses);
                     probe.count("serve_deadline_misses_total", 1);
-                    Response::Error(ErrorBody::new(
-                        ErrorCode::DeadlineExceeded,
-                        format!("job finished after its deadline ({exec_ms} ms of work)"),
-                    ))
+                    (
+                        Response::Error(ErrorBody::new(
+                            ErrorCode::DeadlineExceeded,
+                            format!("job finished after its deadline ({exec_ms} ms of work)"),
+                        )),
+                        "deadline_miss",
+                    )
                 } else {
                     match &mut response {
                         Response::Simulate(r) => {
                             r.queue_ms = queue_ms;
                             r.exec_ms = exec_ms;
+                            r.trace_id = job.trace_id.clone();
                         }
                         Response::Sweep(r) => {
                             r.queue_ms = queue_ms;
                             r.exec_ms = exec_ms;
+                            r.trace_id = job.trace_id.clone();
                         }
                         _ => {}
                     }
                     ServerStats::bump(&state.stats.completed);
-                    response
+                    (response, "ok")
                 }
             }
             Ok(Err(error)) => {
                 ServerStats::bump(&state.stats.protocol_errors);
-                Response::Error(error)
+                (Response::Error(error), "error")
             }
-            Err(payload) => Response::Error(ErrorBody::new(
-                ErrorCode::Internal,
-                format!(
-                    "job panicked: {}",
-                    smith85_core::sweep::panic_message(payload.as_ref())
-                ),
-            )),
+            Err(payload) => (
+                Response::Error(ErrorBody::new(
+                    ErrorCode::Internal,
+                    format!(
+                        "job panicked: {}",
+                        smith85_core::sweep::panic_message(payload.as_ref())
+                    ),
+                )),
+                "panic",
+            ),
         };
+        access_log(&span, kind_name, outcome_name, queue_ms, exec_ms);
         let _ = job.reply.send(response);
+        probe.gauge("serve_queue_depth", state.queue.depth() as f64);
     }
+    // Shutdown drain finished: whatever value the gauge last held, the
+    // queue is empty now — report that, so a final scrape never shows a
+    // stale nonzero depth.
+    state
+        .session
+        .probe()
+        .gauge("serve_queue_depth", state.queue.depth() as f64);
+    state.journal.flush();
+}
+
+/// One per-request access-log event: kind, outcome, and the two wait
+/// components, attached to the request's root span.
+fn access_log(
+    span: &Option<smith85_tracelog::SpanGuard>,
+    kind: &str,
+    outcome: &str,
+    queue_ms: u64,
+    exec_ms: u64,
+) {
+    let Some(span) = span else { return };
+    let severity = if outcome == "ok" {
+        Severity::Info
+    } else {
+        Severity::Error
+    };
+    span.ctx().event(
+        severity,
+        "access_log",
+        vec![
+            ("kind".to_string(), kind.into()),
+            ("outcome".to_string(), outcome.into()),
+            ("queue_ms".to_string(), queue_ms.into()),
+            ("exec_ms".to_string(), exec_ms.into()),
+        ],
+    );
 }
 
 /// Accept loop for the Prometheus endpoint: a deliberately minimal
@@ -737,6 +820,7 @@ fn submit_job(
         reply,
         admitted,
         deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
+        trace_id: mint_trace_id(),
     };
     match state.queue.try_push(job) {
         Ok(()) => {}

@@ -437,6 +437,132 @@ fn prometheus_endpoint_serves_valid_exposition() {
     server.stop().expect("clean shutdown");
 }
 
+#[test]
+fn journaled_request_is_attributable_end_to_end() {
+    use smith85_tracelog::report;
+
+    let journal_path =
+        std::env::temp_dir().join(format!("smith85-loopback-journal-{}.ndjson", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        journal: Some(journal_path.clone()),
+        ..ServeOptions::default()
+    })
+    .expect("spawn server with journal");
+
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let trace_id = match client
+        .call(&simulate_request("VCCOM", 20_000, 1 << 13))
+        .expect("journaled job")
+    {
+        Response::Simulate(r) => r.trace_id,
+        other => panic!("expected simulate result, got {other:?}"),
+    };
+    assert_eq!(trace_id.len(), 16, "trace id must be 16 hex chars: {trace_id:?}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()), "{trace_id:?}");
+    server.stop().expect("clean shutdown");
+
+    // The same trace id the client saw must attribute the request span,
+    // the access-log event, and the pool materialization in the journal.
+    let (header, events) = report::read_journal(&journal_path).expect("read journal");
+    let header = header.expect("journal header line");
+    assert_eq!(header.version, smith85_tracelog::JOURNAL_VERSION);
+    let ours: Vec<_> = events.iter().filter(|e| &*e.trace_id == trace_id.as_str()).collect();
+    assert!(
+        ours.iter().any(|e| e.name == "request"),
+        "request span missing for {trace_id}: {events:?}"
+    );
+    let access = ours
+        .iter()
+        .find(|e| e.name == "access_log")
+        .unwrap_or_else(|| panic!("access_log missing for {trace_id}"));
+    let field = |name: &str| {
+        access
+            .fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("access_log field {name} missing"))
+            .1
+            .clone()
+    };
+    assert_eq!(field("outcome").as_str(), Some("ok"));
+    assert_eq!(field("kind").as_str(), Some("simulate"));
+    assert!(
+        ours.iter().any(|e| e.name == "pool_materialize"),
+        "pool_materialize span must share the request trace id"
+    );
+
+    // The rendered profile shows the span tree with non-zero self time.
+    let trees = report::build_trees(&events);
+    let tree = trees
+        .iter()
+        .find(|t| &*t.trace_id == trace_id.as_str())
+        .expect("tree for our trace");
+    assert_eq!(tree.root_name(), "request");
+    let root = &tree.roots[0];
+    assert!(root.closed, "request span must be closed");
+    assert!(root.total_us > 0, "request span must have measured time");
+    assert!(
+        root.children.iter().any(|c| c.name == "simulate_workload"),
+        "kernel span must nest under the request: {root:?}"
+    );
+    let rendered = report::render_report(&trees, 10);
+    assert!(rendered.contains("request"), "{rendered}");
+    assert!(rendered.contains("pool_materialize"), "{rendered}");
+
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn panicking_job_gets_typed_error_and_gauge_returns_to_zero() {
+    let server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeOptions::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    match client
+        .call(&simulate_request(smith85_serve::exec::PANIC_WORKLOAD, 1_000, 1 << 12))
+        .expect("panicking job still answers")
+    {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Internal, "{e:?}");
+            assert!(e.message.contains("panic"), "{e:?}");
+        }
+        other => panic!("expected internal error, got {other:?}"),
+    }
+
+    // The queue-depth gauge must return to zero on the panic exit path.
+    wait_until(|| fetch_stats(&addr).queue_depth == 0);
+    let snapshot = match client.call(&Request::Metrics).expect("metrics") {
+        Response::Metrics(snapshot) => snapshot,
+        other => panic!("expected metrics_result, got {other:?}"),
+    };
+    let depth = snapshot
+        .gauges
+        .iter()
+        .find(|g| g.name == "serve_queue_depth")
+        .expect("serve_queue_depth gauge");
+    assert_eq!(depth.value, 0.0, "gauge stuck after panic: {depth:?}");
+
+    // The worker survived: a follow-up job on the same connection works.
+    match client
+        .call(&simulate_request("VCCOM", 2_000, 1 << 12))
+        .expect("job after panic")
+    {
+        Response::Simulate(r) => assert!(r.miss_ratio > 0.0),
+        other => panic!("expected simulate result, got {other:?}"),
+    }
+
+    let stats = server.stop().expect("clean shutdown");
+    assert_eq!(stats.simulate_requests, 2, "both jobs were admitted");
+    assert_eq!(stats.completed, 1, "only the non-panicking job completed");
+}
+
 fn wait_until(mut condition: impl FnMut() -> bool) {
     let deadline = Instant::now() + Duration::from_secs(30);
     while !condition() {

@@ -1,0 +1,559 @@
+//! Offline journal analysis: span trees with self/total time, top-N
+//! slowest traces, and collapsed-stack (flamegraph compatible) output.
+//!
+//! This is the engine behind `smith85 trace report` and
+//! `smith85 trace follow`.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::json::{self, JsonValue};
+use crate::{EventKind, FieldValue, Severity, TraceEvent};
+
+/// The journal's versioned first line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Format version (`"v"`), currently 1.
+    pub version: u64,
+    /// Schema identifier (`"schema"`).
+    pub schema: String,
+}
+
+/// Decodes one journal line's parsed JSON back into a [`TraceEvent`].
+///
+/// # Errors
+///
+/// Returns a description of the first missing/ill-typed key.
+pub fn parse_event(value: &JsonValue) -> Result<TraceEvent, String> {
+    let ts_us = value
+        .get("ts_us")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing ts_us")?;
+    let kind_str = value
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .ok_or("missing kind")?;
+    let kind = EventKind::parse(kind_str).ok_or_else(|| format!("unknown kind {kind_str:?}"))?;
+    let sev_str = value
+        .get("sev")
+        .and_then(|v| v.as_str())
+        .ok_or("missing sev")?;
+    let severity =
+        Severity::parse(sev_str).ok_or_else(|| format!("unknown severity {sev_str:?}"))?;
+    let name = value
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or("missing name")?
+        .to_string();
+    let trace_id: Arc<str> = Arc::from(
+        value
+            .get("trace")
+            .and_then(|v| v.as_str())
+            .ok_or("missing trace")?,
+    );
+    let span_id = value
+        .get("span")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing span")?;
+    let parent_span_id = value
+        .get("parent")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing parent")?;
+    let mut fields = Vec::new();
+    if let Some(pairs) = value.get("fields").and_then(|v| v.as_obj()) {
+        for (key, val) in pairs {
+            let field = match val {
+                JsonValue::Str(s) => FieldValue::Str(s.clone()),
+                JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => {
+                    FieldValue::U64(*n as u64)
+                }
+                JsonValue::Num(n) => FieldValue::F64(*n),
+                other => FieldValue::Str(format!("{other:?}")),
+            };
+            fields.push((key.clone(), field));
+        }
+    }
+    Ok(TraceEvent {
+        ts_us,
+        kind,
+        severity,
+        name,
+        trace_id,
+        span_id,
+        parent_span_id,
+        fields,
+    })
+}
+
+/// Reads a whole journal file: header (if present) plus every event.
+///
+/// # Errors
+///
+/// I/O errors reading the file; malformed JSON or malformed events
+/// surface as [`io::ErrorKind::InvalidData`] with the line number.
+pub fn read_journal<P: AsRef<Path>>(
+    path: P,
+) -> io::Result<(Option<JournalHeader>, Vec<TraceEvent>)> {
+    let contents = std::fs::read_to_string(path)?;
+    let mut header = None;
+    let mut events = Vec::new();
+    for (lineno, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal line {}: {e}", lineno + 1),
+            )
+        })?;
+        if lineno == 0 {
+            if let Some(version) = value.get("v").and_then(|v| v.as_u64()) {
+                header = Some(JournalHeader {
+                    version,
+                    schema: value
+                        .get("schema")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("")
+                        .to_string(),
+                });
+                continue;
+            }
+        }
+        let event = parse_event(&value).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal line {}: {e}", lineno + 1),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok((header, events))
+}
+
+/// One reconstructed span with its children and attached point events.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span's id.
+    pub span_id: u64,
+    /// The span's name.
+    pub name: String,
+    /// Start timestamp (µs since process epoch).
+    pub start_us: u64,
+    /// Total duration in µs (from the `dur_us` field of `SpanEnd`, or
+    /// last-seen-timestamp minus start for spans that never closed).
+    pub total_us: u64,
+    /// Whether a matching `SpanEnd` was seen.
+    pub closed: bool,
+    /// Child spans, ordered by start time.
+    pub children: Vec<SpanNode>,
+    /// Point events attached to this span, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl SpanNode {
+    /// Time spent in this span itself: total minus children's totals
+    /// (saturating, since clocks of overlapping children can exceed the
+    /// parent when jobs run in parallel).
+    pub fn self_us(&self) -> u64 {
+        let child_total: u64 = self.children.iter().map(|c| c.total_us).sum();
+        self.total_us.saturating_sub(child_total)
+    }
+
+    /// This node plus all descendants.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+    }
+}
+
+/// All spans that share one trace id.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id.
+    pub trace_id: String,
+    /// Root spans (parent id 0, or parent never journaled).
+    pub roots: Vec<SpanNode>,
+    /// Point events whose span never appeared in the journal.
+    pub orphan_events: Vec<TraceEvent>,
+}
+
+impl TraceTree {
+    /// Slowest root's total, used to rank traces.
+    pub fn total_us(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_us).max().unwrap_or(0)
+    }
+
+    /// Name of the first root span, if any.
+    pub fn root_name(&self) -> &str {
+        self.roots.first().map(|r| r.name.as_str()).unwrap_or("?")
+    }
+
+    /// Spans across all roots.
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(SpanNode::span_count).sum()
+    }
+}
+
+struct SpanBuild {
+    name: String,
+    parent: u64,
+    start_us: u64,
+    total_us: u64,
+    closed: bool,
+    events: Vec<TraceEvent>,
+    children: Vec<u64>,
+}
+
+/// Groups events by trace id and reconstructs span trees, returned
+/// slowest-trace first.
+pub fn build_trees(events: &[TraceEvent]) -> Vec<TraceTree> {
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_trace: HashMap<&str, Vec<&TraceEvent>> = HashMap::new();
+    for event in events {
+        let entry = by_trace.entry(&event.trace_id).or_default();
+        if entry.is_empty() {
+            order.push(&event.trace_id);
+        }
+        entry.push(event);
+    }
+    let mut trees: Vec<TraceTree> = order
+        .iter()
+        .map(|trace_id| build_one(trace_id, &by_trace[trace_id]))
+        .collect();
+    trees.sort_by_key(|tree| std::cmp::Reverse(tree.total_us()));
+    trees
+}
+
+fn build_one(trace_id: &str, events: &[&TraceEvent]) -> TraceTree {
+    let mut spans: HashMap<u64, SpanBuild> = HashMap::new();
+    let mut root_ids: Vec<u64> = Vec::new();
+    let mut orphan_events = Vec::new();
+    let mut last_ts = 0u64;
+    for event in events {
+        last_ts = last_ts.max(event.ts_us);
+        match event.kind {
+            EventKind::SpanStart => {
+                spans.insert(
+                    event.span_id,
+                    SpanBuild {
+                        name: event.name.clone(),
+                        parent: event.parent_span_id,
+                        start_us: event.ts_us,
+                        total_us: 0,
+                        closed: false,
+                        events: Vec::new(),
+                        children: Vec::new(),
+                    },
+                );
+            }
+            EventKind::SpanEnd => {
+                let dur = event
+                    .fields
+                    .iter()
+                    .find(|(k, _)| k == "dur_us")
+                    .and_then(|(_, v)| v.as_u64());
+                if let Some(span) = spans.get_mut(&event.span_id) {
+                    span.closed = true;
+                    span.total_us =
+                        dur.unwrap_or_else(|| event.ts_us.saturating_sub(span.start_us));
+                } else {
+                    // SpanEnd without a start (start dropped by a ring
+                    // overflow): synthesize a flat span.
+                    spans.insert(
+                        event.span_id,
+                        SpanBuild {
+                            name: event.name.clone(),
+                            parent: event.parent_span_id,
+                            start_us: event.ts_us.saturating_sub(dur.unwrap_or(0)),
+                            total_us: dur.unwrap_or(0),
+                            closed: true,
+                            events: Vec::new(),
+                            children: Vec::new(),
+                        },
+                    );
+                }
+            }
+            EventKind::Event => {
+                if let Some(span) = spans.get_mut(&event.span_id) {
+                    span.events.push((*event).clone());
+                } else {
+                    orphan_events.push((*event).clone());
+                }
+            }
+        }
+    }
+    // Close still-open spans against the last timestamp seen, then link
+    // children to parents.
+    let ids: Vec<u64> = spans.keys().copied().collect();
+    for id in &ids {
+        let span = spans.get_mut(id).expect("span present");
+        if !span.closed {
+            span.total_us = last_ts.saturating_sub(span.start_us);
+        }
+    }
+    for id in &ids {
+        let parent = spans[id].parent;
+        if parent != 0 && spans.contains_key(&parent) {
+            spans
+                .get_mut(&parent)
+                .expect("parent present")
+                .children
+                .push(*id);
+        } else {
+            root_ids.push(*id);
+        }
+    }
+    root_ids.sort_by_key(|id| spans[id].start_us);
+    let roots = root_ids
+        .iter()
+        .map(|id| assemble(*id, &spans))
+        .collect();
+    TraceTree {
+        trace_id: trace_id.to_string(),
+        roots,
+        orphan_events,
+    }
+}
+
+fn assemble(id: u64, spans: &HashMap<u64, SpanBuild>) -> SpanNode {
+    let span = &spans[&id];
+    let mut child_ids = span.children.clone();
+    child_ids.sort_by_key(|c| spans[c].start_us);
+    SpanNode {
+        span_id: id,
+        name: span.name.clone(),
+        start_us: span.start_us,
+        total_us: span.total_us,
+        closed: span.closed,
+        children: child_ids.iter().map(|c| assemble(*c, spans)).collect(),
+        events: span.events.clone(),
+    }
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3}ms", us as f64 / 1000.0)
+}
+
+/// Renders the top-`top` slowest traces as indented span trees with
+/// total and self times.
+pub fn render_report(trees: &[TraceTree], top: usize) -> String {
+    let mut out = String::new();
+    let total_spans: usize = trees.iter().map(TraceTree::span_count).sum();
+    out.push_str(&format!(
+        "{} trace(s), {} span(s); showing {} slowest\n",
+        trees.len(),
+        total_spans,
+        top.min(trees.len())
+    ));
+    for tree in trees.iter().take(top) {
+        out.push_str(&format!(
+            "\ntrace {}  root {}  total {}\n",
+            tree.trace_id,
+            tree.root_name(),
+            fmt_ms(tree.total_us())
+        ));
+        for root in &tree.roots {
+            render_span(&mut out, root, 1);
+        }
+        for event in &tree.orphan_events {
+            out.push_str(&format!(
+                "  · [{}] {}{}\n",
+                event.severity.as_str(),
+                event.name,
+                fmt_fields(&event.fields)
+            ));
+        }
+    }
+    out
+}
+
+fn render_span(out: &mut String, span: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let name_width = 36usize.saturating_sub(indent.len());
+    out.push_str(&format!(
+        "{indent}{:<name_width$} total {:>10}  self {:>10}{}\n",
+        span.name,
+        fmt_ms(span.total_us),
+        fmt_ms(span.self_us()),
+        if span.closed { "" } else { "  (unclosed)" }
+    ));
+    for event in &span.events {
+        out.push_str(&format!(
+            "{indent}  · [{}] {}{}\n",
+            event.severity.as_str(),
+            event.name,
+            fmt_fields(&event.fields)
+        ));
+    }
+    for child in &span.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+fn fmt_fields(fields: &[(String, FieldValue)]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(" {{{}}}", body.join(", "))
+}
+
+/// Renders collapsed stacks ("root;child;leaf self_us"), aggregated
+/// across all traces — feed straight into `flamegraph.pl`.
+pub fn collapsed_stacks(trees: &[TraceTree]) -> String {
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for tree in trees {
+        for root in &tree.roots {
+            collapse(root, String::new(), &mut totals, &mut order);
+        }
+    }
+    order.sort_by(|a, b| totals[b].cmp(&totals[a]).then_with(|| a.cmp(b)));
+    let mut out = String::new();
+    for stack in order {
+        out.push_str(&format!("{stack} {}\n", totals[&stack]));
+    }
+    out
+}
+
+fn collapse(
+    span: &SpanNode,
+    prefix: String,
+    totals: &mut HashMap<String, u64>,
+    order: &mut Vec<String>,
+) {
+    let stack = if prefix.is_empty() {
+        span.name.clone()
+    } else {
+        format!("{prefix};{}", span.name)
+    };
+    let entry = totals.entry(stack.clone()).or_insert_with(|| {
+        order.push(stack.clone());
+        0
+    });
+    *entry += span.self_us();
+    for child in &span.children {
+        collapse(child, stack.clone(), totals, order);
+    }
+}
+
+/// One-line rendering of an event, used by `smith85 trace follow`.
+pub fn render_event_line(event: &TraceEvent) -> String {
+    format!(
+        "{:>12} {:<10} [{:<5}] trace={} span={} parent={} {}{}",
+        event.ts_us,
+        event.kind.as_str(),
+        event.severity.as_str(),
+        event.trace_id,
+        event.span_id,
+        event.parent_span_id,
+        event.name,
+        fmt_fields(&event.fields)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RingJournal, SinkHandle, TraceContext};
+
+    fn simulated_journal() -> Vec<TraceEvent> {
+        let journal = std::sync::Arc::new(RingJournal::new(1, 1024));
+        let sink = SinkHandle::new(journal.clone());
+        {
+            let root = TraceContext::root_with_id(sink.clone(), "fast", "request", vec![]);
+            let _inner = root.ctx().child("exec", vec![]);
+        }
+        {
+            let root = TraceContext::root_with_id(sink, "slow", "request", vec![]);
+            {
+                let inner = root.ctx().child("exec", vec![]);
+                let _leaf = inner
+                    .ctx()
+                    .child("pool_materialize", vec![("bytes".into(), 128u64.into())]);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            root.ctx()
+                .event(Severity::Info, "access_log", vec![("outcome".into(), "ok".into())]);
+        }
+        journal.snapshot()
+    }
+
+    #[test]
+    fn trees_rebuild_parentage_and_rank_slowest_first() {
+        let events = simulated_journal();
+        let trees = build_trees(&events);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].trace_id, "slow", "slowest trace ranks first");
+        let root = &trees[0].roots[0];
+        assert_eq!(root.name, "request");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "exec");
+        assert_eq!(root.children[0].children[0].name, "pool_materialize");
+        assert!(root.total_us >= 5000, "slept 5ms, total {}us", root.total_us);
+        assert!(root.closed);
+        assert_eq!(root.events.len(), 1, "access_log attached to root");
+        // Self-time identity: parent self + children totals == parent total.
+        let exec = &root.children[0];
+        assert_eq!(
+            exec.self_us() + exec.children[0].total_us,
+            exec.total_us
+        );
+    }
+
+    #[test]
+    fn report_renders_tree_with_self_times_and_events() {
+        let events = simulated_journal();
+        let trees = build_trees(&events);
+        let text = render_report(&trees, 10);
+        assert!(text.contains("2 trace(s)"), "{text}");
+        assert!(text.contains("trace slow"), "{text}");
+        assert!(text.contains("pool_materialize"), "{text}");
+        assert!(text.contains("self"), "{text}");
+        assert!(text.contains("access_log"), "{text}");
+        assert!(text.contains("outcome=ok"), "{text}");
+    }
+
+    #[test]
+    fn collapsed_stacks_aggregate_across_traces() {
+        let events = simulated_journal();
+        let trees = build_trees(&events);
+        let text = collapsed_stacks(&trees);
+        assert!(
+            text.contains("request;exec;pool_materialize "),
+            "{text}"
+        );
+        // Both traces contribute to the shared request;exec frame.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("request;exec "))
+            .expect("aggregated frame");
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        let trees_exec_self: u64 = trees
+            .iter()
+            .map(|t| t.roots[0].children[0].self_us())
+            .sum();
+        assert_eq!(value, trees_exec_self);
+    }
+
+    #[test]
+    fn unclosed_spans_are_flagged_not_lost() {
+        let events = vec![TraceEvent {
+            ts_us: 10,
+            kind: EventKind::SpanStart,
+            severity: Severity::Info,
+            name: "hung".to_string(),
+            trace_id: Arc::from("t"),
+            span_id: 99,
+            parent_span_id: 0,
+            fields: vec![],
+        }];
+        let trees = build_trees(&events);
+        assert_eq!(trees.len(), 1);
+        assert!(!trees[0].roots[0].closed);
+        let text = render_report(&trees, 1);
+        assert!(text.contains("(unclosed)"), "{text}");
+    }
+}
