@@ -8,14 +8,19 @@
 //!
 //! ```text
 //! cargo run --release -p smith85-bench --bin serve_load -- \
-//!     [quick|paper] [--addr HOST:PORT] [OUT.json]
+//!     [quick|paper] [--addr HOST:PORT] [--store DIR] [OUT.json]
 //! ```
 //!
 //! Without `--addr` the generator spawns an in-process server on an
 //! ephemeral port, which keeps the benchmark self-contained and
-//! runnable in CI. Results land in `OUT.json` (default
-//! `BENCH_serve.json`), documented in `EXPERIMENTS.md`.
+//! runnable in CI. With `--store DIR` the benchmark measures the
+//! persistent store's warm-start win: it runs the load twice against the
+//! same store directory — a cold pass on an empty store, then a restarted
+//! server over the now-populated store — and reports both passes side by
+//! side. Results land in `OUT.json` (default `BENCH_serve.json`),
+//! documented in `EXPERIMENTS.md`.
 
+use smith85_core::session::SimSession;
 use smith85_serve::{CacheSpec, Client, Request, Response, ServeOptions, Server, SimulateSpec};
 use std::time::Instant;
 
@@ -36,6 +41,26 @@ struct ConnectionOutcome {
     latencies_ms: Vec<f64>,
     rejections: u64,
     errors: u64,
+}
+
+/// One full load run against a live server: merged latency distribution,
+/// admission outcomes, wall time, and the server's own counters.
+struct PassResult {
+    latencies_ms: Vec<f64>,
+    rejections: u64,
+    errors: u64,
+    wall_secs: f64,
+    stats: Option<smith85_serve::StatsResult>,
+}
+
+impl PassResult {
+    fn completed(&self) -> usize {
+        self.latencies_ms.len()
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        self.completed() as f64 / self.wall_secs.max(1e-12)
+    }
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -85,21 +110,140 @@ fn drive_connection(
     Ok(outcome)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Runs the full connection fan-out against `target` and gathers the
+/// merged outcome plus the server's stats counters.
+fn run_pass(target: &str, config: &ModeConfig) -> PassResult {
+    let start = Instant::now();
+    let outcomes: Vec<ConnectionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|id| {
+                let config = &config;
+                scope.spawn(move || drive_connection(target, id, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread").expect("connection I/O"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut rejections = 0u64;
+    let mut errors = 0u64;
+    for outcome in &outcomes {
+        latencies.extend_from_slice(&outcome.latencies_ms);
+        rejections += outcome.rejections;
+        errors += outcome.errors;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let stats = {
+        let mut client = Client::connect(target).expect("stats connection");
+        match client.call(&Request::Stats).expect("stats request") {
+            Response::Stats(stats) => Some(stats),
+            _ => None,
+        }
+    };
+    PassResult {
+        latencies_ms: latencies,
+        rejections,
+        errors,
+        wall_secs,
+        stats,
+    }
+}
+
+fn spawn_store_server(store_dir: &str) -> smith85_serve::RunningServer {
+    let session = SimSession::builder()
+        .store(store_dir)
+        .build()
+        .expect("session with store");
+    Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        session,
+        ..ServeOptions::default()
+    })
+    .expect("spawn store-backed server")
+}
+
+/// One pass's JSON object (shared shape for the top level and the
+/// cold/warm store comparison).
+fn render_pass(indent: &str, pass: &PassResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{indent}\"completed\": {},\n", pass.completed()));
+    s.push_str(&format!(
+        "{indent}\"rejected_overload\": {},\n",
+        pass.rejections
+    ));
+    s.push_str(&format!("{indent}\"errors\": {},\n", pass.errors));
+    s.push_str(&format!("{indent}\"wall_secs\": {:.6},\n", pass.wall_secs));
+    s.push_str(&format!(
+        "{indent}\"requests_per_sec\": {:.1},\n",
+        pass.requests_per_sec()
+    ));
+    s.push_str(&format!("{indent}\"latency_ms\": {{\n"));
+    s.push_str(&format!(
+        "{indent}  \"p50\": {:.3},\n",
+        percentile(&pass.latencies_ms, 50.0)
+    ));
+    s.push_str(&format!(
+        "{indent}  \"p95\": {:.3},\n",
+        percentile(&pass.latencies_ms, 95.0)
+    ));
+    s.push_str(&format!(
+        "{indent}  \"p99\": {:.3},\n",
+        percentile(&pass.latencies_ms, 99.0)
+    ));
+    s.push_str(&format!(
+        "{indent}  \"max\": {:.3}\n",
+        pass.latencies_ms.last().copied().unwrap_or(0.0)
+    ));
+    s.push_str(&format!("{indent}}},\n"));
+    match &pass.stats {
+        Some(stats) => {
+            s.push_str(&format!("{indent}\"server\": {{\n"));
+            s.push_str(&format!(
+                "{indent}  \"queue_high_water\": {},\n",
+                stats.queue_high_water
+            ));
+            s.push_str(&format!("{indent}  \"workers\": {},\n", stats.workers));
+            s.push_str(&format!("{indent}  \"pool_hits\": {},\n", stats.pool.hits));
+            s.push_str(&format!(
+                "{indent}  \"pool_misses\": {},\n",
+                stats.pool.misses
+            ));
+            s.push_str(&format!(
+                "{indent}  \"pool_materialized_bytes\": {}",
+                stats.pool.materialized_bytes
+            ));
+            match &stats.store {
+                Some(store) => {
+                    s.push_str(",\n");
+                    s.push_str(&format!("{indent}  \"store_hits\": {},\n", store.hits));
+                    s.push_str(&format!("{indent}  \"store_misses\": {},\n", store.misses));
+                    s.push_str(&format!("{indent}  \"store_writes\": {},\n", store.writes));
+                    s.push_str(&format!("{indent}  \"store_bytes\": {}\n", store.bytes));
+                }
+                None => s.push('\n'),
+            }
+            s.push_str(&format!("{indent}}}\n"));
+        }
+        None => s.push_str(&format!("{indent}\"server\": null\n")),
+    }
+    s
+}
+
 fn render_json(
     mode: &str,
     config: &ModeConfig,
     target: &str,
-    completed: usize,
-    rejections: u64,
-    errors: u64,
-    wall_secs: f64,
-    sorted_ms: &[f64],
-    server_stats: Option<&smith85_serve::StatsResult>,
+    primary: &PassResult,
+    store: Option<(&str, &PassResult)>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"smith85-serve-bench-v1\",\n");
+    s.push_str("  \"schema\": \"smith85-serve-bench-v2\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"target\": \"{target}\",\n"));
     s.push_str(&format!("  \"connections\": {},\n", config.connections));
@@ -108,52 +252,77 @@ fn render_json(
         config.requests_per_connection
     ));
     s.push_str(&format!("  \"trace_len\": {},\n", config.trace_len));
-    s.push_str(&format!("  \"completed\": {completed},\n"));
-    s.push_str(&format!("  \"rejected_overload\": {rejections},\n"));
-    s.push_str(&format!("  \"errors\": {errors},\n"));
-    s.push_str(&format!("  \"wall_secs\": {wall_secs:.6},\n"));
-    s.push_str(&format!(
-        "  \"requests_per_sec\": {:.1},\n",
-        completed as f64 / wall_secs.max(1e-12)
-    ));
-    s.push_str("  \"latency_ms\": {\n");
-    s.push_str(&format!("    \"p50\": {:.3},\n", percentile(sorted_ms, 50.0)));
-    s.push_str(&format!("    \"p95\": {:.3},\n", percentile(sorted_ms, 95.0)));
-    s.push_str(&format!("    \"p99\": {:.3},\n", percentile(sorted_ms, 99.0)));
-    s.push_str(&format!(
-        "    \"max\": {:.3}\n",
-        sorted_ms.last().copied().unwrap_or(0.0)
-    ));
-    s.push_str("  },\n");
-    match server_stats {
-        Some(stats) => {
-            s.push_str("  \"server\": {\n");
+    s.push_str(&render_pass("  ", primary));
+    // trim the trailing newline of the pass body so we can append a comma
+    s.pop();
+    s.push_str(",\n");
+    match store {
+        Some((path, warm)) => {
+            s.push_str("  \"store\": {\n");
+            s.push_str(&format!("    \"path\": {:?},\n", path));
             s.push_str(&format!(
-                "    \"queue_high_water\": {},\n",
-                stats.queue_high_water
+                "    \"warm_speedup\": {:.2},\n",
+                warm.requests_per_sec() / primary.requests_per_sec().max(1e-12)
             ));
-            s.push_str(&format!("    \"workers\": {},\n", stats.workers));
-            s.push_str(&format!("    \"pool_hits\": {},\n", stats.pool.hits));
-            s.push_str(&format!("    \"pool_misses\": {}\n", stats.pool.misses));
+            s.push_str("    \"warm\": {\n");
+            s.push_str(&render_pass("      ", warm));
+            s.push_str("    }\n");
             s.push_str("  }\n");
         }
-        None => s.push_str("  \"server\": null\n"),
+        None => s.push_str("  \"store\": null\n"),
     }
     s.push_str("}\n");
     s
+}
+
+fn print_pass(label: &str, config: &ModeConfig, target_label: &str, pass: &PassResult) {
+    println!(
+        "{label}: {} connections x {} requests against {target_label}: {} completed, \
+         {} rejected, {} errors in {:.2}s ({:.1} req/s)",
+        config.connections,
+        config.requests_per_connection,
+        pass.completed(),
+        pass.rejections,
+        pass.errors,
+        pass.wall_secs,
+        pass.requests_per_sec(),
+    );
+    println!(
+        "{label}: latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        percentile(&pass.latencies_ms, 50.0),
+        percentile(&pass.latencies_ms, 95.0),
+        percentile(&pass.latencies_ms, 99.0),
+        pass.latencies_ms.last().copied().unwrap_or(0.0),
+    );
+    if let Some(stats) = &pass.stats {
+        let store = match &stats.store {
+            Some(s) => format!(", store {} hits / {} writes", s.hits, s.writes),
+            None => String::new(),
+        };
+        println!(
+            "{label}: server: queue high water {}, pool {} hits / {} misses{store}",
+            stats.queue_high_water, stats.pool.hits, stats.pool.misses
+        );
+    }
 }
 
 fn main() {
     let mut mode = "paper".to_string();
     let mut out_path = "BENCH_serve.json".to_string();
     let mut addr: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "quick" | "paper" => mode = arg,
             "--addr" => addr = Some(args.next().expect("--addr needs HOST:PORT")),
+            "--store" => store_dir = Some(args.next().expect("--store needs DIR")),
             other => out_path = other.to_string(),
         }
+    }
+    if addr.is_some() && store_dir.is_some() {
+        eprintln!("--store spawns its own in-process servers; drop --addr");
+        std::process::exit(2);
     }
     let config = if mode == "quick" {
         ModeConfig {
@@ -168,6 +337,32 @@ fn main() {
             trace_len: 50_000,
         }
     };
+
+    if let Some(dir) = &store_dir {
+        // Cold/warm store comparison: an empty store, a full load pass,
+        // then a *restarted* server over the populated directory.
+        let _ = std::fs::remove_dir_all(dir);
+        let cold_server = spawn_store_server(dir);
+        let cold_target = cold_server.addr().to_string();
+        let cold = run_pass(&cold_target, &config);
+        cold_server.stop().expect("clean cold shutdown");
+        print_pass("cold", &config, "in-process --store", &cold);
+
+        let warm_server = spawn_store_server(dir);
+        let warm_target = warm_server.addr().to_string();
+        let warm = run_pass(&warm_target, &config);
+        warm_server.stop().expect("clean warm shutdown");
+        print_pass("warm", &config, "in-process --store", &warm);
+        println!(
+            "warm restart speedup: {:.2}x",
+            warm.requests_per_sec() / cold.requests_per_sec().max(1e-12)
+        );
+
+        let json = render_json(&mode, &config, "in-process --store", &cold, Some((dir, &warm)));
+        std::fs::write(&out_path, &json).expect("write benchmark result file");
+        println!("wrote {out_path}");
+        return;
+    }
 
     // Without --addr, run against an in-process server so the benchmark
     // needs no prior setup (and CI can run it as-is).
@@ -192,77 +387,13 @@ fn main() {
         "in-process".to_string()
     };
 
-    let start = Instant::now();
-    let outcomes: Vec<ConnectionOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.connections)
-            .map(|id| {
-                let target = &target;
-                let config = &config;
-                scope.spawn(move || drive_connection(target, id, config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("connection thread").expect("connection I/O"))
-            .collect()
-    });
-    let wall_secs = start.elapsed().as_secs_f64();
-
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut rejections = 0u64;
-    let mut errors = 0u64;
-    for outcome in &outcomes {
-        latencies.extend_from_slice(&outcome.latencies_ms);
-        rejections += outcome.rejections;
-        errors += outcome.errors;
-    }
-    latencies.sort_by(|a, b| a.total_cmp(b));
-
-    let server_stats = {
-        let mut client = Client::connect(&target).expect("stats connection");
-        match client.call(&Request::Stats).expect("stats request") {
-            Response::Stats(stats) => Some(stats),
-            _ => None,
-        }
-    };
+    let pass = run_pass(&target, &config);
     if let Some(server) = in_process {
         server.stop().expect("clean shutdown");
     }
+    print_pass("load", &config, &target_label, &pass);
 
-    let completed = latencies.len();
-    println!(
-        "{} connections x {} requests against {target_label}: {completed} completed, \
-         {rejections} rejected, {errors} errors in {:.2}s ({:.1} req/s)",
-        config.connections,
-        config.requests_per_connection,
-        wall_secs,
-        completed as f64 / wall_secs.max(1e-12),
-    );
-    println!(
-        "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
-        latencies.last().copied().unwrap_or(0.0),
-    );
-    if let Some(stats) = &server_stats {
-        println!(
-            "server: queue high water {}, pool {} hits / {} misses",
-            stats.queue_high_water, stats.pool.hits, stats.pool.misses
-        );
-    }
-
-    let json = render_json(
-        &mode,
-        &config,
-        &target_label,
-        completed,
-        rejections,
-        errors,
-        wall_secs,
-        &latencies,
-        server_stats.as_ref(),
-    );
+    let json = render_json(&mode, &config, &target_label, &pass, None);
     std::fs::write(&out_path, &json).expect("write benchmark result file");
     println!("wrote {out_path}");
 }

@@ -59,13 +59,19 @@ USAGE:
       and the rest of the suite still runs.
   smith85 serve [--addr HOST:PORT] [--unix PATH] [--workers N] [--queue N]
           [--deadline-ms N] [--metrics-addr HOST:PORT] [--journal PATH]
+          [--store DIR] [--store-budget BYTES]
       Run the simulation server (newline-delimited JSON over TCP, plus a
       Unix socket with --unix). Requests past the queue bound get a typed
       \"overloaded\" rejection. --metrics-addr serves Prometheus text
       exposition at /metrics. --journal appends every request's spans and
       access-log events to an NDJSON trace journal (see `smith85 trace`).
-      Ctrl-C drains in-flight jobs and exits.
-  smith85 submit TYPE [--addr HOST:PORT] [--unix PATH] [--json true] ...
+      --store persists traces and results to a crash-safe on-disk store:
+      a restarted server answers previously-seen requests bit-identically
+      without regenerating anything (corrupt entries are quarantined at
+      startup, never served). --store-budget caps the store size with LRU
+      eviction. Ctrl-C drains in-flight jobs and exits.
+  smith85 submit TYPE [--addr HOST:PORT] [--unix PATH] [--json true]
+          [--retries N] [--backoff-ms MS] ...
       Send one request to a running server. TYPE is one of:
         simulate --workload NAME --size BYTES [--len N] [--seed N]
                  [--line BYTES] [--ways N|full] [--purge N] [--deadline-ms N]
@@ -73,6 +79,19 @@ USAGE:
                  [--line BYTES] [--deadline-ms N]
         catalog | stats | metrics | ping | shutdown
       --json true prints the raw response line instead of a summary.
+      --retries N retries transient failures (typed \"overloaded\"
+      rejections and refused connections) with capped exponential backoff
+      starting at --backoff-ms (default 100 ms) plus jitter; anything
+      else fails immediately.
+  smith85 cache ACTION --store DIR [--budget BYTES]
+      Inspect or maintain a persistent store directory. ACTION is one of:
+        stats   print entry/byte counts, hit/miss/write tallies and the
+                startup recovery summary
+        gc      evict least-recently-used entries until under --budget
+        clear   delete all live entries (quarantined evidence is kept)
+        verify  re-validate every record; corrupt entries are moved to
+                quarantine/ and the exit status is nonzero if any were
+                found
   smith85 trace report JOURNAL [--top N] [--format tree|collapsed]
       Render an NDJSON trace journal as per-trace span trees with total
       and self times (slowest first, --top per default 10), or as
@@ -532,12 +551,39 @@ fn pool_summary(stats: &smith85_core::trace_pool::PoolStats) -> String {
 
 pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
     opts.expect_only(&[
-        "addr", "unix", "workers", "queue", "deadline-ms", "metrics-addr", "journal",
+        "addr", "unix", "workers", "queue", "deadline-ms", "metrics-addr", "journal", "store",
+        "store-budget",
     ])?;
     let mut options = smith85_serve::ServeOptions {
         addr: opts.get("addr").unwrap_or("127.0.0.1:4085").to_string(),
         ..smith85_serve::ServeOptions::default()
     };
+    if let Some(store_dir) = opts.get("store") {
+        let mut builder = SimSession::builder().store(store_dir);
+        if let Some(budget) = opts.get("store-budget") {
+            builder = builder.store_budget(
+                budget
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad --store-budget {budget:?}")))?,
+            );
+        }
+        let session = builder
+            .build()
+            .map_err(|e| CliError::usage(format!("invalid configuration: {e}")))?;
+        if let Some(store) = session.store() {
+            eprintln!(
+                "smith85-serve: store {} — {}",
+                store.root().display(),
+                store.recovery().summary()
+            );
+            for entry in &store.recovery().quarantined {
+                eprintln!("smith85-serve: quarantined {} ({})", entry.name, entry.reason);
+            }
+        }
+        options.session = session;
+    } else if opts.get("store-budget").is_some() {
+        return Err(CliError::usage("--store-budget needs --store DIR"));
+    }
     options.unix_path = opts.get("unix").map(std::path::PathBuf::from);
     options.workers = opts.get_parse("workers", options.workers)?.max(1);
     options.queue_capacity = opts.get_parse("queue", options.queue_capacity)?;
@@ -784,6 +830,8 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
         "purge",
         "sizes",
         "deadline-ms",
+        "retries",
+        "backoff-ms",
     ])?;
     let kind = opts
         .positional()
@@ -795,24 +843,121 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
             )
         })?;
     let request = build_request(kind, opts)?;
-    let mut client = match opts.get("unix") {
-        #[cfg(unix)]
-        Some(path) => smith85_serve::Client::connect_unix(std::path::Path::new(path))?,
-        #[cfg(not(unix))]
-        Some(_) => {
-            return Err(CliError::usage(
-                "--unix is only available on unix targets; use --addr",
-            ))
-        }
-        None => smith85_serve::Client::connect(opts.get("addr").unwrap_or("127.0.0.1:4085"))?,
+    let policy = smith85_serve::RetryPolicy {
+        retries: opts.get_parse("retries", 0u32)?,
+        backoff_ms: opts.get_parse("backoff-ms", 100u64)?,
     };
-    let response = client.call(&request)?;
+    #[cfg(not(unix))]
+    if opts.get("unix").is_some() {
+        return Err(CliError::usage(
+            "--unix is only available on unix targets; use --addr",
+        ));
+    }
+    let unix = opts.get("unix").map(std::path::PathBuf::from);
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:4085").to_string();
+    let connect = move || match &unix {
+        #[cfg(unix)]
+        Some(path) => smith85_serve::Client::connect_unix(path),
+        #[cfg(not(unix))]
+        Some(_) => unreachable!("rejected above"),
+        None => smith85_serve::Client::connect(&addr),
+    };
+    let response =
+        smith85_serve::call_with_retry(connect, &request, policy, std::thread::sleep)?;
     if opts.get("json").is_some() {
         let mut line = response.encode();
         line.push('\n');
         return Ok(line);
     }
     render_response(&response)
+}
+
+pub(crate) fn cache(opts: &Opts) -> Result<String, CliError> {
+    let action = opts
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| {
+            CliError::usage("need an action: `smith85 cache stats|gc|clear|verify --store DIR`")
+        })?;
+    opts.expect_only(&["store", "budget"])?;
+    let dir = opts.require("store")?;
+    let store =
+        smith85_store::Store::open(dir).map_err(|e| CliError::Store(e.to_string()))?;
+    match action {
+        "stats" => {
+            let s = store.stats();
+            let quarantined = std::fs::read_dir(store.quarantine_dir())
+                .map(|entries| entries.filter_map(Result::ok).count())
+                .unwrap_or(0);
+            let mut out = String::new();
+            let _ = writeln!(out, "store          {}", store.root().display());
+            let _ = writeln!(out, "entries        {}", s.entries);
+            let _ = writeln!(out, "bytes          {}", s.total_bytes);
+            let _ = writeln!(
+                out,
+                "budget         {}",
+                store
+                    .budget()
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "unbounded".to_string())
+            );
+            let _ = writeln!(out, "quarantined    {quarantined} file(s)");
+            let _ = writeln!(out, "{}", store.recovery().summary());
+            Ok(out)
+        }
+        "gc" => {
+            let budget = opts.get_parse("budget", 0u64)?;
+            if opts.get("budget").is_none() {
+                return Err(CliError::usage("`smith85 cache gc` needs --budget BYTES"));
+            }
+            let report = store.gc(budget);
+            let after = store.stats();
+            Ok(format!(
+                "evicted {} entrie(s), freed {} bytes; {} entrie(s), {} bytes remain\n",
+                report.evicted, report.freed_bytes, after.entries, after.total_bytes
+            ))
+        }
+        "clear" => {
+            let removed = store.clear()?;
+            Ok(format!(
+                "removed {removed} live entrie(s); quarantined evidence kept in {}\n",
+                store.quarantine_dir().display()
+            ))
+        }
+        "verify" => {
+            // Corruption shows up in two places: the recovery scan that
+            // ran when we opened the store, and the explicit re-read
+            // below. Either one means the store was not intact.
+            let report = store.verify()?;
+            let damaged: Vec<&smith85_store::QuarantinedEntry> = store
+                .recovery()
+                .quarantined
+                .iter()
+                .chain(report.quarantined.iter())
+                .collect();
+            if damaged.is_empty() {
+                Ok(format!(
+                    "verified {} record(s), all intact\n",
+                    report.checked
+                ))
+            } else {
+                let mut detail = format!(
+                    "verify: {} of {} record(s) corrupt, moved to {}",
+                    damaged.len(),
+                    report.checked + store.recovery().quarantined.len(),
+                    store.quarantine_dir().display()
+                );
+                for entry in damaged {
+                    let _ = write!(detail, "\n  {} ({})", entry.name, entry.reason);
+                }
+                Err(CliError::Store(detail))
+            }
+        }
+        other => Err(CliError::usage(format!(
+            "unknown cache action {other:?} (stats, gc, clear or verify)"
+        ))),
+    }
 }
 
 pub(crate) fn trace(opts: &Opts) -> Result<String, CliError> {

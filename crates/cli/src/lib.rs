@@ -35,6 +35,10 @@ pub enum CliError {
     Suite(String),
     /// The simulation server answered a `submit` with a typed error.
     Server(String),
+    /// A persistent-store operation failed, or `cache verify` found
+    /// corruption (the payload is the report; damaged entries are
+    /// already quarantined).
+    Store(String),
 }
 
 impl CliError {
@@ -58,6 +62,7 @@ impl fmt::Display for CliError {
             CliError::File(e) => e.fmt(f),
             CliError::Suite(report) => write!(f, "suite finished with failures\n{report}"),
             CliError::Server(m) => write!(f, "{m}"),
+            CliError::Store(m) => write!(f, "{m}"),
         }
     }
 }
@@ -118,6 +123,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "suite" => commands::suite(&opts),
         "serve" => commands::serve(&opts),
         "submit" => commands::submit(&opts),
+        "cache" => commands::cache(&opts),
         "trace" => commands::trace(&opts),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
@@ -378,6 +384,83 @@ mod tests {
         assert!(matches!(run_str(&["trace", "frobnicate", path]), Err(CliError::Usage(_))));
         assert!(matches!(run_str(&["trace", "report"]), Err(CliError::Usage(_))));
         std::fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn cache_subcommand_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("smith85-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+
+        // Seed two records through the public store API.
+        {
+            let store = smith85_store::Store::open(&dir).unwrap();
+            store.put_json("v1/c1/result/a", "{\"x\":1}").unwrap();
+            store.put_json("v1/c1/result/b", "{\"x\":2}").unwrap();
+        }
+
+        let stats = run_str(&["cache", "stats", "--store", &dir_str]).unwrap();
+        assert!(stats.contains("entries        2"), "{stats}");
+        assert!(stats.contains("recovery scan: 2 scanned, 2 ok, 0 quarantined"), "{stats}");
+
+        let clean = run_str(&["cache", "verify", "--store", &dir_str]).unwrap();
+        assert!(clean.contains("all intact"), "{clean}");
+
+        // Flip a byte in one object; verify must catch and quarantine it.
+        let object = std::fs::read_dir(dir.join("objects"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .next()
+            .unwrap();
+        let mut bytes = std::fs::read(&object).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&object, &bytes).unwrap();
+        let err = run_str(&["cache", "verify", "--store", &dir_str]).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Store(m) if m.contains("1 of 2")),
+            "{err}"
+        );
+
+        let stats = run_str(&["cache", "stats", "--store", &dir_str]).unwrap();
+        assert!(stats.contains("quarantined    1 file(s)"), "{stats}");
+
+        // GC to zero leaves the quarantine evidence alone.
+        assert!(matches!(
+            run_str(&["cache", "gc", "--store", &dir_str]),
+            Err(CliError::Usage(_))
+        ));
+        let gc = run_str(&["cache", "gc", "--store", &dir_str, "--budget", "0"]).unwrap();
+        assert!(gc.contains("evicted 1"), "{gc}");
+        let cleared = run_str(&["cache", "clear", "--store", &dir_str]).unwrap();
+        assert!(cleared.contains("removed 0"), "{cleared}");
+        assert!(dir.join("quarantine").read_dir().unwrap().next().is_some());
+
+        assert!(matches!(
+            run_str(&["cache", "frobnicate", "--store", &dir_str]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run_str(&["cache", "stats"]), Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_retries_refused_connections_then_gives_up() {
+        // Nothing listens on this port; with retries the command must
+        // still fail with the final refused attempt, quickly.
+        let err = run_str(&[
+            "submit", "ping", "--addr", "127.0.0.1:1", "--retries", "2", "--backoff-ms", "1",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::File(e) if e.kind() == std::io::ErrorKind::ConnectionRefused),
+            "{err}"
+        );
+        assert!(matches!(
+            run_str(&["submit", "ping", "--addr", "127.0.0.1:1", "--retries", "x"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub enum ConfigError {
     SizeNotPowerOfTwo(usize),
     /// `threads` was zero.
     ZeroThreads,
+    /// The persistent store could not be opened (the message carries the
+    /// formatted I/O error).
+    Store(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -83,6 +86,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "cache size {size} is not a power of two")
             }
             ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+            ConfigError::Store(message) => write!(f, "{message}"),
         }
     }
 }

@@ -300,14 +300,37 @@ pub fn config_hash(config: &ExperimentConfig) -> String {
 /// The check is a substring scan rather than a JSON parse — the runner
 /// itself wrote the file, with known key order; anything unreadable or
 /// unrecognized is simply treated as "no result, run it again".
+/// Whether `path` holds a complete, parseable result for this config.
+///
+/// A checkpoint file can be corrupt — truncated by a crash mid-`fs::write`
+/// on an older version, bit-rotted, or hand-edited. A resume must treat
+/// such a file as "not done" and re-run the experiment rather than abort
+/// the suite (or worse, trust the fragment); the damage is reported as a
+/// `result_corrupt` warn event when a journal is attached.
 fn has_fresh_result(path: &Path, hash: &str) -> bool {
-    match fs::read_to_string(path) {
-        Ok(text) => {
-            text.contains("\"status\": \"ok\"")
-                && text.contains(&format!("\"config_hash\": \"{hash}\""))
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(_) => return false,
+    };
+    let parsed = match smith85_tracelog::json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            let ctx = smith85_tracelog::current();
+            if ctx.enabled() {
+                ctx.event(
+                    smith85_tracelog::Severity::Warn,
+                    "result_corrupt",
+                    vec![
+                        ("path".to_string(), path.display().to_string().into()),
+                        ("error".to_string(), err.to_string().into()),
+                    ],
+                );
+            }
+            return false;
         }
-        Err(_) => false,
-    }
+    };
+    parsed.get("status").and_then(|v| v.as_str()) == Some("ok")
+        && parsed.get("config_hash").and_then(|v| v.as_str()) == Some(hash)
 }
 
 /// Writes via a sibling `.tmp` file and an atomic rename, so readers (and
@@ -498,6 +521,80 @@ mod tests {
         assert!(report.is_success());
         assert_eq!(report.count(ExperimentStatus::Skip), 2);
         assert!(out.join("boom.json").exists());
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn resume_reruns_a_corrupt_checkpoint_instead_of_trusting_it() {
+        let out = temp_out("corrupt");
+        let config = tiny_config();
+        let opts = RunnerOptions {
+            out_dir: out.clone(),
+            resume: false,
+        };
+        let entries = vec![
+            ExperimentEntry {
+                name: "ok_a",
+                run: |_| "a".to_string(),
+            },
+            ExperimentEntry {
+                name: "ok_b",
+                run: |_| "b".to_string(),
+            },
+        ];
+        run_suite_with(&config, &opts, &entries, |_| {}).unwrap();
+
+        // Crash damage: truncate one checkpoint mid-token (unparseable)
+        // — the substring check alone would still have rejected an empty
+        // file, but a truncation can keep both matching substrings, so
+        // the resume gate must actually parse.
+        let full = fs::read_to_string(out.join("ok_a.json")).unwrap();
+        assert!(full.contains("\"status\": \"ok\""));
+        let cut = (full.find("\"rendered\"").unwrap() + 20).min(full.len() - 3);
+        fs::write(out.join("ok_a.json"), &full[..cut]).unwrap();
+
+        let opts = RunnerOptions {
+            out_dir: out.clone(),
+            resume: true,
+        };
+        let mut ran: Vec<&str> = Vec::new();
+        let report = run_suite_with(&config, &opts, &entries, |o| {
+            if o.status != ExperimentStatus::Skip {
+                ran.push(o.name);
+            }
+        })
+        .unwrap();
+        assert_eq!(ran, vec!["ok_a"], "corrupt checkpoint must re-run");
+        assert!(report.is_success());
+        assert_eq!(report.count(ExperimentStatus::Skip), 1);
+        // The re-run rewrote a parseable checkpoint.
+        let repaired = fs::read_to_string(out.join("ok_a.json")).unwrap();
+        assert!(smith85_tracelog::json::parse(&repaired).is_ok());
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_warns_via_tracelog() {
+        use smith85_tracelog::{RingJournal, SinkHandle};
+        let out = temp_out("corruptwarn");
+        fs::create_dir_all(&out).unwrap();
+        fs::write(out.join("bad.json"), "{\"status\": \"ok\", \"config_hash\": \"x").unwrap();
+
+        let journal = std::sync::Arc::new(RingJournal::new(1, 64));
+        let sink = SinkHandle::new(journal.clone());
+        let root = smith85_tracelog::TraceContext::root(sink, "test", Vec::new());
+        {
+            let _guard = smith85_tracelog::enter(root.ctx().clone());
+            assert!(!has_fresh_result(&out.join("bad.json"), "x"));
+        }
+        drop(root);
+
+        let events = journal.snapshot();
+        assert!(
+            events.iter().any(|e| e.name == "result_corrupt"),
+            "expected a result_corrupt warn event, got {:?}",
+            events.iter().map(|e| e.name.clone()).collect::<Vec<_>>()
+        );
         fs::remove_dir_all(&out).unwrap();
     }
 

@@ -43,6 +43,7 @@ use smith85_cachesim::{
     StackProfile, UnifiedCache,
 };
 use smith85_obs::{Registry, MS_BOUNDS, REFS_PER_SEC_BOUNDS};
+use smith85_store::Store;
 use smith85_trace::MemoryAccess;
 use smith85_tracelog::{self as tracelog, FieldValue, SinkHandle, TraceContext};
 use std::fmt;
@@ -185,6 +186,8 @@ pub struct SimSessionBuilder {
     registry: Option<Registry>,
     probe: Option<ProbeHandle>,
     journal: SinkHandle,
+    store_path: Option<std::path::PathBuf>,
+    store_budget: Option<u64>,
 }
 
 impl SimSessionBuilder {
@@ -242,6 +245,24 @@ impl SimSessionBuilder {
         self
     }
 
+    /// A persistent store rooted at `path` (created if absent). The
+    /// session then warm-starts: the trace pool reads spills from disk
+    /// instead of regenerating, fresh materializations are persisted,
+    /// and [`build`](Self::build) runs the store's crash-recovery scan
+    /// (quarantining any corrupt records it finds).
+    pub fn store(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// A byte budget for the store: after every write the LRU collector
+    /// trims the store back under it. No effect without
+    /// [`store`](Self::store).
+    pub fn store_budget(mut self, bytes: u64) -> Self {
+        self.store_budget = Some(bytes);
+        self
+    }
+
     /// Validates the configuration, wires the probe through the trace
     /// pool and sweep engine, and pre-registers the core metric
     /// families so an exposition scrape sees them even before traffic.
@@ -258,6 +279,29 @@ impl SimSessionBuilder {
         let config = self.config.probe(probe.clone()).build()?;
         config.pool.set_probe(probe.clone());
         sweep::set_probe(probe.clone());
+        let store = match self.store_path {
+            Some(path) => {
+                let store = Store::open_with_budget(&path, self.store_budget)
+                    .map_err(|err| ConfigError::Store(err.to_string()))?;
+                let store = Arc::new(store);
+                store.set_observer(Arc::new(ProbeStoreObserver(probe.clone())));
+                config.pool.set_store(Arc::clone(&store));
+                for counter in [
+                    "store_hits_total",
+                    "store_misses_total",
+                    "store_writes_total",
+                    "store_corrupt_quarantined_total",
+                    "store_gc_evictions_total",
+                ] {
+                    registry.counter(counter);
+                }
+                registry
+                    .gauge("store_bytes")
+                    .set(store.stats().total_bytes as f64);
+                Some(store)
+            }
+            None => None,
+        };
         for counter in [
             "pool_hits_total",
             "pool_misses_total",
@@ -277,7 +321,22 @@ impl SimSessionBuilder {
             registry,
             probe,
             journal: self.journal,
+            store,
         })
+    }
+}
+
+/// Adapts the session's [`ProbeHandle`] onto the store's observer seam,
+/// so store counters land in the same registry as everything else.
+struct ProbeStoreObserver(ProbeHandle);
+
+impl smith85_store::StoreObserver for ProbeStoreObserver {
+    fn count(&self, name: &'static str, n: u64) {
+        self.0.count(name, n);
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.0.gauge(name, value);
     }
 }
 
@@ -290,6 +349,7 @@ pub struct SimSession {
     registry: Registry,
     probe: ProbeHandle,
     journal: SinkHandle,
+    store: Option<Arc<Store>>,
 }
 
 impl Default for SimSession {
@@ -325,6 +385,12 @@ impl SimSession {
     /// The session's shared trace pool.
     pub fn pool(&self) -> &TracePool {
         &self.config.pool
+    }
+
+    /// The session's persistent store, when one was configured via
+    /// [`SimSessionBuilder::store`].
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// The session's structured-event journal (disabled by default).

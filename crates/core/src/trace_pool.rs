@@ -50,6 +50,10 @@ struct PoolShared {
     // Optional instrumentation sink (see `set_probe`), in its own lock
     // so probing never contends with the state mutex.
     probe: Mutex<Option<ProbeHandle>>,
+    // Optional persistent spill store (see `set_store`): on a miss the
+    // pool tries a disk read before generating, and persists whatever it
+    // does generate. Own lock for the same reason as the probe.
+    store: Mutex<Option<Arc<smith85_store::Store>>>,
 }
 
 #[derive(Default)]
@@ -207,6 +211,27 @@ impl TracePool {
             .clone()
     }
 
+    /// Attaches a persistent spill store. From now on a pool miss first
+    /// tries a buffered disk read (a *store hit* — no generation, no
+    /// pool-miss accounting), and every fresh materialization is
+    /// persisted best-effort so the next process warm-starts from disk.
+    /// The last store set wins; every clone of the pool shares it.
+    pub fn set_store(&self, store: Arc<smith85_store::Store>) {
+        *self
+            .inner
+            .store
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(store);
+    }
+
+    fn store(&self) -> Option<Arc<smith85_store::Store>> {
+        self.inner
+            .store
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// Drops every entry (the counters survive).
     pub fn clear(&self) {
         let mut state = self.lock();
@@ -266,6 +291,33 @@ impl TracePool {
         // generator cannot strand waiters) keeps concurrent requests for
         // the same key from regenerating the same stream.
         let marker = InflightMarker { pool: self, key };
+        // Warm start: a previous process may have spilled this stream to
+        // the persistent store. The record is CRC-validated on read (a
+        // corrupt spill is quarantined and comes back as a miss), so a
+        // disk hit replays bit-identically with no generation — it counts
+        // as a pool hit, not a miss, and materializes nothing.
+        let store = self.store();
+        if let Some(store) = store.as_ref() {
+            if let Some(disk) = store.get_trace(&spill_key(&marker.key)) {
+                if disk.len() >= len {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(probe) = self.probe() {
+                        probe.count("pool_hits_total", 1);
+                    }
+                    if trace_ctx.enabled() {
+                        trace_ctx.event(
+                            smith85_tracelog::Severity::Debug,
+                            "pool_disk_hit",
+                            vec![
+                                ("key".to_string(), marker.key.clone().into()),
+                                ("len".to_string(), (len as u64).into()),
+                            ],
+                        );
+                    }
+                    return self.install(&marker.key, Arc::new(disk));
+                }
+            }
+        }
         let mut span = trace_ctx.enabled().then(|| {
             trace_ctx.child(
                 "pool_materialize",
@@ -289,20 +341,30 @@ impl TracePool {
             probe.count("pool_misses_total", 1);
             probe.count("pool_materialized_bytes_total", fresh_bytes);
         }
+        if let Some(store) = store.as_ref() {
+            // Best-effort spill: a full or read-only disk must not fail
+            // the simulation, it only costs the next warm start.
+            let _ = store.put_trace(&spill_key(&marker.key), &fresh);
+        }
+        self.install(&marker.key, fresh)
+        // `marker` drops here, releasing the in-flight key and waking
+        // waiters.
+    }
+
+    /// Publishes a materialized buffer into the in-memory table, keeping
+    /// the longest buffer if another materialization raced us there.
+    fn install(&self, key: &str, fresh: Arc<Trace>) -> Arc<Trace> {
         let mut state = self.lock();
-        let shared = match state.traces.get(&marker.key) {
+        match state.traces.get(key) {
             // A longer materialization can slip in between our length
             // check and the insert below only via `clear()` + regrowth;
             // keep the longest buffer either way.
             Some(existing) if existing.len() >= fresh.len() => Arc::clone(existing),
             _ => {
-                state.traces.insert(marker.key.clone(), Arc::clone(&fresh));
+                state.traces.insert(key.to_string(), Arc::clone(&fresh));
                 fresh
             }
-        };
-        drop(state);
-        drop(marker); // Releases the in-flight key and wakes waiters.
-        shared
+        }
     }
 }
 
@@ -335,6 +397,19 @@ fn collect<I: Iterator<Item = MemoryAccess>>(stream: I, len: usize) -> Trace {
     let mut trace = Trace::with_capacity(len);
     trace.extend(stream.take(len));
     trace
+}
+
+/// The persistent-store key for a pool entry. The key-schema and catalog
+/// versions are prefixed so artifacts spilled under an older digest
+/// scheme or an older profile calibration miss cleanly instead of
+/// replaying a stale stream.
+fn spill_key(pool_key: &str) -> String {
+    format!(
+        "v{}/c{}/trace/{}",
+        smith85_store::KEY_SCHEMA_VERSION,
+        smith85_synth::catalog::CATALOG_VERSION,
+        pool_key
+    )
 }
 
 fn workload_key(workload: &Workload) -> String {

@@ -3,7 +3,7 @@
 //! One request per [`Client::call`]; responses come back in order, so a
 //! single connection is also a valid way to issue a request sequence.
 
-use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+use crate::protocol::{ErrorCode, Request, Response, MAX_LINE_BYTES};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
@@ -11,6 +11,98 @@ use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
 use std::time::Duration;
+
+/// Ceiling for one backoff delay, whatever the attempt count.
+pub const MAX_BACKOFF_MS: u64 = 5_000;
+
+/// Capped exponential backoff with deterministic jitter, for retrying
+/// *transient* failures: a typed `overloaded` response (the server's
+/// admission queue is full) or a refused connection (the server is
+/// restarting). Permanent failures — bad requests, unknown workloads,
+/// protocol errors — are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail fast).
+    pub retries: u32,
+    /// Base delay before the first retry; attempt `n` waits roughly
+    /// `backoff_ms << n`, capped at [`MAX_BACKOFF_MS`].
+    pub backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: a single attempt, fail fast.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        retries: 0,
+        backoff_ms: 0,
+    };
+
+    /// The delay before retry number `attempt` (0-based): exponential
+    /// growth capped at [`MAX_BACKOFF_MS`], minus up to half of itself as
+    /// deterministic jitter seeded by `seed` — so a fleet of scripted
+    /// clients hitting the same overloaded server spreads out instead of
+    /// retrying in lockstep.
+    pub fn delay_ms(&self, attempt: u32, seed: u64) -> u64 {
+        let exp = self
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(MAX_BACKOFF_MS);
+        if exp == 0 {
+            return 0;
+        }
+        // splitmix64, same mix the fault injectors use.
+        let mut z = seed
+            .wrapping_add(u64::from(attempt))
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let jitter = (z ^ (z >> 31)) % (exp / 2 + 1);
+        exp - jitter
+    }
+}
+
+/// Whether a call outcome is worth retrying: a typed `overloaded`
+/// response or a refused connection. Everything else — including other
+/// typed errors and other I/O failures — is permanent.
+pub fn is_transient(result: &io::Result<Response>) -> bool {
+    match result {
+        Ok(Response::Error(body)) => body.code == ErrorCode::Overloaded,
+        Err(err) => err.kind() == io::ErrorKind::ConnectionRefused,
+        Ok(_) => false,
+    }
+}
+
+/// Issues `request` with retries per `policy`: reconnect via `connect`
+/// each attempt (a refused connection is one of the retryable failures),
+/// sleeping through `sleep` between attempts. Returns the final outcome,
+/// transient or not, once the budget is exhausted.
+///
+/// # Errors
+///
+/// Whatever the last attempt returned.
+pub fn call_with_retry(
+    mut connect: impl FnMut() -> io::Result<Client>,
+    request: &Request,
+    policy: RetryPolicy,
+    mut sleep: impl FnMut(Duration),
+) -> io::Result<Response> {
+    // Jitter seed: stable per request shape, so reruns are reproducible,
+    // but different requests in a sweep spread their retries.
+    let encoded = request.encode();
+    let seed = encoded
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+    let mut attempt = 0;
+    loop {
+        let result = connect().and_then(|mut client| client.call(request));
+        if !is_transient(&result) || attempt >= policy.retries {
+            return result;
+        }
+        sleep(Duration::from_millis(policy.delay_ms(attempt, seed)));
+        attempt += 1;
+    }
+}
 
 enum Transport {
     Tcp(TcpStream),
@@ -150,5 +242,111 @@ impl Client {
         }
         Response::decode(line.trim_end())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ErrorBody;
+
+    #[test]
+    fn delay_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            retries: 10,
+            backoff_ms: 100,
+        };
+        // Jitter subtracts at most half, so each delay sits in
+        // [ceil(exp/2), exp] for exp = min(100 << n, 5000).
+        for (attempt, exp) in [(0u32, 100u64), (1, 200), (2, 400), (6, 5_000), (16, 5_000)] {
+            let d = policy.delay_ms(attempt, 42);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: delay {d} outside [{}, {exp}]",
+                exp / 2
+            );
+        }
+        // Huge attempt counts must not overflow the shift.
+        let _ = policy.delay_ms(u32::MAX, 42);
+    }
+
+    #[test]
+    fn delay_is_deterministic_per_seed() {
+        let policy = RetryPolicy {
+            retries: 3,
+            backoff_ms: 250,
+        };
+        assert_eq!(policy.delay_ms(2, 7), policy.delay_ms(2, 7));
+        // Zero base means zero wait, jitter included.
+        let eager = RetryPolicy {
+            retries: 3,
+            backoff_ms: 0,
+        };
+        assert_eq!(eager.delay_ms(5, 7), 0);
+    }
+
+    #[test]
+    fn transient_classification() {
+        let overloaded: io::Result<Response> = Ok(Response::Error(ErrorBody::new(
+            ErrorCode::Overloaded,
+            "queue full",
+        )));
+        assert!(is_transient(&overloaded));
+        let refused: io::Result<Response> =
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
+        assert!(is_transient(&refused));
+        let bad: io::Result<Response> = Ok(Response::Error(ErrorBody::new(
+            ErrorCode::BadRequest,
+            "nope",
+        )));
+        assert!(!is_transient(&bad));
+        let eof: io::Result<Response> =
+            Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+        assert!(!is_transient(&eof));
+        assert!(!is_transient(&Ok(Response::Pong)));
+    }
+
+    #[test]
+    fn retry_exhausts_budget_on_refused_connections() {
+        let mut attempts = 0u32;
+        let mut sleeps: Vec<u64> = Vec::new();
+        let policy = RetryPolicy {
+            retries: 3,
+            backoff_ms: 10,
+        };
+        let result = call_with_retry(
+            || {
+                attempts += 1;
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+            },
+            &Request::Ping,
+            policy,
+            |d| sleeps.push(d.as_millis() as u64),
+        );
+        assert_eq!(attempts, 4, "1 initial try + 3 retries");
+        assert_eq!(sleeps.len(), 3, "sleeps only between attempts");
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::ConnectionRefused);
+        // Backoff must not shrink below the jittered floor of the base.
+        assert!(sleeps.iter().all(|&ms| ms <= MAX_BACKOFF_MS));
+    }
+
+    #[test]
+    fn permanent_failures_do_not_retry() {
+        let mut attempts = 0u32;
+        let policy = RetryPolicy {
+            retries: 5,
+            backoff_ms: 10,
+        };
+        let result = call_with_retry(
+            || {
+                attempts += 1;
+                Err(io::Error::new(io::ErrorKind::PermissionDenied, "denied"))
+            },
+            &Request::Ping,
+            policy,
+            |_| panic!("must not sleep on a permanent failure"),
+        );
+        assert_eq!(attempts, 1);
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
     }
 }

@@ -10,8 +10,8 @@
 //! loopback integration tests assert exactly that.
 
 use crate::protocol::{
-    CatalogEntry, CatalogResult, ErrorBody, ErrorCode, SimulateResult, SimulateSpec, SweepPoint,
-    SweepResult, SweepSpec,
+    CatalogEntry, CatalogResult, ErrorBody, ErrorCode, Response, SimulateResult, SimulateSpec,
+    SweepPoint, SweepResult, SweepSpec,
 };
 use smith85_cachesim::{CacheConfig, Mapping, PAPER_SIZES};
 use smith85_core::experiments::Workload;
@@ -65,6 +65,40 @@ pub fn resolve_workload(name: &str, seed: Option<u64>) -> Result<Workload, Error
     ))
 }
 
+/// Canonical store key for a `simulate` result: every field that
+/// determines the answer, prefixed with the digest-scheme and catalog
+/// versions so stale artifacts miss cleanly after either changes.
+fn simulate_result_key(spec: &SimulateSpec) -> String {
+    format!(
+        "v{}/c{}/result/simulate/{}/seed={:?}/len={}/size={}/line={}/ways={:?}/purge={:?}",
+        smith85_store::KEY_SCHEMA_VERSION,
+        catalog::CATALOG_VERSION,
+        spec.workload,
+        spec.seed,
+        spec.len,
+        spec.cache.size,
+        spec.cache.line,
+        spec.cache.ways,
+        spec.cache.purge,
+    )
+}
+
+/// Canonical store key for a `sweep` result (keyed on the *effective*
+/// size list, after the paper-sizes default is applied).
+fn sweep_result_key(spec: &SweepSpec, sizes: &[usize]) -> String {
+    let sizes: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+    format!(
+        "v{}/c{}/result/sweep/{}/seed={:?}/len={}/line={}/sizes={}",
+        smith85_store::KEY_SCHEMA_VERSION,
+        catalog::CATALOG_VERSION,
+        spec.workload,
+        spec.seed,
+        spec.len,
+        spec.line,
+        sizes.join(","),
+    )
+}
+
 fn check_len(len: usize) -> Result<(), ErrorBody> {
     if len == 0 {
         return Err(ErrorBody::new(ErrorCode::BadRequest, "\"len\" must be > 0"));
@@ -107,10 +141,22 @@ pub fn run_simulate(
         .purge_interval(spec.cache.purge)
         .build()
         .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
+    // Only fully-validated requests consult the result cache: a stored
+    // record short-circuits simulation (and pool materialization)
+    // entirely. Records are CRC-checked by the store and re-parsed here,
+    // so a damaged record degrades to a recompute, never a bad answer.
+    let cache_key = session.store().map(|_| simulate_result_key(spec));
+    if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
+        if let Some(json) = store.get_json(key) {
+            if let Ok(Response::Simulate(cached)) = Response::decode(&json) {
+                return Ok(cached);
+            }
+        }
+    }
     let stats = session
         .simulate_workload(&workload, spec.len, config)
         .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
-    Ok(SimulateResult {
+    let result = SimulateResult {
         workload: spec.workload.clone(),
         len: spec.len,
         cache_bytes: spec.cache.size,
@@ -123,7 +169,14 @@ pub fn run_simulate(
         queue_ms: 0,
         exec_ms: 0,
         trace_id: String::new(),
-    })
+    };
+    if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
+        // Best-effort: a persistence failure costs the next warm start,
+        // never this response. Timing fields are stored as zero (the
+        // worker stamps per-request values on the way out).
+        let _ = store.put_json(key, &Response::Simulate(result.clone()).encode());
+    }
+    Ok(result)
 }
 
 /// Runs one `sweep` job (one stack-analysis pass, all sizes at once).
@@ -146,8 +199,16 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
     } else {
         &spec.sizes
     };
+    let cache_key = session.store().map(|_| sweep_result_key(spec, sizes));
+    if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
+        if let Some(json) = store.get_json(key) {
+            if let Ok(Response::Sweep(cached)) = Response::decode(&json) {
+                return Ok(cached);
+            }
+        }
+    }
     let profile = session.sweep_workload(&workload, spec.len, spec.line);
-    Ok(SweepResult {
+    let result = SweepResult {
         workload: spec.workload.clone(),
         len: spec.len,
         points: sizes
@@ -160,7 +221,11 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
         queue_ms: 0,
         exec_ms: 0,
         trace_id: String::new(),
-    })
+    };
+    if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
+        let _ = store.put_json(key, &Response::Sweep(result.clone()).encode());
+    }
+    Ok(result)
 }
 
 /// The `catalog` response: all 49 profiles plus the mix names.

@@ -46,7 +46,7 @@ pub mod server;
 pub mod signal;
 pub mod stats;
 
-pub use client::Client;
+pub use client::{call_with_retry, is_transient, Client, RetryPolicy, MAX_BACKOFF_MS};
 pub use protocol::{
     CacheSpec, CatalogResult, ErrorBody, ErrorCode, Request, Response, SimulateResult,
     SimulateSpec, StatsResult, SweepResult, SweepSpec, PROTOCOL_VERSION,

@@ -222,6 +222,28 @@ pub struct PoolCounters {
     pub resident_bytes: u64,
 }
 
+/// Persistent-store counters inside a `stats` response. Absent when the
+/// server runs without `--store` (and from pre-store servers — the
+/// decoder treats a missing object as `None`, keeping old and new
+/// clients interoperable in both directions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Live objects in the store index.
+    pub entries: u64,
+    /// Bytes held by live objects.
+    pub bytes: u64,
+    /// Reads served from disk.
+    pub hits: u64,
+    /// Reads that found nothing usable.
+    pub misses: u64,
+    /// Records written.
+    pub writes: u64,
+    /// Files quarantined as corrupt (recovery scan included).
+    pub corrupt_quarantined: u64,
+    /// Objects evicted by the LRU collector.
+    pub gc_evictions: u64,
+}
+
 /// The `stats` response payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsResult {
@@ -253,6 +275,8 @@ pub struct StatsResult {
     pub busy_ms_sweep: u64,
     /// Shared trace-pool counters.
     pub pool: PoolCounters,
+    /// Persistent-store counters; `None` when no store is configured.
+    pub store: Option<StoreCounters>,
 }
 
 /// Stable machine-readable failure codes.
@@ -655,7 +679,23 @@ impl Response {
                         ("resident_bytes", Json::Uint(r.pool.resident_bytes)),
                     ]),
                 ),
-            ]),
+            ]
+            .into_iter()
+            .chain(r.store.as_ref().map(|s| {
+                (
+                    "store",
+                    json::obj(vec![
+                        ("entries", Json::Uint(s.entries)),
+                        ("bytes", Json::Uint(s.bytes)),
+                        ("hits", Json::Uint(s.hits)),
+                        ("misses", Json::Uint(s.misses)),
+                        ("writes", Json::Uint(s.writes)),
+                        ("corrupt_quarantined", Json::Uint(s.corrupt_quarantined)),
+                        ("gc_evictions", Json::Uint(s.gc_evictions)),
+                    ]),
+                )
+            }))
+            .collect()),
             Response::Metrics(snapshot) => json::obj(vec![
                 ("type", json::s("metrics_result")),
                 (
@@ -848,6 +888,20 @@ impl Response {
                         misses: need_u64(pool, "misses")?,
                         materialized_bytes: need_u64(pool, "materialized_bytes")?,
                         resident_bytes: need_u64(pool, "resident_bytes")?,
+                    },
+                    // Optional: absent from store-less and pre-store
+                    // servers.
+                    store: match value.get("store") {
+                        Some(store) => Some(StoreCounters {
+                            entries: need_u64(store, "entries")?,
+                            bytes: need_u64(store, "bytes")?,
+                            hits: need_u64(store, "hits")?,
+                            misses: need_u64(store, "misses")?,
+                            writes: need_u64(store, "writes")?,
+                            corrupt_quarantined: need_u64(store, "corrupt_quarantined")?,
+                            gc_evictions: need_u64(store, "gc_evictions")?,
+                        }),
+                        None => None,
                     },
                 }))
             }
@@ -1058,6 +1112,39 @@ mod tests {
                 materialized_bytes: 1 << 24,
                 resident_bytes: 1 << 22,
             },
+            store: None,
+        }));
+        // And again with store counters attached (the `--store` shape).
+        response_round_trip(Response::Stats(StatsResult {
+            simulate_requests: 1,
+            sweep_requests: 0,
+            catalog_requests: 0,
+            stats_requests: 1,
+            completed: 1,
+            rejected_overload: 0,
+            protocol_errors: 0,
+            deadline_misses: 0,
+            queue_depth: 0,
+            queue_high_water: 1,
+            workers: 2,
+            busy_ms_simulate: 5,
+            busy_ms_sweep: 0,
+            pool: PoolCounters {
+                entries: 1,
+                hits: 0,
+                misses: 1,
+                materialized_bytes: 4096,
+                resident_bytes: 4096,
+            },
+            store: Some(StoreCounters {
+                entries: 3,
+                bytes: 123_456,
+                hits: 7,
+                misses: 2,
+                writes: 3,
+                corrupt_quarantined: 1,
+                gc_evictions: 4,
+            }),
         }));
         for code in [
             ErrorCode::Overloaded,

@@ -138,6 +138,7 @@ impl ServerState {
             self.queue.high_water(),
             self.workers,
             self.session.pool(),
+            self.session.store().map(Arc::as_ref),
         )
     }
 }

@@ -4,8 +4,9 @@
 //! read for observability, not for synchronization, so the cheapest
 //! ordering is the right one.
 
-use crate::protocol::{PoolCounters, StatsResult};
+use crate::protocol::{PoolCounters, StatsResult, StoreCounters};
 use smith85_core::trace_pool::TracePool;
+use smith85_store::Store;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic request/queue/worker counters, shared across threads.
@@ -44,13 +45,15 @@ impl ServerStats {
         counter.fetch_add(ms, Ordering::Relaxed);
     }
 
-    /// A point-in-time snapshot joined with queue and pool state.
+    /// A point-in-time snapshot joined with queue, pool and (when the
+    /// server runs with `--store`) persistent-store state.
     pub fn snapshot(
         &self,
         queue_depth: usize,
         queue_high_water: usize,
         workers: usize,
         pool: &TracePool,
+        store: Option<&Store>,
     ) -> StatsResult {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let pool_stats = pool.stats();
@@ -75,6 +78,18 @@ impl ServerStats {
                 materialized_bytes: pool_stats.materialized_bytes,
                 resident_bytes: pool_stats.memory_bytes as u64,
             },
+            store: store.map(|store| {
+                let s = store.stats();
+                StoreCounters {
+                    entries: s.entries,
+                    bytes: s.total_bytes,
+                    hits: s.hits,
+                    misses: s.misses,
+                    writes: s.writes,
+                    corrupt_quarantined: s.corrupt_quarantined,
+                    gc_evictions: s.gc_evictions,
+                }
+            }),
         }
     }
 }
@@ -91,7 +106,7 @@ mod tests {
         ServerStats::bump(&stats.rejected_overload);
         ServerStats::add_ms(&stats.busy_ms_simulate, 37);
         let pool = TracePool::new();
-        let snap = stats.snapshot(3, 9, 4, &pool);
+        let snap = stats.snapshot(3, 9, 4, &pool, None);
         assert_eq!(snap.simulate_requests, 2);
         assert_eq!(snap.rejected_overload, 1);
         assert_eq!(snap.busy_ms_simulate, 37);

@@ -19,6 +19,12 @@ use serde::{Deserialize, Serialize};
 use smith85_trace::{MachineArch, SourceLanguage, Trace};
 use std::fmt;
 
+/// Version of the calibrated catalog data. Bump whenever any profile
+/// parameter changes, so persisted artifacts keyed on the old
+/// calibration (trace spills, cached results) miss instead of replaying
+/// a stale stream.
+pub const CATALOG_VERSION: u32 = 1;
+
 /// The workload group a trace belongs to (the paper's §3.1 clusters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TraceGroup {

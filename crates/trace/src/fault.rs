@@ -27,6 +27,18 @@
 use crate::MemoryAccess;
 use std::error::Error;
 use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The shared splitmix64 step: one deterministic 64-bit draw.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Per-fault probabilities, each applied independently per reference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,11 +159,7 @@ where
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        splitmix64(&mut self.rng)
     }
 
     fn roll(&mut self, rate: f64) -> bool {
@@ -194,6 +202,109 @@ where
             }
             return Some(access);
         }
+    }
+}
+
+/// A disk-level fault: how to damage a byte image or file.
+///
+/// These model the failure modes a persistent store must survive — the
+/// crash-safety tests for `smith85-store` inject them deterministically
+/// and assert that recovery quarantines exactly the damaged entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A write interrupted partway: the file keeps only a prefix (possibly
+    /// empty) of its bytes.
+    TornWrite,
+    /// Media rot: exactly one randomly-chosen bit is inverted.
+    BitFlip,
+    /// A read that returned fewer bytes than asked: the tail (1 to 64
+    /// bytes) is missing.
+    ShortRead,
+}
+
+impl fmt::Display for DiskFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskFault::TornWrite => write!(f, "torn write"),
+            DiskFault::BitFlip => write!(f, "bit flip"),
+            DiskFault::ShortRead => write!(f, "short read"),
+        }
+    }
+}
+
+/// A seeded, deterministic corruptor of byte images and files: the
+/// disk-fault counterpart of [`FaultInjector`].
+///
+/// The damage depends only on `(seed, sequence of calls, input sizes)`,
+/// so a crash-safety test reproduces the exact same corruption every run.
+///
+/// ```
+/// use smith85_trace::fault::{DiskFault, DiskFaultInjector};
+///
+/// let mut injector = DiskFaultInjector::new(85);
+/// let mut image = vec![0xAAu8; 128];
+/// injector.corrupt_buf(DiskFault::BitFlip, &mut image);
+/// assert_eq!(image.iter().filter(|&&b| b != 0xAA).count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskFaultInjector {
+    rng: u64,
+}
+
+impl DiskFaultInjector {
+    /// Creates a corruptor with the given seed.
+    pub fn new(seed: u64) -> Self {
+        DiskFaultInjector {
+            // Same seed pre-mix as FaultInjector so seed 0 is lively.
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.rng)
+    }
+
+    /// Applies `fault` to an in-memory image. Returns the number of bytes
+    /// removed (torn write / short read) or `0` for a bit flip. Empty
+    /// images are left untouched.
+    pub fn corrupt_buf(&mut self, fault: DiskFault, bytes: &mut Vec<u8>) -> usize {
+        if bytes.is_empty() {
+            return 0;
+        }
+        let len = bytes.len();
+        match fault {
+            DiskFault::TornWrite => {
+                // Keep a strict prefix: 0..len bytes survive.
+                let keep = (self.next_u64() as usize) % len;
+                bytes.truncate(keep);
+                len - keep
+            }
+            DiskFault::BitFlip => {
+                let bit = (self.next_u64() as usize) % (len * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                0
+            }
+            DiskFault::ShortRead => {
+                let lost = 1 + (self.next_u64() as usize) % len.min(64);
+                bytes.truncate(len - lost);
+                lost
+            }
+        }
+    }
+
+    /// Applies `fault` to the file at `path` in place (read, corrupt,
+    /// rewrite — deliberately *not* atomic, this is the failure being
+    /// modelled). Returns the bytes removed, as for
+    /// [`corrupt_buf`](Self::corrupt_buf).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn corrupt_file(&mut self, fault: DiskFault, path: &Path) -> io::Result<usize> {
+        let mut bytes = fs::read(path)?;
+        let removed = self.corrupt_buf(fault, &mut bytes);
+        fs::write(path, &bytes)?;
+        Ok(removed)
     }
 }
 
@@ -305,5 +416,74 @@ mod tests {
             };
             assert!(err.to_string().contains("not a probability"), "{err}");
         }
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic() {
+        for fault in [DiskFault::TornWrite, DiskFault::BitFlip, DiskFault::ShortRead] {
+            let mut a_inj = DiskFaultInjector::new(85);
+            let mut b_inj = DiskFaultInjector::new(85);
+            let mut a: Vec<u8> = (0..=255).collect();
+            let mut b = a.clone();
+            assert_eq!(
+                a_inj.corrupt_buf(fault, &mut a),
+                b_inj.corrupt_buf(fault, &mut b)
+            );
+            assert_eq!(a, b, "{fault} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn disk_fault_shapes() {
+        let original: Vec<u8> = (0..=255).cycle().take(1000).collect();
+
+        let mut inj = DiskFaultInjector::new(7);
+        let mut torn = original.clone();
+        let removed = inj.corrupt_buf(DiskFault::TornWrite, &mut torn);
+        assert!(torn.len() < original.len());
+        assert_eq!(torn.len() + removed, original.len());
+        assert_eq!(torn[..], original[..torn.len()], "torn write keeps a prefix");
+
+        let mut flipped = original.clone();
+        assert_eq!(inj.corrupt_buf(DiskFault::BitFlip, &mut flipped), 0);
+        assert_eq!(flipped.len(), original.len());
+        let differing: Vec<usize> = (0..original.len())
+            .filter(|&i| flipped[i] != original[i])
+            .collect();
+        assert_eq!(differing.len(), 1);
+        let i = differing[0];
+        assert_eq!((flipped[i] ^ original[i]).count_ones(), 1, "exactly one bit");
+
+        let mut short = original.clone();
+        let lost = inj.corrupt_buf(DiskFault::ShortRead, &mut short);
+        assert!((1..=64).contains(&lost));
+        assert_eq!(short.len(), original.len() - lost);
+        assert_eq!(short[..], original[..short.len()]);
+    }
+
+    #[test]
+    fn disk_fault_edge_sizes() {
+        let mut inj = DiskFaultInjector::new(1);
+        let mut empty: Vec<u8> = Vec::new();
+        for fault in [DiskFault::TornWrite, DiskFault::BitFlip, DiskFault::ShortRead] {
+            assert_eq!(inj.corrupt_buf(fault, &mut empty), 0);
+            assert!(empty.is_empty());
+        }
+        // One-byte images: short read must still remove the only byte.
+        let mut one = vec![0xFFu8];
+        let lost = inj.corrupt_buf(DiskFault::ShortRead, &mut one);
+        assert_eq!((lost, one.len()), (1, 0));
+    }
+
+    #[test]
+    fn disk_fault_corrupts_files_on_disk() {
+        let path = std::env::temp_dir().join(format!("s85-diskfault-{}", std::process::id()));
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        let mut inj = DiskFaultInjector::new(3);
+        inj.corrupt_file(DiskFault::BitFlip, &path).unwrap();
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(after.len(), 64);
+        assert_eq!(after.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        std::fs::remove_file(&path).unwrap();
     }
 }
