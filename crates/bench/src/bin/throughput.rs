@@ -9,7 +9,12 @@
 //! * `set_assoc_sim` — an 8-way 16 KiB cache driven by the slice path;
 //! * `unified_sim` — the fully associative paper cache, purges on;
 //! * `session_unified` — the same cache through the instrumented
-//!   [`SimSession`] entry point (metrics and, with `--journal`, tracing).
+//!   [`SimSession`] entry point (metrics and, with `--journal`, tracing);
+//! * `one_pass_sweep` — the one-pass multi-configuration engine over the
+//!   paper's full size × associativity grid. Its `refs` are *effective*
+//!   references (trace length × grid cells: one traversal replaces that
+//!   many per-config simulation steps); the honest per-pass numbers ride
+//!   along as `trace_refs` / `trace_refs_per_sec`.
 //!
 //! ```text
 //! cargo run --release -p smith85-bench --bin throughput -- [quick|paper] [OUT.json]
@@ -41,6 +46,16 @@ struct KernelResult {
     refs: usize,
     best_secs: f64,
     refs_per_sec: f64,
+    grid: Option<GridInfo>,
+}
+
+/// Grid dimensions for the `one_pass_sweep` kernel, plus the raw
+/// single-traversal numbers behind its effective-refs figure.
+struct GridInfo {
+    sizes: usize,
+    ways: usize,
+    cells: usize,
+    trace_refs: usize,
 }
 
 fn time_best<F: FnMut()>(mut f: F) -> f64 {
@@ -60,6 +75,7 @@ fn kernel(name: &'static str, refs: usize, f: impl FnMut()) -> KernelResult {
         refs,
         best_secs,
         refs_per_sec: refs as f64 / best_secs.max(1e-12),
+        grid: None,
     }
 }
 
@@ -109,6 +125,28 @@ fn run_kernels(len: usize, journal: Option<&str>) -> Vec<KernelResult> {
         assert_eq!(c.stats().total_refs(), len as u64);
     }));
 
+    let grid_spec = smith85_cachesim::GridSpec::paper_grid();
+    let grid_cells = smith85_cachesim::OnePassEngine::new(&grid_spec)
+        .expect("paper grid is inside the one-pass envelope")
+        .cells()
+        .len();
+    // One traversal produces every cell, so the comparable refs/sec
+    // figure is trace length x cells — what the per-config path would
+    // have to touch for the same answer.
+    let mut one_pass = kernel("one_pass_sweep", len * grid_cells, || {
+        let mut e = smith85_cachesim::OnePassEngine::new(&grid_spec).expect("valid grid");
+        e.observe_slice(replay);
+        let grid = e.finish();
+        assert!(grid.miss_ratio(1024, 1).expect("cell in the grid") > 0.0);
+    });
+    one_pass.grid = Some(GridInfo {
+        sizes: grid_spec.sizes.len(),
+        ways: grid_spec.ways.len(),
+        cells: grid_cells,
+        trace_refs: len,
+    });
+    results.push(one_pass);
+
     let mut builder = smith85_core::session::SimSession::builder();
     if let Some(path) = journal {
         let writer = smith85_tracelog::NdjsonWriter::create(path).expect("create journal file");
@@ -129,7 +167,7 @@ fn run_kernels(len: usize, journal: Option<&str>) -> Vec<KernelResult> {
 fn render_json(mode: &str, len: usize, journaled: bool, results: &[KernelResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"smith85-throughput-v1\",\n");
+    s.push_str("  \"schema\": \"smith85-throughput-v2\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"journaled\": {journaled},\n"));
     s.push_str(&format!("  \"trace\": \"{TRACE}\",\n"));
@@ -137,12 +175,24 @@ fn render_json(mode: &str, len: usize, journaled: bool, results: &[KernelResult]
     s.push_str(&format!("  \"repeats\": {REPEATS},\n"));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let grid = r.grid.as_ref().map_or(String::new(), |g| {
+            format!(
+                ", \"grid_sizes\": {}, \"grid_ways\": {}, \"grid_cells\": {}, \
+                 \"trace_refs\": {}, \"trace_refs_per_sec\": {:.0}",
+                g.sizes,
+                g.ways,
+                g.cells,
+                g.trace_refs,
+                g.trace_refs as f64 / r.best_secs.max(1e-12),
+            )
+        });
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"refs\": {}, \"best_secs\": {:.6}, \"refs_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"refs\": {}, \"best_secs\": {:.6}, \"refs_per_sec\": {:.0}{}}}{}\n",
             r.name,
             r.refs,
             r.best_secs,
             r.refs_per_sec,
+            grid,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

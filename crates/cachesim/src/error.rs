@@ -36,6 +36,13 @@ pub enum ConfigError {
     },
     /// A purge interval of zero was requested.
     ZeroPurgeInterval,
+    /// A request the one-pass multi-configuration engine cannot serve
+    /// (e.g. a write policy that breaks the LRU inclusion property, or a
+    /// grid with no realizable cells).
+    OnePassUnsupported {
+        /// What the engine cannot do.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -54,6 +61,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "fetch size {fetch} must divide sector size {sector}")
             }
             ConfigError::ZeroPurgeInterval => write!(f, "purge interval must be nonzero"),
+            ConfigError::OnePassUnsupported { what } => {
+                write!(f, "one-pass engine cannot handle {what}")
+            }
         }
     }
 }

@@ -20,6 +20,10 @@
 //!   generalisation giving all associativities at once
 //!   ([`AssocAnalyzer`]), used for the paper's Table 1 size sweeps and
 //!   the associativity ablation;
+//! * **One-pass design-space grids** — the multi-configuration engine
+//!   producing the full sizes × associativities miss-ratio and traffic
+//!   grid, write-back stats included, in a single trace traversal
+//!   ([`OnePassEngine`], [`one_pass_grid`]);
 //! * **Write combining** — §3.3's adjacent-short-write merging for
 //!   write-through systems ([`WriteBuffer`]).
 //!
@@ -50,6 +54,7 @@ pub mod fast_hash;
 mod fenwick;
 mod full_lru;
 mod line;
+mod one_pass;
 mod sector;
 mod set_assoc;
 mod stack;
@@ -63,6 +68,7 @@ pub use config::{CacheConfig, CacheConfigBuilder, FetchPolicy, Mapping, Replacem
 pub use error::ConfigError;
 pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet, FxHasher};
 pub use line::Evicted;
+pub use one_pass::{one_pass_grid, GridCell, GridSpec, OnePassEngine, OnePassGrid};
 pub use sector::{SectorCache, SectorCacheConfig};
 pub use stack::{StackAnalyzer, StackProfile};
 pub use stats::CacheStats;

@@ -53,6 +53,18 @@ impl CacheStats {
         self.misses[kind.index()] += 1;
     }
 
+    /// Adds `n` references of one kind at once (byte accounting is the
+    /// caller's job). Used by the one-pass engine, which folds histograms
+    /// rather than counting per access.
+    pub(crate) fn add_refs(&mut self, kind: AccessKind, n: u64) {
+        self.refs[kind.index()] += n;
+    }
+
+    /// Adds `n` misses of one kind at once.
+    pub(crate) fn add_misses(&mut self, kind: AccessKind, n: u64) {
+        self.misses[kind.index()] += n;
+    }
+
     /// Total references seen.
     pub fn total_refs(&self) -> u64 {
         self.refs.iter().sum()

@@ -1,0 +1,204 @@
+//! The one-pass multi-configuration engine must be **bit-identical** to
+//! the per-configuration simulators it replaces: every `CacheStats`
+//! field of every grid cell equals a fresh [`Cache`] run of that one
+//! configuration, across mappings (direct / set-associative /
+//! fully-associative) and write policies, and the miss counts also
+//! agree with the [`StackAnalyzer`] / [`AssocAnalyzer`] stack
+//! algorithms on their shared design points.
+
+use proptest::prelude::*;
+use smith85_cachesim::{
+    one_pass_grid, AssocAnalyzer, Cache, CacheConfig, CacheStats, ConfigError, GridSpec, Mapping,
+    StackAnalyzer, WritePolicy,
+};
+use smith85_synth::catalog;
+use smith85_trace::{AccessKind, Addr, MemoryAccess};
+
+/// Runs one plain `Cache` per grid cell — the N-traversal reference.
+fn per_config_reference(trace: &[MemoryAccess], spec: &GridSpec) -> Vec<CacheStats> {
+    let engine = smith85_cachesim::OnePassEngine::new(spec).expect("valid spec");
+    engine
+        .cells()
+        .iter()
+        .map(|cell| {
+            let lines = cell.size_bytes / spec.line_size;
+            let mapping = if cell.ways == lines {
+                Mapping::FullyAssociative
+            } else if cell.ways == 1 {
+                Mapping::Direct
+            } else {
+                Mapping::SetAssociative(cell.ways)
+            };
+            let config = CacheConfig::builder(cell.size_bytes)
+                .line_size(spec.line_size)
+                .mapping(mapping)
+                .write_policy(spec.write_policy)
+                .build()
+                .expect("valid cell config");
+            let mut cache = Cache::new(config).expect("valid cache");
+            cache.run(trace);
+            *cache.stats()
+        })
+        .collect()
+}
+
+fn assert_grid_identical(trace: &[MemoryAccess], spec: &GridSpec) {
+    let grid = one_pass_grid(trace, spec).expect("valid spec");
+    let reference = per_config_reference(trace, spec);
+    for ((cell, got), want) in grid.iter().zip(&reference) {
+        assert_eq!(
+            got, want,
+            "cell {}B x {}-way diverges under {:?}",
+            cell.size_bytes, cell.ways, spec.write_policy
+        );
+    }
+}
+
+fn seeded_stream(seed: u64, len: usize) -> Vec<MemoryAccess> {
+    // Splitmix64-driven mixture of sequential ifetches, looping reads
+    // and clustered writes: enough locality to exercise hits at every
+    // grid level, enough churn to force evictions.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut pc = 0x1000u64;
+    (0..len)
+        .map(|_| {
+            let r = next();
+            match r % 10 {
+                0..=4 => {
+                    pc = if r % 64 == 0 { (next() % 0x4000) & !3 } else { pc + 4 };
+                    MemoryAccess::ifetch(Addr::new(pc), 4)
+                }
+                5..=7 => MemoryAccess::read(Addr::new((next() % 0x2000) & !3, ), 4),
+                _ => MemoryAccess::write(Addr::new((0x8000 + next() % 0x800) & !1), 2),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn paper_grid_matches_per_config_caches_on_catalog_trace() {
+    let trace = catalog::by_name("VCCOM").expect("catalog").generate(20_000);
+    let mut spec = GridSpec::paper_grid();
+    // Trim the largest sizes to keep the 54-cell reference sweep quick;
+    // the full grid is exercised by the bench and the session layer.
+    spec.sizes.truncate(9);
+    assert_grid_identical(trace.as_slice(), &spec);
+}
+
+#[test]
+fn every_write_policy_matches_on_seeded_streams() {
+    let policies = [
+        WritePolicy::CopyBack {
+            fetch_on_write: true,
+        },
+        WritePolicy::CopyBack {
+            fetch_on_write: false,
+        },
+        WritePolicy::WriteThrough { allocate: true },
+    ];
+    for (i, policy) in policies.into_iter().enumerate() {
+        let trace = seeded_stream(0x5eed + i as u64, 8_000);
+        let mut spec = GridSpec::new(vec![32, 64, 256, 1024, 4096], vec![1, 2, 4, 8]);
+        spec.write_policy = policy;
+        spec.include_fully_associative = true;
+        assert_grid_identical(&trace, &spec);
+    }
+}
+
+#[test]
+fn full_assoc_cells_match_the_stack_analyzer() {
+    let trace = seeded_stream(42, 10_000);
+    let mut spec = GridSpec::new(vec![64, 256, 1024, 4096], vec![]);
+    spec.include_fully_associative = true;
+    let grid = one_pass_grid(&trace, &spec).expect("valid spec");
+
+    let mut stack = StackAnalyzer::with_line_size(16);
+    stack.observe_slice(&trace);
+    let profile = stack.finish();
+
+    for (cell, stats) in grid.iter() {
+        assert_eq!(stats.total_misses(), profile.misses(cell.size_bytes));
+        for kind in AccessKind::ALL {
+            assert_eq!(stats.misses(kind), profile.misses_of(cell.size_bytes, kind));
+        }
+    }
+}
+
+#[test]
+fn fixed_set_column_matches_the_assoc_analyzer() {
+    let trace = seeded_stream(7, 10_000);
+    // AssocAnalyzer fixes the set count and sweeps ways; the equivalent
+    // grid column holds sets = 16 fixed: (size, ways) = (256·w, w).
+    let sets = 16;
+    let spec = GridSpec {
+        sizes: vec![256, 512, 1024, 2048],
+        ways: vec![1, 2, 4, 8],
+        line_size: 16,
+        write_policy: WritePolicy::PAPER,
+        include_fully_associative: false,
+    };
+    let grid = one_pass_grid(&trace, &spec).expect("valid spec");
+
+    let mut assoc = AssocAnalyzer::with_line_size(sets, 16);
+    assoc.observe_slice(&trace);
+    let profile = assoc.finish();
+
+    for ways in [1usize, 2, 4, 8] {
+        let size = sets * ways * 16;
+        let stats = grid.cell_stats(size, ways).expect("cell in grid");
+        assert_eq!(
+            stats.total_misses(),
+            profile.misses(ways),
+            "sets=16 ways={ways}"
+        );
+    }
+}
+
+#[test]
+fn write_through_without_allocate_is_rejected() {
+    let mut spec = GridSpec::new(vec![256], vec![2]);
+    spec.write_policy = WritePolicy::WriteThrough { allocate: false };
+    assert!(matches!(
+        one_pass_grid(&[], &spec),
+        Err(ConfigError::OnePassUnsupported { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random streams over a small address space (dense conflicts) keep
+    /// the whole grid bit-identical to per-config simulation for every
+    /// supported write policy.
+    #[test]
+    fn random_streams_stay_bit_identical(
+        seed in 0u64..1_000_000,
+        policy_pick in 0usize..3,
+        len in 200usize..2_000,
+    ) {
+        let policy = [
+            WritePolicy::CopyBack { fetch_on_write: true },
+            WritePolicy::CopyBack { fetch_on_write: false },
+            WritePolicy::WriteThrough { allocate: true },
+        ][policy_pick];
+        let trace = seeded_stream(seed, len);
+        let mut spec = GridSpec::new(vec![32, 64, 128, 512], vec![1, 2, 4]);
+        spec.write_policy = policy;
+        spec.include_fully_associative = true;
+        let grid = one_pass_grid(&trace, &spec).expect("valid spec");
+        let reference = per_config_reference(&trace, &spec);
+        for ((cell, got), want) in grid.iter().zip(&reference) {
+            prop_assert_eq!(
+                got, want,
+                "cell {}B x {}-way under {:?}", cell.size_bytes, cell.ways, policy
+            );
+        }
+    }
+}

@@ -35,7 +35,11 @@ USAGE:
       rates deterministically drop/duplicate/bit-flip references before
       simulation (robustness experiments).
   smith85 sweep (--trace NAME [--len N] | --file FILE) [--sizes a,b,c]
+          [--ways a,b,c] [--line BYTES]
       Miss ratio at every cache size in one stack-analysis pass.
+      --ways runs the one-pass grid engine instead: every requested
+      size x associativity cell — miss ratio, traffic ratio and
+      dirty-push fraction — from a single trace traversal.
   smith85 assoc (--trace NAME [--len N] | --file FILE) [--sets N] [--line BYTES]
       Miss ratio at every associativity for a fixed set count, one pass.
   smith85 target --size BYTES [--kind unified|instruction|data]
@@ -49,7 +53,7 @@ USAGE:
       prefetch, table5, clark, z80000, m68020, traffic_ratio,
       trace_length, multiprocessor, multiprogramming, calibration,
       perturbations, interface, line_size, fudge, conclusions,
-      ablations).
+      ablations, design_grid).
   smith85 suite [--out DIR] [--resume true] [--quick true] [--len N]
           [--threads N]
       Run every experiment with checkpointing: each result lands in
@@ -76,7 +80,7 @@ USAGE:
         simulate --workload NAME --size BYTES [--len N] [--seed N]
                  [--line BYTES] [--ways N|full] [--purge N] [--deadline-ms N]
         sweep    --workload NAME [--len N] [--seed N] [--sizes a,b,c]
-                 [--line BYTES] [--deadline-ms N]
+                 [--ways a,b,c] [--line BYTES] [--deadline-ms N]
         catalog | stats | metrics | ping | shutdown
       --json true prints the raw response line instead of a summary.
       --retries N retries transient failures (typed \"overloaded\"
@@ -297,21 +301,53 @@ pub(crate) fn simulate(opts: &Opts) -> Result<String, CliError> {
     }
 }
 
+fn parse_usize_list(list: &str, flag: &str) -> Result<Vec<usize>, CliError> {
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad value {s:?} in --{flag}")))
+        })
+        .collect()
+}
+
 pub(crate) fn sweep(opts: &Opts) -> Result<String, CliError> {
-    opts.expect_only(&["trace", "file", "len", "sizes", "line"])?;
+    opts.expect_only(&["trace", "file", "len", "sizes", "ways", "line"])?;
     let trace = load_workload(opts)?;
     let sizes: Vec<usize> = match opts.get("sizes") {
         None => PAPER_SIZES.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .map_err(|_| CliError::usage(format!("bad size {s:?} in --sizes")))
-            })
-            .collect::<Result<_, _>>()?,
+        Some(list) => parse_usize_list(list, "sizes")?,
     };
     let line = opts.get_parse("line", 16usize)?;
+    // --ways switches to the one-pass grid engine: every requested
+    // (size, ways) cell from a single trace traversal.
+    if let Some(list) = opts.get("ways") {
+        let ways = parse_usize_list(list, "ways")?;
+        let mut spec = smith85_cachesim::GridSpec::new(sizes, ways);
+        spec.line_size = line;
+        let grid = SimSession::default()
+            .sweep_grid(trace.as_slice(), &spec)
+            .map_err(|e| CliError::usage(format!("bad sweep grid: {e}")))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>10} {:>6} {:>6} {:>9} {:>9} {:>7}  (LRU, copy-back, {line}-byte lines; one pass)",
+            "size", "ways", "sets", "miss", "traffic", "dirty"
+        );
+        for (cell, stats) in grid.iter() {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>6} {:>6} {:>9.4} {:>9.4} {:>7.4}",
+                cell.size_bytes,
+                cell.ways,
+                cell.sets,
+                stats.miss_ratio(),
+                stats.traffic_ratio(),
+                stats.dirty_push_fraction()
+            );
+        }
+        return Ok(out);
+    }
     let profile = SimSession::default().sweep_stack(trace.as_slice(), line);
     let mut out = String::new();
     let _ = writeln!(out, "{:>10}  {:>9}  (fully associative LRU, {line}-byte lines)", "size", "miss");
@@ -484,6 +520,7 @@ pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
         "z80000" => experiments::z80000::run(&config).render(),
         "m68020" => experiments::m68020::run(&config).render(),
         "traffic_ratio" => experiments::traffic_ratio::run(&config).render(),
+        "design_grid" => experiments::design_grid::run(&config).render(),
         "trace_length" => experiments::trace_length::run(&config).render(),
         "multiprocessor" => experiments::multiprocessor::run(&config).render(),
         "calibration" => experiments::calibration_report::run(&config).render(),
@@ -688,14 +725,12 @@ fn build_request(kind: &str, opts: &Opts) -> Result<smith85_serve::Request, CliE
             seed,
             sizes: match opts.get("sizes") {
                 None => Vec::new(),
-                Some(list) => list
-                    .split(',')
-                    .map(|s| {
-                        s.trim()
-                            .parse()
-                            .map_err(|_| CliError::usage(format!("bad size {s:?} in --sizes")))
-                    })
-                    .collect::<Result<_, _>>()?,
+                Some(list) => parse_usize_list(list, "sizes")?,
+            },
+            // A ways list turns the request into a one-pass grid sweep.
+            ways: match opts.get("ways") {
+                None => Vec::new(),
+                Some(list) => parse_usize_list(list, "ways")?,
             },
             line: opts.get_parse("line", DEFAULT_LINE_BYTES)?,
             deadline_ms,
@@ -731,9 +766,24 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
         }
         Response::Sweep(r) => {
             let _ = writeln!(out, "workload {} ({} refs)", r.workload, r.len);
-            let _ = writeln!(out, "{:>10}  miss ratio", "size");
-            for point in &r.points {
-                let _ = writeln!(out, "{:>10}  {:.6}", point.size, point.miss_ratio);
+            if r.points.iter().any(|p| p.ways.is_some()) {
+                let _ = writeln!(out, "{:>10} {:>6}  miss ratio  traffic   dirty", "size", "ways");
+                for point in &r.points {
+                    let _ = writeln!(
+                        out,
+                        "{:>10} {:>6}  {:.6}  {:.6}  {:.6}",
+                        point.size,
+                        point.ways.unwrap_or(0),
+                        point.miss_ratio,
+                        point.traffic_ratio.unwrap_or(f64::NAN),
+                        point.dirty_push_fraction.unwrap_or(f64::NAN)
+                    );
+                }
+            } else {
+                let _ = writeln!(out, "{:>10}  miss ratio", "size");
+                for point in &r.points {
+                    let _ = writeln!(out, "{:>10}  {:.6}", point.size, point.miss_ratio);
+                }
             }
             let _ = writeln!(out, "queued/exec ms {} / {}", r.queue_ms, r.exec_ms);
             if !r.trace_id.is_empty() {
@@ -784,6 +834,13 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
                 s.pool.materialized_bytes as f64 / (1024.0 * 1024.0),
                 s.pool.resident_bytes as f64 / (1024.0 * 1024.0),
             );
+            if let Some(one_pass) = &s.one_pass {
+                let _ = writeln!(
+                    out,
+                    "one-pass: {} refs traversed, {} grid cells produced",
+                    one_pass.refs, one_pass.grid_cells
+                );
+            }
         }
         Response::Metrics(snapshot) => {
             let _ = writeln!(out, "counters:");

@@ -182,6 +182,24 @@ mod tests {
     }
 
     #[test]
+    fn sweep_with_ways_produces_the_grid() {
+        let out = run_str(&[
+            "sweep", "--trace", "ZGREP", "--len", "5000", "--sizes", "1024,4096", "--ways", "1,2,4",
+        ])
+        .unwrap();
+        assert!(out.contains("one pass"), "{out}");
+        assert!(out.contains("traffic"), "{out}");
+        // 2 sizes x 3 ways, all realizable, plus the header line.
+        assert_eq!(out.lines().count(), 7, "{out}");
+        // A grid nothing can realize is a usage error, not a panic.
+        let err = run_str(&[
+            "sweep", "--trace", "ZGREP", "--len", "1000", "--sizes", "64", "--ways", "8",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
     fn assoc_sweeps_way_counts() {
         let out = run_str(&["assoc", "--trace", "VCCOM", "--len", "6000", "--sets", "16"]).unwrap();
         assert!(out.contains("ways"));
@@ -254,14 +272,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let out = dir.to_str().unwrap();
         let first = run_str(&["suite", "--quick", "true", "--len", "200", "--out", out]).unwrap();
-        assert!(first.contains("21 passed, 0 failed, 0 skipped"), "{first}");
+        assert!(first.contains("22 passed, 0 failed, 0 skipped"), "{first}");
         assert!(dir.join("manifest.json").exists());
         assert!(dir.join("table1.json").exists());
         let second = run_str(&[
             "suite", "--quick", "true", "--len", "200", "--out", out, "--resume", "true",
         ])
         .unwrap();
-        assert!(second.contains("0 passed, 0 failed, 21 skipped"), "{second}");
+        assert!(second.contains("0 passed, 0 failed, 22 skipped"), "{second}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

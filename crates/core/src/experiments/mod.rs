@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod calibration_report;
 pub mod clark_validation;
 pub mod conclusions;
+pub mod design_grid;
 pub mod fig2;
 pub mod fig3_fig4;
 pub mod fudge_validation;

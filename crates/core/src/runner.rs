@@ -55,6 +55,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         entry!("z80000", z80000),
         entry!("m68020", m68020),
         entry!("traffic_ratio", traffic_ratio),
+        entry!("design_grid", design_grid),
         entry!("trace_length", trace_length),
         entry!("multiprocessor", multiprocessor),
         entry!("calibration", calibration_report),
@@ -454,7 +455,7 @@ mod tests {
     #[test]
     fn registry_covers_every_experiment() {
         let names: Vec<_> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();

@@ -39,8 +39,8 @@ use crate::runner::{self, RunnerOptions, SuiteReport};
 use crate::sweep;
 use crate::trace_pool::TracePool;
 use smith85_cachesim::{
-    CacheConfig, CacheStats, ConfigError as CacheConfigError, Simulator, SplitCache, StackAnalyzer,
-    StackProfile, UnifiedCache,
+    CacheConfig, CacheStats, ConfigError as CacheConfigError, GridSpec, OnePassEngine, OnePassGrid,
+    Simulator, SplitCache, StackAnalyzer, StackProfile, UnifiedCache,
 };
 use smith85_obs::{Registry, MS_BOUNDS, REFS_PER_SEC_BOUNDS};
 use smith85_store::Store;
@@ -310,6 +310,8 @@ impl SimSessionBuilder {
             "sweep_panics_total",
             "cachesim_refs_total",
             "cachesim_batches_total",
+            "one_pass_refs_total",
+            "one_pass_grid_cells",
         ] {
             registry.counter(counter);
         }
@@ -524,6 +526,87 @@ impl SimSession {
         )
     }
 
+    /// One pass of the multi-configuration engine over `replay`: the
+    /// complete miss-ratio / traffic grid for every size ×
+    /// associativity in `spec`, in a single trace traversal
+    /// (bit-identical to running one [`UnifiedCache`] per cell).
+    ///
+    /// Emits a `one_pass_sweep` span and bumps the
+    /// `one_pass_refs_total` / `one_pass_grid_cells` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`CacheConfigError`] for a grid outside the
+    /// one-pass envelope (see `smith85_cachesim::one_pass`).
+    pub fn sweep_grid(
+        &self,
+        replay: &[MemoryAccess],
+        spec: &GridSpec,
+    ) -> Result<OnePassGrid, CacheConfigError> {
+        self.traced(
+            "one_pass_sweep",
+            || {
+                vec![
+                    ("refs".to_string(), FieldValue::U64(replay.len() as u64)),
+                    (
+                        "sizes".to_string(),
+                        FieldValue::U64(spec.sizes.len() as u64),
+                    ),
+                    ("ways".to_string(), FieldValue::U64(spec.ways.len() as u64)),
+                ]
+            },
+            || {
+                let mut engine = OnePassEngine::new(spec)?;
+                let cells = engine.cells().len() as u64;
+                self.timed_batch(replay.len(), || engine.observe_slice(replay));
+                self.probe.count("one_pass_refs_total", replay.len() as u64);
+                self.probe.count("one_pass_grid_cells", cells);
+                Ok(engine.finish())
+            },
+        )
+    }
+
+    /// One-pass grid sweep over a pooled workload prefix (the serve
+    /// grid-`sweep` kernel), memoized per (workload identity, length,
+    /// grid spec): repeated identical sweeps replay the whole grid from
+    /// the pool without touching the trace again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`CacheConfigError`] for a grid outside the
+    /// one-pass envelope.
+    pub fn sweep_grid_workload(
+        &self,
+        workload: &Workload,
+        len: usize,
+        spec: &GridSpec,
+    ) -> Result<OnePassGrid, CacheConfigError> {
+        // Validate eagerly so errors are never memoized.
+        OnePassEngine::new(spec)?;
+        let key = format!(
+            "one_pass_grid/{}/{}/sizes={:?}/ways={:?}/line={}/policy={:?}/full={}",
+            crate::trace_pool::workload_key(workload),
+            len,
+            spec.sizes,
+            spec.ways,
+            spec.line_size,
+            spec.write_policy,
+            spec.include_fully_associative,
+        );
+        let grid = self.config.pool.result(&key, || {
+            self.traced(
+                "sweep_grid_workload",
+                || workload_fields(workload, len),
+                || {
+                    let trace = self.config.pool.workload(workload, len);
+                    self.sweep_grid(&trace.as_slice()[..len], spec)
+                        .expect("grid spec validated above")
+                },
+            )
+        });
+        Ok((*grid).clone())
+    }
+
     /// Runs the full experiment suite under this session's config; see
     /// [`runner::run_suite`].
     ///
@@ -639,6 +722,63 @@ mod tests {
             .find(|h| h.name == "cachesim_batch_ms")
             .unwrap();
         assert_eq!(batch.count, 2);
+    }
+
+    #[test]
+    fn sweep_grid_matches_per_cell_simulation_and_memoizes() {
+        let session = SimSession::builder().quick().build().unwrap();
+        const LEN: usize = 2_000;
+        let spec = GridSpec::new(vec![256, 1024, 4096], vec![1, 2, 4]);
+        let grid = session.sweep_grid_workload(&vccom(), LEN, &spec).unwrap();
+        assert_eq!(grid.cells().len(), 9);
+
+        // Bit-identical to the per-config session kernel.
+        let trace = session.pool().workload(&vccom(), LEN);
+        for (cell, stats) in grid.iter() {
+            let config = CacheConfig::builder(cell.size_bytes)
+                .line_size(16)
+                .mapping(smith85_cachesim::Mapping::SetAssociative(cell.ways))
+                .build()
+                .unwrap();
+            let direct = session
+                .simulate_unified(&trace.as_slice()[..LEN], config)
+                .unwrap();
+            assert_eq!(stats, &direct, "cell {}B x {}-way", cell.size_bytes, cell.ways);
+        }
+
+        // A repeated identical sweep answers from the pool memo: the
+        // one-pass counters do not move again.
+        let counter = |name: &str| {
+            session
+                .registry()
+                .snapshot()
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        assert_eq!(counter("one_pass_refs_total"), LEN as u64);
+        assert_eq!(counter("one_pass_grid_cells"), 9);
+        let again = session.sweep_grid_workload(&vccom(), LEN, &spec).unwrap();
+        assert_eq!(again.stats(), grid.stats());
+        assert_eq!(counter("one_pass_refs_total"), LEN as u64);
+        assert_eq!(counter("one_pass_grid_cells"), 9);
+
+        // A different spec is a different memo entry.
+        let other = GridSpec::new(vec![256, 1024, 4096], vec![1, 2]);
+        let smaller = session.sweep_grid_workload(&vccom(), LEN, &other).unwrap();
+        assert_eq!(smaller.cells().len(), 6);
+        assert_eq!(counter("one_pass_refs_total"), 2 * LEN as u64);
+    }
+
+    #[test]
+    fn sweep_grid_rejects_unsupported_specs_without_memoizing() {
+        let session = SimSession::builder().quick().build().unwrap();
+        let mut spec = GridSpec::new(vec![256], vec![1]);
+        spec.write_policy = smith85_cachesim::WritePolicy::WriteThrough { allocate: false };
+        assert!(session.sweep_grid_workload(&vccom(), 500, &spec).is_err());
+        assert!(session.sweep_grid(&[], &spec).is_err());
     }
 
     #[test]

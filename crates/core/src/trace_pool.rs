@@ -412,7 +412,10 @@ fn spill_key(pool_key: &str) -> String {
     )
 }
 
-fn workload_key(workload: &Workload) -> String {
+/// The pool's canonical identity string for a workload (every field the
+/// generated stream depends on, floats as bit patterns). Also used by
+/// the session layer to key whole-grid sweep memoization.
+pub(crate) fn workload_key(workload: &Workload) -> String {
     match workload {
         Workload::Single(p) => profile_key(p),
         Workload::Mix { members, .. } => {

@@ -13,7 +13,7 @@ use crate::protocol::{
     CatalogEntry, CatalogResult, ErrorBody, ErrorCode, Response, SimulateResult, SimulateSpec,
     SweepPoint, SweepResult, SweepSpec,
 };
-use smith85_cachesim::{CacheConfig, Mapping, PAPER_SIZES};
+use smith85_cachesim::{CacheConfig, GridSpec, Mapping, PAPER_SIZES};
 use smith85_core::experiments::Workload;
 use smith85_core::session::SimSession;
 use smith85_synth::catalog;
@@ -84,11 +84,14 @@ fn simulate_result_key(spec: &SimulateSpec) -> String {
 }
 
 /// Canonical store key for a `sweep` result (keyed on the *effective*
-/// size list, after the paper-sizes default is applied).
+/// size list, after the paper-sizes default is applied). Grid sweeps
+/// (non-empty `ways`) key the whole grid as one record, so a warm
+/// restart answers a full sweep with a single store read.
 fn sweep_result_key(spec: &SweepSpec, sizes: &[usize]) -> String {
     let sizes: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+    let ways: Vec<String> = spec.ways.iter().map(|w| w.to_string()).collect();
     format!(
-        "v{}/c{}/result/sweep/{}/seed={:?}/len={}/line={}/sizes={}",
+        "v{}/c{}/result/sweep/{}/seed={:?}/len={}/line={}/sizes={}/ways={}",
         smith85_store::KEY_SCHEMA_VERSION,
         catalog::CATALOG_VERSION,
         spec.workload,
@@ -96,6 +99,7 @@ fn sweep_result_key(spec: &SweepSpec, sizes: &[usize]) -> String {
         spec.len,
         spec.line,
         sizes.join(","),
+        ways.join(","),
     )
 }
 
@@ -179,12 +183,17 @@ pub fn run_simulate(
     Ok(result)
 }
 
-/// Runs one `sweep` job (one stack-analysis pass, all sizes at once).
-/// Timing fields are left zero; the worker fills them in.
+/// Runs one `sweep` job. An empty `ways` list is the legacy sweep: one
+/// stack-analysis pass, fully-associative miss ratio at every size. A
+/// non-empty `ways` list runs the one-pass multi-configuration engine —
+/// every realizable (size, ways) cell from a single trace traversal,
+/// with traffic ratio and dirty-push fraction on every point. Timing
+/// fields are left zero; the worker fills them in.
 ///
 /// # Errors
 ///
-/// Returns a typed error for unknown workloads or a bad line size.
+/// Returns a typed error for unknown workloads, a bad line size, or a
+/// grid the one-pass engine rejects.
 pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, ErrorBody> {
     check_len(spec.len)?;
     if spec.line == 0 || !spec.line.is_power_of_two() {
@@ -199,6 +208,17 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
     } else {
         &spec.sizes
     };
+    // Validate grid specs before the store lookup so a bad request can
+    // never be served from (or written to) the result cache.
+    let grid_spec = if spec.ways.is_empty() {
+        None
+    } else {
+        let mut grid = GridSpec::new(sizes.to_vec(), spec.ways.clone());
+        grid.line_size = spec.line;
+        smith85_cachesim::OnePassEngine::new(&grid)
+            .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid sweep grid: {e}")))?;
+        Some(grid)
+    };
     let cache_key = session.store().map(|_| sweep_result_key(spec, sizes));
     if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
         if let Some(json) = store.get_json(key) {
@@ -207,17 +227,41 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
             }
         }
     }
-    let profile = session.sweep_workload(&workload, spec.len, spec.line);
+    let points = match &grid_spec {
+        None => {
+            let profile = session.sweep_workload(&workload, spec.len, spec.line);
+            sizes
+                .iter()
+                .map(|&size| SweepPoint {
+                    size,
+                    miss_ratio: profile.miss_ratio(size),
+                    ways: None,
+                    traffic_ratio: None,
+                    dirty_push_fraction: None,
+                })
+                .collect()
+        }
+        Some(grid_spec) => {
+            let grid = session
+                .sweep_grid_workload(&workload, spec.len, grid_spec)
+                .map_err(|e| {
+                    ErrorBody::new(ErrorCode::BadRequest, format!("invalid sweep grid: {e}"))
+                })?;
+            grid.iter()
+                .map(|(cell, stats)| SweepPoint {
+                    size: cell.size_bytes,
+                    miss_ratio: stats.miss_ratio(),
+                    ways: Some(cell.ways),
+                    traffic_ratio: Some(stats.traffic_ratio()),
+                    dirty_push_fraction: Some(stats.dirty_push_fraction()),
+                })
+                .collect()
+        }
+    };
     let result = SweepResult {
         workload: spec.workload.clone(),
         len: spec.len,
-        points: sizes
-            .iter()
-            .map(|&size| SweepPoint {
-                size,
-                miss_ratio: profile.miss_ratio(size),
-            })
-            .collect(),
+        points,
         queue_ms: 0,
         exec_ms: 0,
         trace_id: String::new(),
@@ -347,6 +391,7 @@ mod tests {
             len: 5_000,
             seed: None,
             sizes: Vec::new(),
+            ways: Vec::new(),
             line: 16,
             deadline_ms: None,
         };
@@ -368,6 +413,77 @@ mod tests {
                 point.size
             );
         }
+    }
+
+    #[test]
+    fn grid_sweep_matches_per_config_simulation() {
+        let session = session();
+        let spec = SweepSpec {
+            workload: "VCCOM".to_string(),
+            len: 5_000,
+            seed: None,
+            sizes: vec![1_024, 4_096],
+            ways: vec![1, 2, 4],
+            line: 16,
+            deadline_ms: None,
+        };
+        let served = run_sweep(&session, &spec).unwrap();
+        assert_eq!(served.points.len(), 6, "2 sizes x 3 ways, all realizable");
+        let profile = catalog::by_name("VCCOM").unwrap().profile().clone();
+        let trace = profile.generate(5_000);
+        for point in &served.points {
+            let ways = point.ways.expect("grid points carry ways");
+            let mapping = if ways == 1 { Mapping::Direct } else { Mapping::SetAssociative(ways) };
+            let config = CacheConfig::builder(point.size)
+                .line_size(16)
+                .mapping(mapping)
+                .build()
+                .unwrap();
+            let mut cache = UnifiedCache::new(config).unwrap();
+            cache.run_slice(trace.as_slice());
+            let direct = cache.stats();
+            assert_eq!(
+                point.miss_ratio.to_bits(),
+                direct.miss_ratio().to_bits(),
+                "{} B {}-way",
+                point.size,
+                ways
+            );
+            assert_eq!(
+                point.traffic_ratio.unwrap().to_bits(),
+                direct.traffic_ratio().to_bits()
+            );
+            assert_eq!(
+                point.dirty_push_fraction.unwrap().to_bits(),
+                direct.dirty_push_fraction().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_sweep_rejects_bad_grids_with_typed_errors() {
+        let session = session();
+        let mut spec = SweepSpec {
+            workload: "VCCOM".to_string(),
+            len: 1_000,
+            seed: None,
+            sizes: vec![64],
+            ways: vec![3],
+            line: 16,
+            deadline_ms: None,
+        };
+        // Non-power-of-two associativity.
+        let err = run_sweep(&session, &spec).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // Every cell unrealizable: 64 B / 16 B lines = 4 lines < 8 ways.
+        spec.ways = vec![8];
+        let err = run_sweep(&session, &spec).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(
+            session.pool().stats().entries,
+            0,
+            "invalid grid requests must not pool traces"
+        );
     }
 
     #[test]

@@ -99,6 +99,11 @@ pub struct SweepSpec {
     pub seed: Option<u64>,
     /// Cache sizes evaluated; empty means the paper's size grid.
     pub sizes: Vec<usize>,
+    /// Associativities crossed with every size. Empty keeps the
+    /// legacy fully-associative stack-analysis sweep; non-empty runs
+    /// the one-pass multi-configuration engine and the result carries
+    /// one point per realizable (size, ways) cell.
+    pub ways: Vec<usize>,
     /// Line size in bytes.
     pub line: usize,
     /// Per-request deadline, measured from admission.
@@ -162,8 +167,16 @@ pub struct SimulateResult {
 pub struct SweepPoint {
     /// Cache capacity in bytes.
     pub size: usize,
-    /// Fully-associative LRU miss ratio at that capacity.
+    /// Miss ratio at that capacity (fully-associative LRU for legacy
+    /// sweeps; the cell's set-associative ratio for grid sweeps).
     pub miss_ratio: f64,
+    /// Associativity of a grid-sweep cell; `None` on legacy
+    /// fully-associative points (and from pre-grid servers).
+    pub ways: Option<usize>,
+    /// Bus traffic divided by demanded bytes; grid sweeps only.
+    pub traffic_ratio: Option<f64>,
+    /// Fraction of misses that pushed a dirty line; grid sweeps only.
+    pub dirty_push_fraction: Option<f64>,
 }
 
 /// A sweep curve.
@@ -244,6 +257,17 @@ pub struct StoreCounters {
     pub gc_evictions: u64,
 }
 
+/// One-pass grid-sweep counters inside a `stats` response. Absent from
+/// pre-grid servers — the decoder treats a missing object as `None`,
+/// keeping old and new clients interoperable in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnePassCounters {
+    /// Trace references traversed by the one-pass engine.
+    pub refs: u64,
+    /// Grid cells (size × ways configurations) those passes produced.
+    pub grid_cells: u64,
+}
+
 /// The `stats` response payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsResult {
@@ -277,6 +301,8 @@ pub struct StatsResult {
     pub pool: PoolCounters,
     /// Persistent-store counters; `None` when no store is configured.
     pub store: Option<StoreCounters>,
+    /// One-pass grid-sweep counters; `None` from pre-grid servers.
+    pub one_pass: Option<OnePassCounters>,
 }
 
 /// Stable machine-readable failure codes.
@@ -399,6 +425,12 @@ impl Request {
                     fields.push((
                         "sizes",
                         Json::Arr(spec.sizes.iter().map(|&s| Json::Uint(s as u64)).collect()),
+                    ));
+                }
+                if !spec.ways.is_empty() {
+                    fields.push((
+                        "ways",
+                        Json::Arr(spec.ways.iter().map(|&w| Json::Uint(w as u64)).collect()),
                     ));
                 }
                 if let Some(seed) = spec.seed {
@@ -544,31 +576,36 @@ impl SimulateSpec {
     }
 }
 
+/// An optional array of non-negative integers, empty when absent.
+fn field_usize_array(value: &Json, key: &str) -> Result<Vec<usize>, ErrorBody> {
+    match value.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| {
+                ErrorBody::new(ErrorCode::BadRequest, format!("\"{key}\" must be an array"))
+            })?
+            .iter()
+            .map(|item| {
+                item.as_usize().ok_or_else(|| {
+                    ErrorBody::new(
+                        ErrorCode::BadRequest,
+                        format!("\"{key}\" entries must be non-negative integers"),
+                    )
+                })
+            })
+            .collect(),
+    }
+}
+
 impl SweepSpec {
     fn from_json(value: &Json) -> Result<SweepSpec, ErrorBody> {
-        let sizes = match value.get("sizes") {
-            None => Vec::new(),
-            Some(v) => v
-                .as_arr()
-                .ok_or_else(|| {
-                    ErrorBody::new(ErrorCode::BadRequest, "\"sizes\" must be an array")
-                })?
-                .iter()
-                .map(|item| {
-                    item.as_usize().ok_or_else(|| {
-                        ErrorBody::new(
-                            ErrorCode::BadRequest,
-                            "\"sizes\" entries must be non-negative integers",
-                        )
-                    })
-                })
-                .collect::<Result<_, _>>()?,
-        };
         Ok(SweepSpec {
             workload: field_workload(value)?,
             len: field_usize(value, "len", DEFAULT_TRACE_LEN)?,
             seed: field_opt_u64(value, "seed")?,
-            sizes,
+            sizes: field_usize_array(value, "sizes")?,
+            ways: field_usize_array(value, "ways")?,
             line: field_usize(value, "line", DEFAULT_LINE_BYTES)?,
             deadline_ms: field_opt_u64(value, "deadline_ms")?,
         })
@@ -604,10 +641,20 @@ impl Response {
                         r.points
                             .iter()
                             .map(|p| {
-                                json::obj(vec![
+                                let mut fields = vec![
                                     ("size", Json::Uint(p.size as u64)),
                                     ("miss_ratio", Json::Num(p.miss_ratio)),
-                                ])
+                                ];
+                                if let Some(w) = p.ways {
+                                    fields.push(("ways", Json::Uint(w as u64)));
+                                }
+                                if let Some(t) = p.traffic_ratio {
+                                    fields.push(("traffic_ratio", Json::Num(t)));
+                                }
+                                if let Some(d) = p.dirty_push_fraction {
+                                    fields.push(("dirty_push_fraction", Json::Num(d)));
+                                }
+                                json::obj(fields)
                             })
                             .collect(),
                     ),
@@ -692,6 +739,15 @@ impl Response {
                         ("writes", Json::Uint(s.writes)),
                         ("corrupt_quarantined", Json::Uint(s.corrupt_quarantined)),
                         ("gc_evictions", Json::Uint(s.gc_evictions)),
+                    ]),
+                )
+            }))
+            .chain(r.one_pass.as_ref().map(|o| {
+                (
+                    "one_pass",
+                    json::obj(vec![
+                        ("refs", Json::Uint(o.refs)),
+                        ("grid_cells", Json::Uint(o.grid_cells)),
                     ]),
                 )
             }))
@@ -827,6 +883,13 @@ impl Response {
                         Ok(SweepPoint {
                             size: need_u64(p, "size")? as usize,
                             miss_ratio: need_f64(p, "miss_ratio")?,
+                            // Optional: absent from legacy points and
+                            // pre-grid servers.
+                            ways: p.get("ways").and_then(Json::as_u64).map(|w| w as usize),
+                            traffic_ratio: p.get("traffic_ratio").and_then(Json::as_f64),
+                            dirty_push_fraction: p
+                                .get("dirty_push_fraction")
+                                .and_then(Json::as_f64),
                         })
                     })
                     .collect::<Result<_, String>>()?;
@@ -900,6 +963,14 @@ impl Response {
                             writes: need_u64(store, "writes")?,
                             corrupt_quarantined: need_u64(store, "corrupt_quarantined")?,
                             gc_evictions: need_u64(store, "gc_evictions")?,
+                        }),
+                        None => None,
+                    },
+                    // Optional: absent from pre-grid servers.
+                    one_pass: match value.get("one_pass") {
+                        Some(one_pass) => Some(OnePassCounters {
+                            refs: need_u64(one_pass, "refs")?,
+                            grid_cells: need_u64(one_pass, "grid_cells")?,
                         }),
                         None => None,
                     },
@@ -1034,6 +1105,7 @@ mod tests {
             len: 5_000,
             seed: Some(7),
             sizes: vec![256, 1024, 65_536],
+            ways: Vec::new(),
             line: 16,
             deadline_ms: Some(100),
         }));
@@ -1042,7 +1114,18 @@ mod tests {
             len: DEFAULT_TRACE_LEN,
             seed: None,
             sizes: Vec::new(),
+            ways: Vec::new(),
             line: DEFAULT_LINE_BYTES,
+            deadline_ms: None,
+        }));
+        // A grid sweep: ways crossed with sizes.
+        request_round_trip(Request::Sweep(SweepSpec {
+            workload: "VCCOM".into(),
+            len: 50_000,
+            seed: None,
+            sizes: vec![1024, 16_384],
+            ways: vec![1, 2, 4, 8],
+            line: 16,
             deadline_ms: None,
         }));
     }
@@ -1072,10 +1155,24 @@ mod tests {
                 SweepPoint {
                     size: 256,
                     miss_ratio: 0.25,
+                    ways: None,
+                    traffic_ratio: None,
+                    dirty_push_fraction: None,
                 },
                 SweepPoint {
                     size: 65_536,
                     miss_ratio: 0.001_953_125,
+                    ways: None,
+                    traffic_ratio: None,
+                    dirty_push_fraction: None,
+                },
+                // A grid-sweep cell with the extended fields.
+                SweepPoint {
+                    size: 65_536,
+                    miss_ratio: 0.001_220_703_125,
+                    ways: Some(4),
+                    traffic_ratio: Some(0.312_5),
+                    dirty_push_fraction: Some(1.0 / 3.0),
                 },
             ],
             queue_ms: 0,
@@ -1113,6 +1210,7 @@ mod tests {
                 resident_bytes: 1 << 22,
             },
             store: None,
+            one_pass: None,
         }));
         // And again with store counters attached (the `--store` shape).
         response_round_trip(Response::Stats(StatsResult {
@@ -1144,6 +1242,10 @@ mod tests {
                 writes: 3,
                 corrupt_quarantined: 1,
                 gc_evictions: 4,
+            }),
+            one_pass: Some(OnePassCounters {
+                refs: 250_000,
+                grid_cells: 54,
             }),
         }));
         for code in [

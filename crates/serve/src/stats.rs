@@ -4,7 +4,7 @@
 //! read for observability, not for synchronization, so the cheapest
 //! ordering is the right one.
 
-use crate::protocol::{PoolCounters, StatsResult, StoreCounters};
+use crate::protocol::{OnePassCounters, PoolCounters, StatsResult, StoreCounters};
 use smith85_core::trace_pool::TracePool;
 use smith85_store::Store;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,12 +32,21 @@ pub struct ServerStats {
     pub busy_ms_simulate: AtomicU64,
     /// Worker milliseconds spent executing `sweep` jobs.
     pub busy_ms_sweep: AtomicU64,
+    /// Trace references traversed by the one-pass grid engine.
+    pub one_pass_refs: AtomicU64,
+    /// Grid cells produced by one-pass sweeps.
+    pub one_pass_grid_cells: AtomicU64,
 }
 
 impl ServerStats {
     /// Adds one to a counter.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a tally counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds `ms` to a busy-time counter.
@@ -90,6 +99,10 @@ impl ServerStats {
                     gc_evictions: s.gc_evictions,
                 }
             }),
+            one_pass: Some(OnePassCounters {
+                refs: load(&self.one_pass_refs),
+                grid_cells: load(&self.one_pass_grid_cells),
+            }),
         }
     }
 }
@@ -105,6 +118,8 @@ mod tests {
         ServerStats::bump(&stats.simulate_requests);
         ServerStats::bump(&stats.rejected_overload);
         ServerStats::add_ms(&stats.busy_ms_simulate, 37);
+        ServerStats::add(&stats.one_pass_refs, 5_000);
+        ServerStats::add(&stats.one_pass_grid_cells, 54);
         let pool = TracePool::new();
         let snap = stats.snapshot(3, 9, 4, &pool, None);
         assert_eq!(snap.simulate_requests, 2);
@@ -114,5 +129,8 @@ mod tests {
         assert_eq!(snap.queue_high_water, 9);
         assert_eq!(snap.workers, 4);
         assert_eq!(snap.pool.entries, 0);
+        let one_pass = snap.one_pass.expect("snapshot always carries one_pass");
+        assert_eq!(one_pass.refs, 5_000);
+        assert_eq!(one_pass.grid_cells, 54);
     }
 }

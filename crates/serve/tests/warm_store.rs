@@ -9,6 +9,7 @@
 use smith85_core::session::SimSession;
 use smith85_serve::{
     CacheSpec, Client, Request, Response, ServeOptions, Server, SimulateSpec, SimulateResult,
+    SweepResult, SweepSpec,
 };
 use std::path::{Path, PathBuf};
 
@@ -114,6 +115,81 @@ fn restarted_server_is_bit_identical_with_zero_new_materializations() {
     );
     let store = s.store.expect("store counters in stats");
     assert!(store.hits >= 1, "the answer must have come from the store");
+    server.stop().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn grid_sweep_request() -> Request {
+    Request::Sweep(SweepSpec {
+        workload: "VCCOM".to_string(),
+        len: 3_000,
+        seed: None,
+        sizes: vec![1_024, 4_096, 16_384],
+        ways: vec![1, 2, 4, 8],
+        line: 16,
+        deadline_ms: None,
+    })
+}
+
+fn grid_sweep(addr: &str) -> SweepResult {
+    match call(addr, &grid_sweep_request()) {
+        Response::Sweep(r) => r,
+        other => panic!("expected sweep result, got {}", other.encode()),
+    }
+}
+
+/// The deterministic payload of a grid sweep — every cell's identity
+/// and exact ratios, without timing or the trace id.
+fn grid_fingerprint(r: &SweepResult) -> Vec<(usize, Option<usize>, u64, u64, u64)> {
+    r.points
+        .iter()
+        .map(|p| {
+            (
+                p.size,
+                p.ways,
+                p.miss_ratio.to_bits(),
+                p.traffic_ratio.unwrap().to_bits(),
+                p.dirty_push_fraction.unwrap().to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn restarted_server_answers_a_full_grid_sweep_from_the_store() {
+    let dir = tmp_root("gridsweep");
+
+    // Cold server: one trace traversal computes the whole 12-cell grid
+    // and persists it as a single store record.
+    let cold = {
+        let server = spawn_with_store(&dir);
+        let addr = server.addr().to_string();
+        let result = grid_sweep(&addr);
+        assert_eq!(result.points.len(), 12, "3 sizes x 4 ways, all realizable");
+        let s = stats(&addr);
+        assert_eq!(s.pool.misses, 1, "cold grid sweep materializes once");
+        assert!(s.store.expect("store counters").writes >= 1);
+        let one_pass = s.one_pass.expect("one_pass counters in stats");
+        assert_eq!(one_pass.refs, 3_000);
+        assert_eq!(one_pass.grid_cells, 12);
+        server.stop().unwrap();
+        result
+    };
+
+    // Warm server over the same directory: the full grid comes back
+    // bit-identically from one store read — no trace is ever generated.
+    let server = spawn_with_store(&dir);
+    let addr = server.addr().to_string();
+    let warm = grid_sweep(&addr);
+    assert_eq!(
+        grid_fingerprint(&warm),
+        grid_fingerprint(&cold),
+        "warm grid sweep must be bit-identical"
+    );
+    let s = stats(&addr);
+    assert_eq!(s.pool.misses, 0, "warm grid sweep must not materialize any trace");
+    assert_eq!(s.pool.entries, 0, "the stored grid answers before the pool");
+    assert!(s.store.expect("store counters").hits >= 1);
     server.stop().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }

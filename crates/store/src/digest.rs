@@ -20,7 +20,11 @@
 /// Version prefix for every store key. Bump when the canonical key
 /// composition changes (new fields, different float rendering, …) so
 /// stale entries from an older scheme simply miss instead of aliasing.
-pub const KEY_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 keyed sweeps on sizes only; v2 adds the grid `ways`
+/// component (one-pass multi-configuration sweeps), so v1 sweep
+/// records miss cleanly instead of aliasing a grid result.
+pub const KEY_SCHEMA_VERSION: u32 = 2;
 
 /// The FxHash multiplier (64-bit variant).
 const FX_K: u64 = 0x517c_c1b7_2722_0a95;
