@@ -32,5 +32,6 @@ fn main() {
     println!("{}", perturbations::run(&config).render());
     println!("{}", interface_effects::run(&config).render());
     println!("{}", ablations::run(&config).render());
+    println!("{}", family_conclusions::run(&config).render());
     println!("{}", conclusions::run(&config).render());
 }

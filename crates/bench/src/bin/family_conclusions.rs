@@ -1,0 +1,10 @@
+//! Re-tests the paper's workload-dominance thesis on the storage-I/O and
+//! network-address families under the full replacement-policy matrix.
+
+fn main() {
+    let config = smith85_bench::config_from_args();
+    println!(
+        "{}",
+        smith85_core::experiments::family_conclusions::run(&config).render()
+    );
+}

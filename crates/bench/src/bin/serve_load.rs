@@ -94,6 +94,7 @@ fn drive_connection(
                 ways: None,
                 purge: None,
             },
+            policy: None,
             deadline_ms: None,
         });
         let start = Instant::now();

@@ -14,7 +14,10 @@
 //!   paper's full size × associativity grid. Its `refs` are *effective*
 //!   references (trace length × grid cells: one traversal replaces that
 //!   many per-config simulation steps); the honest per-pass numbers ride
-//!   along as `trace_refs` / `trace_refs_per_sec`.
+//!   along as `trace_refs` / `trace_refs_per_sec`;
+//! * `fifo_random_policy` — the replacement-policy matrix's non-LRU hot
+//!   path: the same 8-way cache under FIFO and then seeded-random
+//!   replacement (`refs` counts both passes).
 //!
 //! ```text
 //! cargo run --release -p smith85-bench --bin throughput -- [quick|paper] [OUT.json]
@@ -115,6 +118,21 @@ fn run_kernels(len: usize, journal: Option<&str>) -> Vec<KernelResult> {
         c.run(replay);
         assert_eq!(c.stats().total_refs(), len as u64);
     }));
+    results.push(kernel("fifo_random_policy", 2 * len, || {
+        for policy in [
+            smith85_cachesim::Replacement::Fifo,
+            smith85_cachesim::Replacement::Random { seed: 85 },
+        ] {
+            let cfg = CacheConfig::builder(16 * 1024)
+                .mapping(smith85_cachesim::Mapping::SetAssociative(8))
+                .replacement(policy)
+                .build()
+                .expect("valid configuration");
+            let mut c = smith85_cachesim::Cache::new(cfg).expect("valid config");
+            c.run(replay);
+            assert_eq!(c.stats().total_refs(), len as u64);
+        }
+    }));
     results.push(kernel("unified_sim", len, || {
         let cfg = CacheConfig::builder(16 * 1024)
             .purge_interval(Some(smith85_trace::PAPER_PURGE_INTERVAL))
@@ -167,7 +185,8 @@ fn run_kernels(len: usize, journal: Option<&str>) -> Vec<KernelResult> {
 fn render_json(mode: &str, len: usize, journaled: bool, results: &[KernelResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"smith85-throughput-v2\",\n");
+    // v3 adds the fifo_random_policy kernel; every v2 field is kept.
+    s.push_str("  \"schema\": \"smith85-throughput-v3\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"journaled\": {journaled},\n"));
     s.push_str(&format!("  \"trace\": \"{TRACE}\",\n"));

@@ -55,6 +55,42 @@ pub enum Replacement {
     TreePlru,
 }
 
+impl Replacement {
+    /// The default seed for `random` when a spelling carries none; fixed
+    /// so unseeded requests are still deterministic and cacheable.
+    pub const DEFAULT_RANDOM_SEED: u64 = 85;
+
+    /// Parses the canonical policy spellings shared by the CLI and the
+    /// serve protocol: `lru`, `fifo`, `random`, `random:<seed>`, `plru`
+    /// (case-insensitive). `None` for anything else.
+    pub fn parse(text: &str) -> Option<Replacement> {
+        let lower = text.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "lru" => Replacement::Lru,
+            "fifo" => Replacement::Fifo,
+            "random" => Replacement::Random {
+                seed: Self::DEFAULT_RANDOM_SEED,
+            },
+            "plru" | "tree-plru" => Replacement::TreePlru,
+            _ => {
+                let seed = lower.strip_prefix("random:")?.parse().ok()?;
+                Replacement::Random { seed }
+            }
+        })
+    }
+
+    /// A canonical spelling that [`parse`](Self::parse) inverts; stable,
+    /// so it is safe inside persistent-store keys.
+    pub fn key_label(&self) -> String {
+        match self {
+            Replacement::Lru => "lru".to_string(),
+            Replacement::Fifo => "fifo".to_string(),
+            Replacement::Random { seed } => format!("random:{seed}"),
+            Replacement::TreePlru => "plru".to_string(),
+        }
+    }
+}
+
 impl fmt::Display for Replacement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -443,5 +479,29 @@ mod tests {
         assert!(s.contains("2048B"));
         assert!(s.contains("fully-associative"));
         assert!(s.contains("purge every 20000"));
+    }
+
+    #[test]
+    fn replacement_spellings_parse_and_round_trip() {
+        for policy in [
+            Replacement::Lru,
+            Replacement::Fifo,
+            Replacement::Random { seed: 85 },
+            Replacement::Random { seed: 12_345 },
+            Replacement::TreePlru,
+        ] {
+            assert_eq!(Replacement::parse(&policy.key_label()), Some(policy));
+        }
+        assert_eq!(Replacement::parse("LRU"), Some(Replacement::Lru));
+        assert_eq!(
+            Replacement::parse("random"),
+            Some(Replacement::Random {
+                seed: Replacement::DEFAULT_RANDOM_SEED
+            })
+        );
+        assert_eq!(Replacement::parse("tree-plru"), Some(Replacement::TreePlru));
+        assert_eq!(Replacement::parse("clock"), None);
+        assert_eq!(Replacement::parse("random:"), None);
+        assert_eq!(Replacement::parse("random:x"), None);
     }
 }

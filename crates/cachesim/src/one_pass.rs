@@ -55,7 +55,7 @@
 //! to running [`crate::Cache`] once per configuration — pinned by
 //! `tests/one_pass_equiv.rs`.
 
-use crate::config::WritePolicy;
+use crate::config::{Replacement, WritePolicy};
 use crate::error::ConfigError;
 use crate::fast_hash::FastHashMap;
 use crate::fenwick::Fenwick;
@@ -75,6 +75,11 @@ pub struct GridSpec {
     pub line_size: usize,
     /// Write policy applied to every cell.
     pub write_policy: WritePolicy,
+    /// Replacement policy applied to every cell. The engine's Mattson
+    /// inclusion argument only holds for [`Replacement::Lru`]; any other
+    /// policy is rejected with [`ConfigError::OnePassUnsupported`] —
+    /// run those grids through the per-configuration simulators.
+    pub replacement: Replacement,
     /// Also evaluate the fully-associative point (`ways == lines`) of
     /// every size, deduplicated against the explicit way list.
     pub include_fully_associative: bool,
@@ -90,6 +95,7 @@ impl GridSpec {
             ways,
             line_size: PAPER_LINE_SIZE,
             write_policy: WritePolicy::PAPER,
+            replacement: Replacement::Lru,
             include_fully_associative: false,
         }
     }
@@ -103,6 +109,7 @@ impl GridSpec {
             ways: vec![1, 2, 4, 8],
             line_size: PAPER_LINE_SIZE,
             write_policy: WritePolicy::PAPER,
+            replacement: Replacement::Lru,
             include_fully_associative: true,
         }
     }
@@ -424,6 +431,13 @@ impl OnePassEngine {
             return Err(ConfigError::OnePassUnsupported {
                 what: "write-through without allocate (write misses do not \
                        insert, so LRU stack inclusion does not hold)",
+            });
+        }
+        if spec.replacement != Replacement::Lru {
+            return Err(ConfigError::OnePassUnsupported {
+                what: "a non-LRU replacement policy (Mattson stack inclusion \
+                       only holds for LRU; use the per-configuration \
+                       simulators for FIFO/random/PLRU grids)",
             });
         }
         for &w in &spec.ways {

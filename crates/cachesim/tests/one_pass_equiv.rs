@@ -142,6 +142,7 @@ fn fixed_set_column_matches_the_assoc_analyzer() {
         ways: vec![1, 2, 4, 8],
         line_size: 16,
         write_policy: WritePolicy::PAPER,
+        replacement: smith85_cachesim::Replacement::Lru,
         include_fully_associative: false,
     };
     let grid = one_pass_grid(&trace, &spec).expect("valid spec");

@@ -21,13 +21,18 @@ smith85 — trace-driven cache evaluation (Smith, ISCA 1985 reproduction)
 
 USAGE:
   smith85 list
-      List the 49-trace workload catalog.
+      List the 49-trace CPU workload catalog.
+  smith85 catalog [--family cpu|storage|network]
+      List every workload profile grouped by family (the 49 CPU traces
+      plus the storage-I/O and network destination-address families);
+      --family restricts the listing to one family.
   smith85 generate --trace NAME --len N --out FILE [--format text|binary|dinero]
       Generate a synthetic trace and write it to disk.
   smith85 characterize (--trace NAME [--len N] | --file FILE)
       Print the Table 2 characteristics of a workload.
   smith85 simulate (--trace NAME [--len N] | --file FILE) --size BYTES
-          [--line BYTES] [--ways N|full] [--replacement lru|plru|fifo|random]
+          [--line BYTES] [--ways N|full]
+          [--policy lru|fifo|random[:seed]|plru] (--replacement is a synonym)
           [--write cb|cb-nofetch|wt|wt-noalloc] [--fetch demand|prefetch]
           [--purge N] [--org unified|split]
           [--fault-drop P] [--fault-dup P] [--fault-flip P] [--fault-seed N]
@@ -35,11 +40,13 @@ USAGE:
       rates deterministically drop/duplicate/bit-flip references before
       simulation (robustness experiments).
   smith85 sweep (--trace NAME [--len N] | --file FILE) [--sizes a,b,c]
-          [--ways a,b,c] [--line BYTES]
+          [--ways a,b,c] [--line BYTES] [--policy lru|fifo|random[:seed]|plru]
       Miss ratio at every cache size in one stack-analysis pass.
       --ways runs the one-pass grid engine instead: every requested
       size x associativity cell — miss ratio, traffic ratio and
-      dirty-push fraction — from a single trace traversal.
+      dirty-push fraction — from a single trace traversal. A non-LRU
+      --policy is outside the one-pass envelope, so those sweeps run
+      each configuration individually instead.
   smith85 assoc (--trace NAME [--len N] | --file FILE) [--sets N] [--line BYTES]
       Miss ratio at every associativity for a fixed set count, one pass.
   smith85 target --size BYTES [--kind unified|instruction|data]
@@ -53,7 +60,7 @@ USAGE:
       prefetch, table5, clark, z80000, m68020, traffic_ratio,
       trace_length, multiprocessor, multiprogramming, calibration,
       perturbations, interface, line_size, fudge, conclusions,
-      ablations, design_grid).
+      ablations, design_grid, family_conclusions).
   smith85 suite [--out DIR] [--resume true] [--quick true] [--len N]
           [--threads N]
       Run every experiment with checkpointing: each result lands in
@@ -78,9 +85,12 @@ USAGE:
           [--retries N] [--backoff-ms MS] ...
       Send one request to a running server. TYPE is one of:
         simulate --workload NAME --size BYTES [--len N] [--seed N]
-                 [--line BYTES] [--ways N|full] [--purge N] [--deadline-ms N]
+                 [--line BYTES] [--ways N|full] [--purge N] [--policy P]
+                 [--deadline-ms N]
         sweep    --workload NAME [--len N] [--seed N] [--sizes a,b,c]
-                 [--ways a,b,c] [--line BYTES] [--deadline-ms N]
+                 [--ways a,b,c] [--line BYTES] [--policy P] [--deadline-ms N]
+      NAME may be any catalog profile from any family (see `smith85
+      catalog`); --policy P is lru (default), fifo, random[:seed] or plru.
         catalog | stats | metrics | ping | shutdown
       --json true prints the raw response line instead of a summary.
       --retries N retries transient failures (typed \"overloaded\"
@@ -110,10 +120,18 @@ USAGE:
 fn load_workload(opts: &Opts) -> Result<Trace, CliError> {
     match (opts.get("trace"), opts.get("file")) {
         (Some(name), None) => {
-            let spec =
-                catalog::by_name(name).ok_or_else(|| CliError::UnknownTrace(name.to_string()))?;
             let len = opts.get_parse("len", 100_000usize)?;
-            Ok(spec.generate(len))
+            if let Some(spec) = catalog::by_name(name) {
+                return Ok(spec.generate(len));
+            }
+            // Fall back to the storage/network family catalog so every
+            // profile family works with --trace.
+            let spec = smith85_families::by_name(name)
+                .ok_or_else(|| CliError::UnknownTrace(name.to_string()))?;
+            let stream = spec
+                .try_generator()
+                .map_err(|e| CliError::usage(format!("invalid family profile: {e}")))?;
+            Ok(stream.take(len).collect::<Vec<_>>().into())
         }
         (None, Some(path)) => {
             let mut bytes = Vec::new();
@@ -152,6 +170,62 @@ pub(crate) fn list(opts: &Opts) -> Result<String, CliError> {
             p.language.to_string(),
             p.description
         );
+    }
+    Ok(out)
+}
+
+/// `smith85 catalog`: every profile grouped by family, with `--family`
+/// restricting the listing to one family.
+pub(crate) fn catalog_cmd(opts: &Opts) -> Result<String, CliError> {
+    opts.expect_only(&["family"])?;
+    let filter = match opts.get("family") {
+        None => None,
+        Some(f) => {
+            let f = f.to_ascii_lowercase();
+            if !["cpu", "storage", "network"].contains(&f.as_str()) {
+                return Err(CliError::usage(format!(
+                    "unknown family {f:?} (cpu, storage or network)"
+                )));
+            }
+            Some(f)
+        }
+    };
+    let wants = |family: &str| filter.as_deref().is_none_or(|f| f == family);
+    let mut out = String::new();
+    if wants("cpu") {
+        let specs = catalog::all();
+        let _ = writeln!(out, "family cpu ({} profiles):", specs.len());
+        for spec in specs {
+            let p = spec.profile();
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<12} {:<10} {:<9} {}",
+                spec.name(),
+                spec.group().to_string(),
+                p.arch.to_string(),
+                p.language.to_string(),
+                p.description
+            );
+        }
+    }
+    for family in [
+        smith85_families::Family::Storage,
+        smith85_families::Family::Network,
+    ] {
+        if !wants(family.name()) {
+            continue;
+        }
+        let specs: Vec<_> = smith85_families::all()
+            .into_iter()
+            .filter(|s| s.family() == family)
+            .collect();
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "family {} ({} profiles):", family.name(), specs.len());
+        for spec in specs {
+            let _ = writeln!(out, "  {:<12} {}", spec.name(), spec.description());
+        }
     }
     Ok(out)
 }
@@ -203,13 +277,7 @@ fn parse_config(opts: &Opts) -> Result<CacheConfig, CliError> {
                 .map_err(|_| CliError::usage(format!("bad --ways {w:?}")))?,
         ),
     };
-    let replacement = match opts.get("replacement").unwrap_or("lru") {
-        "lru" => Replacement::Lru,
-        "fifo" => Replacement::Fifo,
-        "random" => Replacement::Random { seed: 85 },
-        "plru" => Replacement::TreePlru,
-        other => return Err(CliError::usage(format!("unknown replacement {other:?}"))),
-    };
+    let replacement = parse_policy(opts)?;
     let write = match opts.get("write").unwrap_or("cb") {
         "cb" => WritePolicy::CopyBack {
             fetch_on_write: true,
@@ -243,6 +311,19 @@ fn parse_config(opts: &Opts) -> Result<CacheConfig, CliError> {
         .build()?)
 }
 
+/// Parses the shared `--policy` flag (with `--replacement` kept as a
+/// synonym for older scripts) into a [`Replacement`].
+fn parse_policy(opts: &Opts) -> Result<Replacement, CliError> {
+    match opts.get("policy").or_else(|| opts.get("replacement")) {
+        None => Ok(Replacement::Lru),
+        Some(text) => Replacement::parse(text).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown replacement policy {text:?} (lru, fifo, random, random:<seed> or plru)"
+            ))
+        }),
+    }
+}
+
 fn render_stats(stats: &smith85_cachesim::CacheStats) -> String {
     format!(
         "refs          {}\nmisses        {}\nmiss ratio    {:.4}\n  instruction {:.4}\n  data        {:.4}\ntraffic       {} bytes ({:.3}x demanded)\npushes        {} ({:.0}% dirty)\nprefetches    {} issued, {} already resident\npurges        {}\n",
@@ -263,8 +344,8 @@ fn render_stats(stats: &smith85_cachesim::CacheStats) -> String {
 
 pub(crate) fn simulate(opts: &Opts) -> Result<String, CliError> {
     opts.expect_only(&[
-        "trace", "file", "len", "size", "line", "ways", "replacement", "write", "fetch", "purge",
-        "org", "fault-drop", "fault-dup", "fault-flip", "fault-seed",
+        "trace", "file", "len", "size", "line", "ways", "policy", "replacement", "write", "fetch",
+        "purge", "org", "fault-drop", "fault-dup", "fault-flip", "fault-seed",
     ])?;
     let mut trace = load_workload(opts)?;
     let faults = smith85_trace::fault::FaultConfig {
@@ -312,29 +393,73 @@ fn parse_usize_list(list: &str, flag: &str) -> Result<Vec<usize>, CliError> {
 }
 
 pub(crate) fn sweep(opts: &Opts) -> Result<String, CliError> {
-    opts.expect_only(&["trace", "file", "len", "sizes", "ways", "line"])?;
+    opts.expect_only(&["trace", "file", "len", "sizes", "ways", "line", "policy"])?;
     let trace = load_workload(opts)?;
     let sizes: Vec<usize> = match opts.get("sizes") {
         None => PAPER_SIZES.to_vec(),
         Some(list) => parse_usize_list(list, "sizes")?,
     };
     let line = opts.get_parse("line", 16usize)?;
+    let policy = parse_policy(opts)?;
     // --ways switches to the one-pass grid engine: every requested
-    // (size, ways) cell from a single trace traversal.
+    // (size, ways) cell from a single trace traversal. The one-pass
+    // engine is LRU-only (it returns `OnePassUnsupported` otherwise);
+    // non-LRU policies simulate each cell individually instead.
     if let Some(list) = opts.get("ways") {
         let ways = parse_usize_list(list, "ways")?;
         let mut spec = smith85_cachesim::GridSpec::new(sizes, ways);
         spec.line_size = line;
-        let grid = SimSession::default()
-            .sweep_grid(trace.as_slice(), &spec)
+        if policy == Replacement::Lru {
+            let grid = SimSession::default()
+                .sweep_grid(trace.as_slice(), &spec)
+                .map_err(|e| CliError::usage(format!("bad sweep grid: {e}")))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:>10} {:>6} {:>6} {:>9} {:>9} {:>7}  (LRU, copy-back, {line}-byte lines; one pass)",
+                "size", "ways", "sets", "miss", "traffic", "dirty"
+            );
+            for (cell, stats) in grid.iter() {
+                let _ = writeln!(
+                    out,
+                    "{:>10} {:>6} {:>6} {:>9.4} {:>9.4} {:>7.4}",
+                    cell.size_bytes,
+                    cell.ways,
+                    cell.sets,
+                    stats.miss_ratio(),
+                    stats.traffic_ratio(),
+                    stats.dirty_push_fraction()
+                );
+            }
+            return Ok(out);
+        }
+        // Cell enumeration and validation are policy-independent, so the
+        // fallback borrows them from the engine with LRU swapped in.
+        let engine = smith85_cachesim::OnePassEngine::new(&spec)
             .map_err(|e| CliError::usage(format!("bad sweep grid: {e}")))?;
+        let session = SimSession::default();
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>10} {:>6} {:>6} {:>9} {:>9} {:>7}  (LRU, copy-back, {line}-byte lines; one pass)",
-            "size", "ways", "sets", "miss", "traffic", "dirty"
+            "{:>10} {:>6} {:>6} {:>9} {:>9} {:>7}  ({}, copy-back, {line}-byte lines; per config)",
+            "size", "ways", "sets", "miss", "traffic", "dirty",
+            policy.key_label()
         );
-        for (cell, stats) in grid.iter() {
+        for cell in engine.cells() {
+            let lines = cell.size_bytes / line;
+            let mapping = if cell.ways == lines {
+                Mapping::FullyAssociative
+            } else if cell.ways == 1 {
+                Mapping::Direct
+            } else {
+                Mapping::SetAssociative(cell.ways)
+            };
+            let config = CacheConfig::builder(cell.size_bytes)
+                .line_size(line)
+                .mapping(mapping)
+                .replacement(policy)
+                .build()?;
+            let stats = session.simulate_unified(trace.as_slice(), config)?;
             let _ = writeln!(
                 out,
                 "{:>10} {:>6} {:>6} {:>9.4} {:>9.4} {:>7.4}",
@@ -345,6 +470,28 @@ pub(crate) fn sweep(opts: &Opts) -> Result<String, CliError> {
                 stats.traffic_ratio(),
                 stats.dirty_push_fraction()
             );
+        }
+        return Ok(out);
+    }
+    if policy != Replacement::Lru {
+        // Stack analysis is itself an LRU algorithm; non-LRU size sweeps
+        // simulate a fully-associative cache per size.
+        let session = SimSession::default();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>9}  (fully associative {}, {line}-byte lines; per config)",
+            "size",
+            "miss",
+            policy.key_label()
+        );
+        for size in sizes {
+            let config = CacheConfig::builder(size)
+                .line_size(line)
+                .replacement(policy)
+                .build()?;
+            let stats = session.simulate_unified(trace.as_slice(), config)?;
+            let _ = writeln!(out, "{:>10}  {:>9.4}", size, stats.miss_ratio());
         }
         return Ok(out);
     }
@@ -526,6 +673,7 @@ pub(crate) fn experiment(opts: &Opts) -> Result<String, CliError> {
         "calibration" => experiments::calibration_report::run(&config).render(),
         "multiprogramming" => experiments::multiprogramming::run(&config).render(),
         "conclusions" => experiments::conclusions::run(&config).render(),
+        "family_conclusions" => experiments::family_conclusions::run(&config).render(),
         "line_size" => experiments::line_size::run(&config).render(),
         "fudge" => experiments::fudge_validation::run(&config).render(),
         "perturbations" => experiments::perturbations::run(&config).render(),
@@ -698,6 +846,19 @@ fn build_request(kind: &str, opts: &Opts) -> Result<smith85_serve::Request, CliE
                 .map_err(|_| CliError::usage(format!("bad --seed {s:?}")))?,
         ),
     };
+    // Validate the policy spelling locally so a typo fails before a
+    // connection is even attempted; the server re-validates anyway.
+    let policy = match opts.get("policy") {
+        None => None,
+        Some(p) => {
+            if Replacement::parse(p).is_none() {
+                return Err(CliError::usage(format!(
+                    "unknown replacement policy {p:?} (lru, fifo, random, random:<seed> or plru)"
+                )));
+            }
+            Some(p.to_string())
+        }
+    };
     match kind {
         "simulate" => Ok(smith85_serve::Request::Simulate(smith85_serve::SimulateSpec {
             workload: opts.require("workload")?.to_string(),
@@ -717,6 +878,7 @@ fn build_request(kind: &str, opts: &Opts) -> Result<smith85_serve::Request, CliE
                     ),
                 },
             },
+            policy,
             deadline_ms,
         })),
         "sweep" => Ok(smith85_serve::Request::Sweep(smith85_serve::SweepSpec {
@@ -733,6 +895,7 @@ fn build_request(kind: &str, opts: &Opts) -> Result<smith85_serve::Request, CliE
                 Some(list) => parse_usize_list(list, "ways")?,
             },
             line: opts.get_parse("line", DEFAULT_LINE_BYTES)?,
+            policy,
             deadline_ms,
         })),
         "catalog" => Ok(smith85_serve::Request::Catalog),
@@ -792,12 +955,21 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
         }
         Response::Catalog(c) => {
             let _ = writeln!(out, "{} profiles:", c.profiles.len());
+            let mut families: Vec<&str> = Vec::new();
             for entry in &c.profiles {
-                let _ = writeln!(
-                    out,
-                    "  {:<10} {:<12} {:<10} {}",
-                    entry.name, entry.group, entry.arch, entry.language
-                );
+                if !families.contains(&entry.family.as_str()) {
+                    families.push(&entry.family);
+                }
+            }
+            for family in families {
+                let _ = writeln!(out, " family {family}:");
+                for entry in c.profiles.iter().filter(|e| e.family == family) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} {:<12} {:<10} {}",
+                        entry.name, entry.group, entry.arch, entry.language
+                    );
+                }
             }
             let _ = writeln!(out, "{} mixes:", c.mixes.len());
             for mix in &c.mixes {
@@ -886,6 +1058,7 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
         "ways",
         "purge",
         "sizes",
+        "policy",
         "deadline-ms",
         "retries",
         "backoff-ms",

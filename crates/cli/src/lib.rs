@@ -112,6 +112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command {
         "help" | "--help" | "-h" => Ok(commands::help()),
         "list" => commands::list(&opts),
+        "catalog" => commands::catalog_cmd(&opts),
         "generate" => commands::generate(&opts),
         "characterize" => commands::characterize(&opts),
         "simulate" => commands::simulate(&opts),
@@ -155,6 +156,66 @@ mod tests {
         for name in ["MVS1", "VSPICE", "ZGREP", "TWOD", "PL0", "VAXIMA"] {
             assert!(out.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn catalog_groups_profiles_by_family() {
+        let out = run_str(&["catalog"]).unwrap();
+        assert!(out.contains("family cpu (49 profiles):"), "{out}");
+        assert!(out.contains("family storage (5 profiles):"), "{out}");
+        assert!(out.contains("family network (5 profiles):"), "{out}");
+        assert!(out.contains("S-KVSTORE"));
+        assert!(out.contains("N-BACKBONE"));
+
+        let storage = run_str(&["catalog", "--family", "storage"]).unwrap();
+        assert!(storage.contains("S-SCAN"), "{storage}");
+        assert!(!storage.contains("VCCOM"), "{storage}");
+        assert!(!storage.contains("family network"), "{storage}");
+
+        assert!(matches!(
+            run_str(&["catalog", "--family", "gpu"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn family_profiles_simulate_with_policies() {
+        let lru = run_str(&[
+            "simulate", "--trace", "S-KVSTORE", "--len", "4000", "--size", "2048", "--line", "64",
+        ])
+        .unwrap();
+        assert!(lru.contains("miss ratio"), "{lru}");
+        let fifo = run_str(&[
+            "simulate", "--trace", "S-KVSTORE", "--len", "4000", "--size", "2048", "--line", "64",
+            "--policy", "fifo",
+        ])
+        .unwrap();
+        assert_ne!(lru, fifo, "policy must show up in the banner or the numbers");
+        assert!(matches!(
+            run_str(&[
+                "simulate", "--trace", "VCCOM", "--size", "1024", "--policy", "clock",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_with_non_lru_policy_runs_per_config() {
+        let out = run_str(&[
+            "sweep", "--trace", "ZGREP", "--len", "4000", "--sizes", "1024,4096", "--ways", "2",
+            "--policy", "random:7",
+        ])
+        .unwrap();
+        assert!(out.contains("per config"), "{out}");
+        assert!(out.contains("random:7"), "{out}");
+        assert_eq!(out.lines().count(), 3, "{out}");
+        let sizes_only = run_str(&[
+            "sweep", "--trace", "N-LAN", "--len", "4000", "--sizes", "256,1024", "--line", "64",
+            "--policy", "plru",
+        ])
+        .unwrap();
+        assert!(sizes_only.contains("plru"), "{sizes_only}");
+        assert_eq!(sizes_only.lines().count(), 3, "{sizes_only}");
     }
 
     #[test]
@@ -272,14 +333,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let out = dir.to_str().unwrap();
         let first = run_str(&["suite", "--quick", "true", "--len", "200", "--out", out]).unwrap();
-        assert!(first.contains("22 passed, 0 failed, 0 skipped"), "{first}");
+        assert!(first.contains("23 passed, 0 failed, 0 skipped"), "{first}");
         assert!(dir.join("manifest.json").exists());
         assert!(dir.join("table1.json").exists());
         let second = run_str(&[
             "suite", "--quick", "true", "--len", "200", "--out", out, "--resume", "true",
         ])
         .unwrap();
-        assert!(second.contains("0 passed, 0 failed, 22 skipped"), "{second}");
+        assert!(second.contains("0 passed, 0 failed, 23 skipped"), "{second}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -343,6 +404,13 @@ mod tests {
         .unwrap();
         assert!(out.contains("miss ratio"), "{out}");
 
+        let out = run_str(&[
+            "submit", "simulate", "--addr", &addr, "--workload", "S-KVSTORE", "--len", "2000",
+            "--size", "2048", "--line", "64", "--policy", "fifo",
+        ])
+        .unwrap();
+        assert!(out.contains("miss ratio"), "{out}");
+
         let err = run_str(&[
             "submit", "simulate", "--addr", &addr, "--workload", "NOPE", "--size", "4096",
         ])
@@ -351,10 +419,23 @@ mod tests {
             matches!(&err, CliError::Server(m) if m.contains("unknown_workload")),
             "{err}"
         );
+        assert!(
+            matches!(&err, CliError::Server(m) if m.contains("nearest catalog match")),
+            "{err}"
+        );
+
+        // A policy typo fails locally, before any connection attempt.
+        assert!(matches!(
+            run_str(&[
+                "submit", "simulate", "--addr", "127.0.0.1:1", "--workload", "VCCOM", "--size",
+                "4096", "--policy", "clock",
+            ]),
+            Err(CliError::Usage(_))
+        ));
 
         let stats = server.stop().unwrap();
-        assert_eq!(stats.completed, 1);
-        assert_eq!(stats.simulate_requests, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.simulate_requests, 3);
         assert_eq!(stats.catalog_requests, 1);
     }
 
@@ -489,5 +570,15 @@ mod tests {
             run_str(&["experiment", "nope"]),
             Err(CliError::UnknownExperiment(_))
         ));
+    }
+
+    #[test]
+    fn family_conclusions_experiment_dispatches() {
+        let out = run_str(&[
+            "experiment", "family_conclusions", "--quick", "true", "--len", "2000",
+        ])
+        .unwrap();
+        assert!(out.contains("workload"), "{out}");
+        assert!(out.contains("policy"), "{out}");
     }
 }

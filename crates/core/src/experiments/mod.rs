@@ -10,6 +10,7 @@ pub mod calibration_report;
 pub mod clark_validation;
 pub mod conclusions;
 pub mod design_grid;
+pub mod family_conclusions;
 pub mod fig2;
 pub mod fig3_fig4;
 pub mod fudge_validation;
@@ -32,6 +33,7 @@ use crate::session::ProbeHandle;
 use crate::sweep;
 use crate::trace_pool::TracePool;
 use smith85_cachesim::PAPER_SIZES;
+use smith85_families::FamilySpec;
 use smith85_synth::{catalog, ProfileError, ProgramProfile};
 use smith85_trace::mix::RoundRobinMix;
 use smith85_trace::{
@@ -239,8 +241,10 @@ impl Default for ExperimentConfig {
     }
 }
 
-/// A workload for the multiprogramming experiments: either a single trace
-/// or a round-robin mix of several (Table 3's four "assorted" rows).
+/// A workload for the multiprogramming experiments: a single CPU trace,
+/// a round-robin mix of several (Table 3's four "assorted" rows), or a
+/// non-CPU family stream (storage-I/O block addresses, network
+/// destination addresses).
 #[derive(Debug, Clone)]
 pub enum Workload {
     /// One program.
@@ -252,6 +256,8 @@ pub enum Workload {
         /// The member programs.
         members: Vec<ProgramProfile>,
     },
+    /// A non-CPU workload family profile (storage or network).
+    Family(FamilySpec),
 }
 
 impl Workload {
@@ -260,17 +266,31 @@ impl Workload {
         match self {
             Workload::Single(p) => &p.name,
             Workload::Mix { name, .. } => name,
+            Workload::Family(spec) => spec.name(),
+        }
+    }
+
+    /// The workload family this stream belongs to: `"cpu"` for the
+    /// paper's traces and mixes, `"storage"` / `"network"` for the
+    /// non-CPU families. Used in store keys, spans and counters.
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            Workload::Single(_) | Workload::Mix { .. } => "cpu",
+            Workload::Family(spec) => spec.family().name(),
         }
     }
 
     /// The purge / task-switch interval the paper uses for this workload
-    /// (15,000 for the short M68000 traces, 20,000 otherwise).
+    /// (15,000 for the short M68000 traces, 20,000 otherwise; family
+    /// streams have no task switches and use the default interval, which
+    /// only matters if a caller opts into purging).
     pub fn purge_interval(&self) -> u64 {
         let m68k = match self {
             Workload::Single(p) => p.arch == MachineArch::M68000,
             Workload::Mix { members, .. } => {
                 members.iter().all(|p| p.arch == MachineArch::M68000)
             }
+            Workload::Family(_) => false,
         };
         if m68k {
             PAPER_PURGE_INTERVAL_M68000
@@ -287,7 +307,8 @@ impl Workload {
     ///
     /// # Errors
     ///
-    /// Returns the first member's [`ProfileError`].
+    /// Returns the first member's [`ProfileError`], or a wrapped family
+    /// validation error for an out-of-range family profile.
     pub fn try_stream(
         &self,
     ) -> Result<Box<dyn Iterator<Item = MemoryAccess> + Send>, ProfileError> {
@@ -300,6 +321,7 @@ impl Workload {
                 }
                 Ok(Box::new(RoundRobinMix::new(streams, self.purge_interval())))
             }
+            Workload::Family(spec) => spec.try_generator().map_err(ProfileError::custom),
         }
     }
 
@@ -329,6 +351,76 @@ pub fn table3_workloads() -> Vec<Workload> {
             .map(|(name, members)| Workload::Mix { name, members }),
     );
     ws
+}
+
+/// Every servable workload name: the 49 CPU catalog traces, the four
+/// Table 3 mixes, and the non-CPU family profiles, in catalog order.
+pub fn workload_names() -> Vec<String> {
+    let mut names: Vec<String> = catalog::all()
+        .iter()
+        .map(|s| s.profile().name.clone())
+        .collect();
+    names.extend(catalog::table3_mixes().into_iter().map(|(name, _)| name));
+    names.extend(smith85_families::names());
+    names
+}
+
+/// Looks a workload up by name across all three namespaces — the CPU
+/// catalog, the Table 3 mixes, and the family catalog — and applies the
+/// optional seed override (mix members get `seed ^ index` so they stay
+/// distinct). Mix and family lookups are case-insensitive, matching the
+/// catalogs they front.
+pub fn resolve_named_workload(name: &str, seed: Option<u64>) -> Option<Workload> {
+    if let Some(synthetic) = catalog::by_name(name) {
+        let mut profile = synthetic.profile().clone();
+        if let Some(seed) = seed {
+            profile.seed = seed;
+        }
+        return Some(Workload::Single(profile));
+    }
+    for (mix_name, mut members) in catalog::table3_mixes() {
+        if mix_name.eq_ignore_ascii_case(name) {
+            if let Some(seed) = seed {
+                for (i, member) in members.iter_mut().enumerate() {
+                    member.seed = seed ^ i as u64;
+                }
+            }
+            return Some(Workload::Mix { name: mix_name, members });
+        }
+    }
+    smith85_families::by_name(name).map(|mut spec| {
+        if let Some(seed) = seed {
+            spec.set_seed(seed);
+        }
+        Some(Workload::Family(spec))
+    })?
+}
+
+/// The catalog name closest to `wanted` by case-insensitive edit
+/// distance — the "did you mean" half of an unknown-workload error.
+/// `None` only when the catalogs are empty (never in practice).
+pub fn nearest_workload_name(wanted: &str) -> Option<String> {
+    let wanted_lower = wanted.to_ascii_lowercase();
+    workload_names()
+        .into_iter()
+        .min_by_key(|candidate| edit_distance(&wanted_lower, &candidate.to_ascii_lowercase()))
+}
+
+/// Levenshtein distance over bytes (all catalog names are ASCII), via
+/// the classic two-row dynamic program.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row[j + 1] = subst.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -425,5 +517,61 @@ mod tests {
         let mix = ws.iter().find(|w| w.name().starts_with("Z8000")).unwrap();
         let n = mix.stream().take(1000).count();
         assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn family_workloads_stream_and_carry_their_family() {
+        let w = resolve_named_workload("S-KVSTORE", None).unwrap();
+        assert_eq!(w.name(), "S-KVSTORE");
+        assert_eq!(w.family_name(), "storage");
+        assert_eq!(w.purge_interval(), PAPER_PURGE_INTERVAL);
+        assert_eq!(w.stream().take(500).count(), 500);
+        let n = resolve_named_workload("n-lan", None).unwrap();
+        assert_eq!(n.family_name(), "network");
+        let cpu = resolve_named_workload("VCCOM", None).unwrap();
+        assert_eq!(cpu.family_name(), "cpu");
+    }
+
+    #[test]
+    fn resolver_applies_seed_overrides_everywhere() {
+        let base = resolve_named_workload("S-KVSTORE", None).unwrap();
+        let reseeded = resolve_named_workload("S-KVSTORE", Some(99)).unwrap();
+        let a: Vec<_> = base.stream().take(100).collect();
+        let b: Vec<_> = reseeded.stream().take(100).collect();
+        assert_ne!(a, b, "the seed override must change the family stream");
+        match resolve_named_workload("VCCOM", Some(7)).unwrap() {
+            Workload::Single(p) => assert_eq!(p.seed, 7),
+            other => panic!("expected a single trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_names_cover_all_three_namespaces() {
+        let names = workload_names();
+        assert!(names.iter().any(|n| n == "VCCOM"));
+        assert!(names.iter().any(|n| n == "S-KVSTORE"));
+        assert!(names.iter().any(|n| n == "N-BACKBONE"));
+        assert!(names.iter().any(|n| n.contains("Assorted")));
+        for name in &names {
+            assert!(
+                resolve_named_workload(name, None).is_some(),
+                "{name} is listed but does not resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_name_suggests_plausible_fixes() {
+        assert_eq!(nearest_workload_name("VCOM").as_deref(), Some("VCCOM"));
+        assert_eq!(nearest_workload_name("s-kvstor").as_deref(), Some("S-KVSTORE"));
+        assert_eq!(nearest_workload_name("N-LAN2").as_deref(), Some("N-LAN"));
+        assert!(resolve_named_workload("VCOM", None).is_none());
+    }
+
+    #[test]
+    fn edit_distance_is_the_textbook_metric() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
     }
 }

@@ -65,6 +65,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         entry!("perturbations", perturbations),
         entry!("interface", interface_effects),
         entry!("ablations", ablations),
+        entry!("family_conclusions", family_conclusions),
         entry!("conclusions", conclusions),
     ]
 }
@@ -455,12 +456,19 @@ mod tests {
     #[test]
     fn registry_covers_every_experiment() {
         let names: Vec<_> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.len(), 23);
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), names.len(), "duplicate registry names");
-        for required in ["table1", "table2", "table3", "table5", "conclusions"] {
+        for required in [
+            "table1",
+            "table2",
+            "table3",
+            "table5",
+            "conclusions",
+            "family_conclusions",
+        ] {
             assert!(names.contains(&required), "missing {required}");
         }
     }

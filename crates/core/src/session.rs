@@ -39,8 +39,9 @@ use crate::runner::{self, RunnerOptions, SuiteReport};
 use crate::sweep;
 use crate::trace_pool::TracePool;
 use smith85_cachesim::{
-    CacheConfig, CacheStats, ConfigError as CacheConfigError, GridSpec, OnePassEngine, OnePassGrid,
-    Simulator, SplitCache, StackAnalyzer, StackProfile, UnifiedCache,
+    CacheConfig, CacheStats, ConfigError as CacheConfigError, GridCell, GridSpec, Mapping,
+    OnePassEngine, OnePassGrid, Replacement, Simulator, SplitCache, StackAnalyzer, StackProfile,
+    UnifiedCache,
 };
 use smith85_obs::{Registry, MS_BOUNDS, REFS_PER_SEC_BOUNDS};
 use smith85_store::Store;
@@ -312,6 +313,8 @@ impl SimSessionBuilder {
             "cachesim_batches_total",
             "one_pass_refs_total",
             "one_pass_grid_cells",
+            "policy_grid_cells",
+            "family_refs_total",
         ] {
             registry.counter(counter);
         }
@@ -492,6 +495,7 @@ impl SimSession {
             || workload_fields(workload, len),
             || {
                 let trace = self.config.pool.workload(workload, len);
+                self.count_family_refs(workload, len);
                 self.simulate_unified(&trace.as_slice()[..len], config)
             },
         )
@@ -521,6 +525,7 @@ impl SimSession {
             || workload_fields(workload, len),
             || {
                 let trace = self.config.pool.workload(workload, len);
+                self.count_family_refs(workload, len);
                 self.sweep_stack(&trace.as_slice()[..len], line_size)
             },
         )
@@ -599,8 +604,100 @@ impl SimSession {
                 || workload_fields(workload, len),
                 || {
                     let trace = self.config.pool.workload(workload, len);
+                    self.count_family_refs(workload, len);
                     self.sweep_grid(&trace.as_slice()[..len], spec)
                         .expect("grid spec validated above")
+                },
+            )
+        });
+        Ok((*grid).clone())
+    }
+
+    /// Per-configuration replacement-policy sweep over a pooled workload
+    /// prefix: one full [`UnifiedCache`] run per realizable
+    /// `(size, ways)` cell of `spec`, under `spec.replacement`.
+    ///
+    /// This is the fallback path for the grids the one-pass engine
+    /// rejects with `OnePassUnsupported`: Mattson stack inclusion only
+    /// holds for LRU, so FIFO / random / tree-PLRU grids cost one trace
+    /// traversal per cell here instead of one total. Cell enumeration is
+    /// borrowed from the engine itself (ways clamped to the line count,
+    /// duplicate fully-associative cells dropped), so the LRU column of
+    /// a policy matrix lines up cell-for-cell with
+    /// [`sweep_grid_workload`](Self::sweep_grid_workload). Memoized per
+    /// (workload identity, length, spec) like the one-pass sweep.
+    ///
+    /// Emits a `policy_sweep_workload` span and bumps the
+    /// `policy_grid_cells` counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`CacheConfigError`] for a malformed grid
+    /// (sizes/ways not powers of two, cache smaller than a line, empty
+    /// grid) — every *policy* is in-envelope here.
+    pub fn sweep_policy_workload(
+        &self,
+        workload: &Workload,
+        len: usize,
+        spec: &GridSpec,
+    ) -> Result<Vec<(GridCell, CacheStats)>, CacheConfigError> {
+        // The engine's constructor is the single source of truth for
+        // cell enumeration and grid validation; borrow it with the
+        // policy swapped to LRU so only genuine shape errors surface.
+        let mut lru_spec = spec.clone();
+        lru_spec.replacement = Replacement::Lru;
+        let cells: Vec<GridCell> = OnePassEngine::new(&lru_spec)?.cells().to_vec();
+        let key = format!(
+            "policy_grid/{}/{}/sizes={:?}/ways={:?}/line={}/policy={:?}/replacement={:?}/full={}",
+            crate::trace_pool::workload_key(workload),
+            len,
+            spec.sizes,
+            spec.ways,
+            spec.line_size,
+            spec.write_policy,
+            spec.replacement,
+            spec.include_fully_associative,
+        );
+        let grid = self.config.pool.result(&key, || {
+            self.traced(
+                "policy_sweep_workload",
+                || {
+                    let mut fields = workload_fields(workload, len);
+                    fields.push((
+                        "replacement".to_string(),
+                        FieldValue::Str(format!("{:?}", spec.replacement)),
+                    ));
+                    fields
+                },
+                || {
+                    let trace = self.config.pool.workload(workload, len);
+                    self.count_family_refs(workload, len);
+                    let replay = &trace.as_slice()[..len];
+                    self.probe.count("policy_grid_cells", cells.len() as u64);
+                    cells
+                        .iter()
+                        .map(|cell| {
+                            let lines = cell.size_bytes / spec.line_size;
+                            let mapping = if cell.ways == lines {
+                                Mapping::FullyAssociative
+                            } else if cell.ways == 1 {
+                                Mapping::Direct
+                            } else {
+                                Mapping::SetAssociative(cell.ways)
+                            };
+                            let config = CacheConfig::builder(cell.size_bytes)
+                                .line_size(spec.line_size)
+                                .mapping(mapping)
+                                .write_policy(spec.write_policy)
+                                .replacement(spec.replacement)
+                                .build()
+                                .expect("cell shapes validated by the engine");
+                            let stats = self
+                                .simulate_unified(replay, config)
+                                .expect("cell configs are valid");
+                            (*cell, stats)
+                        })
+                        .collect::<Vec<_>>()
                 },
             )
         });
@@ -619,6 +716,14 @@ impl SimSession {
             Vec::new,
             || runner::run_suite(&self.config, opts),
         )
+    }
+
+    /// Bumps `family_refs_total` for non-CPU workloads, so dashboards
+    /// can split simulation volume by workload family.
+    fn count_family_refs(&self, workload: &Workload, len: usize) {
+        if matches!(workload, Workload::Family(_)) {
+            self.probe.count("family_refs_total", len as u64);
+        }
     }
 
     /// Times one batched kernel invocation and reports throughput.
@@ -641,9 +746,14 @@ fn workload_fields(workload: &Workload, len: usize) -> Vec<(String, FieldValue)>
     let label = match workload {
         Workload::Single(p) => p.name.clone(),
         Workload::Mix { members, .. } => format!("mix[{}]", members.len()),
+        Workload::Family(spec) => spec.name().to_string(),
     };
     vec![
         ("workload".to_string(), FieldValue::Str(label)),
+        (
+            "family".to_string(),
+            FieldValue::Str(workload.family_name().to_string()),
+        ),
         ("len".to_string(), FieldValue::U64(len as u64)),
     ]
 }

@@ -426,6 +426,7 @@ pub(crate) fn workload_key(workload: &Workload) -> String {
             }
             key
         }
+        Workload::Family(spec) => spec.identity_key(),
     }
 }
 

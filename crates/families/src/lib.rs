@@ -1,0 +1,89 @@
+//! Non-CPU workload families for the Smith '85 reproduction.
+//!
+//! The paper's thesis — workload choice dominates cache-design
+//! conclusions — is only testable if the workload space is wider than
+//! the paper's own CPU address traces. This crate adds two families
+//! from other domains, each a deterministic, seeded generator of
+//! [`MemoryAccess`] streams that plug into the existing simulators,
+//! characterizer, pool, and serve stack unchanged:
+//!
+//! * [`storage`] — block-address streams in the style of storage-I/O
+//!   trace models (2DIO, arXiv 2603.19971): a configurable footprint of
+//!   fixed-size blocks, Zipf-like popularity skew, geometric sequential
+//!   runs, and a read/write mix.
+//! * [`network`] — destination-address streams in the style of Jain's
+//!   packet-train locality study (arXiv cs/9809092): interarrival-driven
+//!   trains of packets to one destination, a recency stack for
+//!   short-term reuse, and a Zipf-skewed long-term destination
+//!   popularity, evaluated against small fully-associative caches.
+//!
+//! [`catalog`] names concrete profiles of both families (the analogue
+//! of `smith85_synth::catalog` for CPU traces); [`FamilySpec`] is the
+//! family-polymorphic handle the rest of the stack consumes.
+//!
+//! [`MemoryAccess`]: smith85_trace::MemoryAccess
+
+pub mod catalog;
+pub mod network;
+pub mod rng;
+pub mod storage;
+
+pub use catalog::{all, by_name, names, FamilySpec};
+pub use network::NetworkProfile;
+pub use storage::StorageProfile;
+
+use std::fmt;
+
+/// Which non-CPU family a profile belongs to. The CPU catalog in
+/// `smith85-synth` is the implicit third family; serve and the CLI
+/// render it as `"cpu"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Storage-I/O block-address streams.
+    Storage,
+    /// Network destination-address streams.
+    Network,
+}
+
+impl Family {
+    /// The lowercase name used in catalog output, serve payloads, and
+    /// store keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Storage => "storage",
+            Family::Network => "network",
+        }
+    }
+
+    /// Parses the lowercase family name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Family> {
+        if s.eq_ignore_ascii_case("storage") {
+            Some(Family::Storage)
+        } else if s.eq_ignore_ascii_case("network") {
+            Some(Family::Network)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in [Family::Storage, Family::Network] {
+            assert_eq!(Family::parse(family.name()), Some(family));
+            assert_eq!(Family::parse(&family.name().to_uppercase()), Some(family));
+        }
+        assert_eq!(Family::parse("cpu"), None);
+        assert_eq!(Family::parse(""), None);
+    }
+}

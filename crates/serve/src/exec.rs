@@ -13,8 +13,8 @@ use crate::protocol::{
     CatalogEntry, CatalogResult, ErrorBody, ErrorCode, Response, SimulateResult, SimulateSpec,
     SweepPoint, SweepResult, SweepSpec,
 };
-use smith85_cachesim::{CacheConfig, GridSpec, Mapping, PAPER_SIZES};
-use smith85_core::experiments::Workload;
+use smith85_cachesim::{CacheConfig, GridSpec, Mapping, Replacement, PAPER_SIZES};
+use smith85_core::experiments::{nearest_workload_name, resolve_named_workload, Workload};
 use smith85_core::session::SimSession;
 use smith85_synth::catalog;
 
@@ -30,76 +30,101 @@ pub const MAX_REQUEST_LEN: usize = 2_000_000;
 /// recovery — without a debug build or an environment variable.
 pub const PANIC_WORKLOAD: &str = "__panic__";
 
-/// Resolves a workload name against the catalog: single traces by name
-/// (case-insensitive) or one of the Table 3 mixes by its display name.
-/// A `seed` override replaces each profile's generator seed (mix members
-/// XOR it with their index so they stay decorrelated).
+/// Resolves a workload name against every servable namespace: the 49
+/// single traces (case-insensitive), the Table 3 mixes by display name,
+/// and the storage/network family profiles. A `seed` override replaces
+/// each profile's generator seed (mix members XOR it with their index so
+/// they stay decorrelated).
 ///
 /// # Errors
 ///
-/// Returns an `unknown_workload` error naming the failed lookup.
+/// Returns an `unknown_workload` error naming the failed lookup and the
+/// nearest catalog name by edit distance.
 pub fn resolve_workload(name: &str, seed: Option<u64>) -> Result<Workload, ErrorBody> {
-    if let Some(spec) = catalog::by_name(name) {
-        let mut profile = spec.profile().clone();
-        if let Some(seed) = seed {
-            profile.seed = seed;
-        }
-        return Ok(Workload::Single(profile));
+    resolve_named_workload(name, seed).ok_or_else(|| {
+        let suggestion = match nearest_workload_name(name) {
+            Some(nearest) => format!("; nearest catalog match is {nearest:?}"),
+            None => String::new(),
+        };
+        ErrorBody::new(
+            ErrorCode::UnknownWorkload,
+            format!(
+                "no trace, mix or family profile named {name:?}{suggestion} \
+                 (see the catalog request)"
+            ),
+        )
+    })
+}
+
+/// Parses the optional wire `policy` string (`None` means LRU, the
+/// paper's policy and the only one pre-policy servers ever ran).
+///
+/// # Errors
+///
+/// Returns a `bad_request` error listing the accepted spellings.
+fn parse_policy(policy: Option<&str>) -> Result<Replacement, ErrorBody> {
+    match policy {
+        None => Ok(Replacement::Lru),
+        Some(text) => Replacement::parse(text).ok_or_else(|| {
+            ErrorBody::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "unknown replacement policy {text:?} \
+                     (expected lru, fifo, random, random:<seed> or plru)"
+                ),
+            )
+        }),
     }
-    for (mix_name, mut members) in catalog::table3_mixes() {
-        if mix_name.eq_ignore_ascii_case(name) {
-            if let Some(seed) = seed {
-                for (i, member) in members.iter_mut().enumerate() {
-                    member.seed = seed ^ (i as u64);
-                }
-            }
-            return Ok(Workload::Mix {
-                name: mix_name,
-                members,
-            });
-        }
-    }
-    Err(ErrorBody::new(
-        ErrorCode::UnknownWorkload,
-        format!("no trace or mix named {name:?} (see the catalog request)"),
-    ))
 }
 
 /// Canonical store key for a `simulate` result: every field that
 /// determines the answer, prefixed with the digest-scheme and catalog
-/// versions so stale artifacts miss cleanly after either changes.
-fn simulate_result_key(spec: &SimulateSpec) -> String {
+/// versions so stale artifacts miss cleanly after either changes. The
+/// v3 key scheme adds the workload family and replacement policy; v2
+/// records (keyed before either existed) miss cleanly instead of
+/// aliasing an LRU CPU result.
+fn simulate_result_key(spec: &SimulateSpec, family: &str, policy: Replacement) -> String {
     format!(
-        "v{}/c{}/result/simulate/{}/seed={:?}/len={}/size={}/line={}/ways={:?}/purge={:?}",
+        "v{}/c{}/result/simulate/{}/family={}/seed={:?}/len={}/size={}/line={}/ways={:?}/purge={:?}/policy={}",
         smith85_store::KEY_SCHEMA_VERSION,
         catalog::CATALOG_VERSION,
         spec.workload,
+        family,
         spec.seed,
         spec.len,
         spec.cache.size,
         spec.cache.line,
         spec.cache.ways,
         spec.cache.purge,
+        policy.key_label(),
     )
 }
 
 /// Canonical store key for a `sweep` result (keyed on the *effective*
 /// size list, after the paper-sizes default is applied). Grid sweeps
 /// (non-empty `ways`) key the whole grid as one record, so a warm
-/// restart answers a full sweep with a single store read.
-fn sweep_result_key(spec: &SweepSpec, sizes: &[usize]) -> String {
+/// restart answers a full sweep with a single store read. Family and
+/// policy components as in [`simulate_result_key`].
+fn sweep_result_key(
+    spec: &SweepSpec,
+    sizes: &[usize],
+    family: &str,
+    policy: Replacement,
+) -> String {
     let sizes: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
     let ways: Vec<String> = spec.ways.iter().map(|w| w.to_string()).collect();
     format!(
-        "v{}/c{}/result/sweep/{}/seed={:?}/len={}/line={}/sizes={}/ways={}",
+        "v{}/c{}/result/sweep/{}/family={}/seed={:?}/len={}/line={}/sizes={}/ways={}/policy={}",
         smith85_store::KEY_SCHEMA_VERSION,
         catalog::CATALOG_VERSION,
         spec.workload,
+        family,
         spec.seed,
         spec.len,
         spec.line,
         sizes.join(","),
         ways.join(","),
+        policy.key_label(),
     )
 }
 
@@ -132,6 +157,7 @@ pub fn run_simulate(
         panic!("diagnostic {PANIC_WORKLOAD} workload: injected worker panic");
     }
     let workload = resolve_workload(&spec.workload, spec.seed)?;
+    let policy = parse_policy(spec.policy.as_deref())?;
     let mapping = match spec.cache.ways {
         None => Mapping::FullyAssociative,
         Some(1) => Mapping::Direct,
@@ -142,6 +168,7 @@ pub fn run_simulate(
     let config = CacheConfig::builder(spec.cache.size)
         .line_size(spec.cache.line)
         .mapping(mapping)
+        .replacement(policy)
         .purge_interval(spec.cache.purge)
         .build()
         .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid cache config: {e}")))?;
@@ -149,7 +176,9 @@ pub fn run_simulate(
     // record short-circuits simulation (and pool materialization)
     // entirely. Records are CRC-checked by the store and re-parsed here,
     // so a damaged record degrades to a recompute, never a bad answer.
-    let cache_key = session.store().map(|_| simulate_result_key(spec));
+    let cache_key = session
+        .store()
+        .map(|_| simulate_result_key(spec, workload.family_name(), policy));
     if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
         if let Some(json) = store.get_json(key) {
             if let Ok(Response::Simulate(cached)) = Response::decode(&json) {
@@ -203,23 +232,32 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
         ));
     }
     let workload = resolve_workload(&spec.workload, spec.seed)?;
+    let policy = parse_policy(spec.policy.as_deref())?;
     let sizes: &[usize] = if spec.sizes.is_empty() {
         &PAPER_SIZES
     } else {
         &spec.sizes
     };
     // Validate grid specs before the store lookup so a bad request can
-    // never be served from (or written to) the result cache.
+    // never be served from (or written to) the result cache. Shape
+    // validation (sizes, ways, line) is policy-independent, so it runs
+    // against an LRU copy; the requested policy then decides the
+    // execution path below.
     let grid_spec = if spec.ways.is_empty() {
         None
     } else {
         let mut grid = GridSpec::new(sizes.to_vec(), spec.ways.clone());
         grid.line_size = spec.line;
-        smith85_cachesim::OnePassEngine::new(&grid)
+        grid.replacement = policy;
+        let mut shape_check = grid.clone();
+        shape_check.replacement = Replacement::Lru;
+        smith85_cachesim::OnePassEngine::new(&shape_check)
             .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid sweep grid: {e}")))?;
         Some(grid)
     };
-    let cache_key = session.store().map(|_| sweep_result_key(spec, sizes));
+    let cache_key = session
+        .store()
+        .map(|_| sweep_result_key(spec, sizes, workload.family_name(), policy));
     if let (Some(store), Some(key)) = (session.store(), cache_key.as_deref()) {
         if let Some(json) = store.get_json(key) {
             if let Ok(Response::Sweep(cached)) = Response::decode(&json) {
@@ -228,7 +266,7 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
         }
     }
     let points = match &grid_spec {
-        None => {
+        None if policy == Replacement::Lru => {
             let profile = session.sweep_workload(&workload, spec.len, spec.line);
             sizes
                 .iter()
@@ -241,13 +279,57 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
                 })
                 .collect()
         }
-        Some(grid_spec) => {
+        None => {
+            // Stack analysis is an LRU algorithm; non-LRU size sweeps
+            // run the per-configuration fallback over the same
+            // fully-associative design points.
+            let mut grid = GridSpec::new(sizes.to_vec(), Vec::new());
+            grid.line_size = spec.line;
+            grid.replacement = policy;
+            grid.include_fully_associative = true;
+            let cells = session
+                .sweep_policy_workload(&workload, spec.len, &grid)
+                .map_err(|e| {
+                    ErrorBody::new(ErrorCode::BadRequest, format!("invalid sweep grid: {e}"))
+                })?;
+            cells
+                .iter()
+                .map(|(cell, stats)| SweepPoint {
+                    size: cell.size_bytes,
+                    miss_ratio: stats.miss_ratio(),
+                    ways: None,
+                    traffic_ratio: None,
+                    dirty_push_fraction: None,
+                })
+                .collect()
+        }
+        Some(grid_spec) if policy == Replacement::Lru => {
             let grid = session
                 .sweep_grid_workload(&workload, spec.len, grid_spec)
                 .map_err(|e| {
                     ErrorBody::new(ErrorCode::BadRequest, format!("invalid sweep grid: {e}"))
                 })?;
             grid.iter()
+                .map(|(cell, stats)| SweepPoint {
+                    size: cell.size_bytes,
+                    miss_ratio: stats.miss_ratio(),
+                    ways: Some(cell.ways),
+                    traffic_ratio: Some(stats.traffic_ratio()),
+                    dirty_push_fraction: Some(stats.dirty_push_fraction()),
+                })
+                .collect()
+        }
+        Some(grid_spec) => {
+            // Non-LRU grids are outside the one-pass engine's envelope
+            // (it returns `OnePassUnsupported`); the per-configuration
+            // fallback simulates each realizable cell directly.
+            let cells = session
+                .sweep_policy_workload(&workload, spec.len, grid_spec)
+                .map_err(|e| {
+                    ErrorBody::new(ErrorCode::BadRequest, format!("invalid sweep grid: {e}"))
+                })?;
+            cells
+                .iter()
                 .map(|(cell, stats)| SweepPoint {
                     size: cell.size_bytes,
                     miss_ratio: stats.miss_ratio(),
@@ -272,21 +354,37 @@ pub fn run_sweep(session: &SimSession, spec: &SweepSpec) -> Result<SweepResult, 
     Ok(result)
 }
 
-/// The `catalog` response: all 49 profiles plus the mix names.
+/// The `catalog` response: the 49 CPU profiles, the storage-I/O and
+/// network-address family profiles, and the mix names.
 pub fn catalog_result() -> CatalogResult {
+    let mut profiles: Vec<CatalogEntry> = catalog::all()
+        .iter()
+        .map(|spec| {
+            let p = spec.profile();
+            CatalogEntry {
+                name: spec.name().to_string(),
+                group: spec.group().to_string(),
+                arch: p.arch.to_string(),
+                language: p.language.to_string(),
+                family: "cpu".to_string(),
+            }
+        })
+        .collect();
+    for spec in smith85_families::catalog::all() {
+        let group = match spec.family() {
+            smith85_families::Family::Storage => "Storage I/O",
+            smith85_families::Family::Network => "Network",
+        };
+        profiles.push(CatalogEntry {
+            name: spec.name().to_string(),
+            group: group.to_string(),
+            arch: "-".to_string(),
+            language: "-".to_string(),
+            family: spec.family().name().to_string(),
+        });
+    }
     CatalogResult {
-        profiles: catalog::all()
-            .iter()
-            .map(|spec| {
-                let p = spec.profile();
-                CatalogEntry {
-                    name: spec.name().to_string(),
-                    group: spec.group().to_string(),
-                    arch: p.arch.to_string(),
-                    language: p.language.to_string(),
-                }
-            })
-            .collect(),
+        profiles,
         mixes: catalog::table3_mixes()
             .into_iter()
             .map(|(name, _)| name)
@@ -315,6 +413,7 @@ mod tests {
                 ways: None,
                 purge: None,
             },
+            policy: None,
             deadline_ms: None,
         }
     }
@@ -393,6 +492,7 @@ mod tests {
             sizes: Vec::new(),
             ways: Vec::new(),
             line: 16,
+            policy: None,
             deadline_ms: None,
         };
         let served = run_sweep(&session, &spec).unwrap();
@@ -425,6 +525,7 @@ mod tests {
             sizes: vec![1_024, 4_096],
             ways: vec![1, 2, 4],
             line: 16,
+            policy: None,
             deadline_ms: None,
         };
         let served = run_sweep(&session, &spec).unwrap();
@@ -470,6 +571,7 @@ mod tests {
             sizes: vec![64],
             ways: vec![3],
             line: 16,
+            policy: None,
             deadline_ms: None,
         };
         // Non-power-of-two associativity.
@@ -489,9 +591,178 @@ mod tests {
     #[test]
     fn catalog_lists_all_profiles_and_mixes() {
         let c = catalog_result();
-        assert_eq!(c.profiles.len(), 49);
+        assert_eq!(c.profiles.len(), 49 + 10, "49 CPU + 5 storage + 5 network");
         assert_eq!(c.mixes.len(), 4);
-        assert!(c.profiles.iter().any(|e| e.name == "VCCOM"));
+        assert!(c.profiles.iter().any(|e| e.name == "VCCOM" && e.family == "cpu"));
+        assert!(c.profiles.iter().any(|e| e.name == "S-KVSTORE" && e.family == "storage"));
+        assert!(c.profiles.iter().any(|e| e.name == "N-LAN" && e.family == "network"));
         assert!(c.mixes.iter().any(|m| m == "Z8000 - Assorted"));
+    }
+
+    #[test]
+    fn unknown_workload_suggests_the_nearest_catalog_name() {
+        let err = resolve_workload("VCOM", None).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownWorkload);
+        assert!(err.message.contains("\"VCOM\""), "{}", err.message);
+        assert!(err.message.contains("\"VCCOM\""), "{}", err.message);
+        let err = resolve_workload("s-kvstor", None).unwrap_err();
+        assert!(err.message.contains("\"S-KVSTORE\""), "{}", err.message);
+    }
+
+    #[test]
+    fn family_workloads_simulate_and_sweep() {
+        let session = session();
+        let sim = run_simulate(&session, &simulate_spec("S-KVSTORE", 4_000, 2_048)).unwrap();
+        assert!(sim.miss_ratio > 0.0 && sim.miss_ratio <= 1.0);
+        let spec = SweepSpec {
+            workload: "N-LAN".to_string(),
+            len: 4_000,
+            seed: None,
+            sizes: vec![256, 1_024],
+            ways: vec![2],
+            line: 64,
+            policy: None,
+            deadline_ms: None,
+        };
+        let swept = run_sweep(&session, &spec).unwrap();
+        assert_eq!(swept.points.len(), 2);
+        assert!(swept.points[0].miss_ratio >= swept.points[1].miss_ratio);
+    }
+
+    #[test]
+    fn bad_policy_spellings_are_typed() {
+        let session = session();
+        let mut spec = simulate_spec("VCCOM", 1_000, 1_024);
+        spec.policy = Some("lifo".to_string());
+        let err = run_simulate(&session, &spec).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("lifo"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_lru_grid_sweep_matches_per_config_simulation() {
+        let session = session();
+        let spec = SweepSpec {
+            workload: "VCCOM".to_string(),
+            len: 5_000,
+            seed: None,
+            sizes: vec![1_024, 4_096],
+            ways: vec![2, 4],
+            line: 16,
+            policy: Some("fifo".to_string()),
+            deadline_ms: None,
+        };
+        let served = run_sweep(&session, &spec).unwrap();
+        assert_eq!(served.points.len(), 4);
+        let profile = catalog::by_name("VCCOM").unwrap().profile().clone();
+        let trace = profile.generate(5_000);
+        for point in &served.points {
+            let ways = point.ways.expect("grid points carry ways");
+            let config = CacheConfig::builder(point.size)
+                .line_size(16)
+                .mapping(Mapping::SetAssociative(ways))
+                .replacement(Replacement::Fifo)
+                .build()
+                .unwrap();
+            let mut cache = UnifiedCache::new(config).unwrap();
+            cache.run_slice(trace.as_slice());
+            assert_eq!(
+                point.miss_ratio.to_bits(),
+                cache.stats().miss_ratio().to_bits(),
+                "{} B {}-way fifo",
+                point.size,
+                ways
+            );
+        }
+    }
+
+    #[test]
+    fn non_lru_size_sweep_uses_the_fully_associative_fallback() {
+        let session = session();
+        let spec = SweepSpec {
+            workload: "ZGREP".to_string(),
+            len: 4_000,
+            seed: None,
+            sizes: vec![512, 2_048],
+            ways: Vec::new(),
+            line: 16,
+            policy: Some("random:7".to_string()),
+            deadline_ms: None,
+        };
+        let served = run_sweep(&session, &spec).unwrap();
+        assert_eq!(served.points.len(), 2);
+        let profile = catalog::by_name("ZGREP").unwrap().profile().clone();
+        let trace = profile.generate(4_000);
+        for point in &served.points {
+            assert!(point.ways.is_none(), "size sweeps report no ways column");
+            let config = CacheConfig::builder(point.size)
+                .line_size(16)
+                .mapping(Mapping::FullyAssociative)
+                .replacement(Replacement::Random { seed: 7 })
+                .build()
+                .unwrap();
+            let mut cache = UnifiedCache::new(config).unwrap();
+            cache.run_slice(trace.as_slice());
+            assert_eq!(
+                point.miss_ratio.to_bits(),
+                cache.stats().miss_ratio().to_bits(),
+                "{} B fully-associative random:7",
+                point.size
+            );
+        }
+    }
+
+    #[test]
+    fn v2_store_records_miss_under_the_v3_key_scheme() {
+        // Regression guard for the key-schema bump: a record written
+        // under the pre-policy v2 layout must never be served for a v3
+        // request (it would alias an LRU CPU result onto a policy run).
+        let dir = std::env::temp_dir().join(format!(
+            "smith85-serve-v2-miss-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = SimSession::builder().quick().store(&dir).build().unwrap();
+        let store = session.store().expect("store-backed session");
+        let spec = simulate_spec("VCCOM", 2_000, 1_024);
+        // Plant a decoy under the old v2 key layout (no family/policy
+        // components, schema version 2).
+        let v2_key = format!(
+            "v2/c1/result/simulate/{}/seed={:?}/len={}/size={}/line={}/ways={:?}/purge={:?}",
+            spec.workload,
+            spec.seed,
+            spec.len,
+            spec.cache.size,
+            spec.cache.line,
+            spec.cache.ways,
+            spec.cache.purge,
+        );
+        let decoy = Response::Simulate(SimulateResult {
+            workload: spec.workload.clone(),
+            len: spec.len,
+            cache_bytes: spec.cache.size,
+            refs: spec.len as u64,
+            misses: 0,
+            miss_ratio: -1.0,
+            instruction_miss_ratio: 0.0,
+            data_miss_ratio: 0.0,
+            traffic_bytes: 0,
+            queue_ms: 0,
+            exec_ms: 0,
+            trace_id: String::new(),
+        });
+        store.put_json(&v2_key, &decoy.encode()).unwrap();
+
+        let served = run_simulate(&session, &spec).unwrap();
+        assert!(
+            served.miss_ratio >= 0.0,
+            "v2 decoy must not be served: {}",
+            served.miss_ratio
+        );
+        let v3_key = simulate_result_key(&spec, "cpu", Replacement::Lru);
+        assert!(v3_key.starts_with("v3/c2/"), "{v3_key}");
+        assert_ne!(v3_key, v2_key);
+        assert!(store.get_json(&v3_key).is_some(), "fresh result cached under v3");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -76,7 +76,7 @@ pub struct CacheSpec {
 /// Parameters of a `simulate` request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateSpec {
-    /// Catalog trace or mix name.
+    /// Catalog trace, mix, or family-profile name.
     pub workload: String,
     /// References simulated.
     pub len: usize,
@@ -84,6 +84,11 @@ pub struct SimulateSpec {
     pub seed: Option<u64>,
     /// The cache to simulate.
     pub cache: CacheSpec,
+    /// Replacement policy: `"lru"` (the default when absent), `"fifo"`,
+    /// `"random"`, `"random:<seed>"` or `"plru"`. Optional in both
+    /// directions: pre-policy clients never send it, pre-policy servers
+    /// ignore it.
+    pub policy: Option<String>,
     /// Per-request deadline, measured from admission.
     pub deadline_ms: Option<u64>,
 }
@@ -91,7 +96,7 @@ pub struct SimulateSpec {
 /// Parameters of a `sweep` request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
-    /// Catalog trace or mix name.
+    /// Catalog trace, mix, or family-profile name.
     pub workload: String,
     /// References analyzed.
     pub len: usize,
@@ -106,6 +111,10 @@ pub struct SweepSpec {
     pub ways: Vec<usize>,
     /// Line size in bytes.
     pub line: usize,
+    /// Replacement policy (same spellings as `simulate`). Non-LRU
+    /// grids fall back from the one-pass engine to per-configuration
+    /// simulation server-side. Optional in both directions.
+    pub policy: Option<String>,
     /// Per-request deadline, measured from admission.
     pub deadline_ms: Option<u64>,
 }
@@ -203,18 +212,23 @@ pub struct SweepResult {
 pub struct CatalogEntry {
     /// Trace name (the `workload` key for `simulate`/`sweep`).
     pub name: String,
-    /// Workload group (the paper's §3.1 clusters).
+    /// Workload group (the paper's §3.1 clusters, or the family's
+    /// descriptive group for non-CPU profiles).
     pub group: String,
-    /// Machine architecture.
+    /// Machine architecture (`"-"` for non-CPU family profiles).
     pub arch: String,
-    /// Source language.
+    /// Source language (`"-"` for non-CPU family profiles).
     pub language: String,
+    /// Workload family: `"cpu"`, `"storage"` or `"network"`. Decoded as
+    /// `"cpu"` when absent, so pre-family servers stay readable.
+    pub family: String,
 }
 
 /// The `catalog` response payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatalogResult {
-    /// The 49 single-trace profiles.
+    /// The single-trace profiles: the 49 CPU traces plus the
+    /// storage-I/O and network family profiles.
     pub profiles: Vec<CatalogEntry>,
     /// The multiprogramming mix names (also valid `workload` keys).
     pub mixes: Vec<String>,
@@ -409,6 +423,9 @@ impl Request {
                 if let Some(seed) = spec.seed {
                     fields.push(("seed", Json::Uint(seed)));
                 }
+                if let Some(policy) = &spec.policy {
+                    fields.push(("policy", json::s(policy)));
+                }
                 if let Some(ms) = spec.deadline_ms {
                     fields.push(("deadline_ms", Json::Uint(ms)));
                 }
@@ -435,6 +452,9 @@ impl Request {
                 }
                 if let Some(seed) = spec.seed {
                     fields.push(("seed", Json::Uint(seed)));
+                }
+                if let Some(policy) = &spec.policy {
+                    fields.push(("policy", json::s(policy)));
                 }
                 if let Some(ms) = spec.deadline_ms {
                     fields.push(("deadline_ms", Json::Uint(ms)));
@@ -571,8 +591,19 @@ impl SimulateSpec {
                 },
                 purge: field_opt_u64(value, "purge")?,
             },
+            policy: field_opt_policy(value)?,
             deadline_ms: field_opt_u64(value, "deadline_ms")?,
         })
+    }
+}
+
+/// The optional `"policy"` string; `None` from pre-policy clients.
+fn field_opt_policy(value: &Json) -> Result<Option<String>, ErrorBody> {
+    match value.get("policy") {
+        None => Ok(None),
+        Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+            ErrorBody::new(ErrorCode::BadRequest, "\"policy\" must be a string")
+        }),
     }
 }
 
@@ -607,6 +638,7 @@ impl SweepSpec {
             sizes: field_usize_array(value, "sizes")?,
             ways: field_usize_array(value, "ways")?,
             line: field_usize(value, "line", DEFAULT_LINE_BYTES)?,
+            policy: field_opt_policy(value)?,
             deadline_ms: field_opt_u64(value, "deadline_ms")?,
         })
     }
@@ -676,6 +708,7 @@ impl Response {
                                     ("group", json::s(&e.group)),
                                     ("arch", json::s(&e.arch)),
                                     ("language", json::s(&e.language)),
+                                    ("family", json::s(&e.family)),
                                 ])
                             })
                             .collect(),
@@ -914,6 +947,12 @@ impl Response {
                             group: need_str(e, "group")?,
                             arch: need_str(e, "arch")?,
                             language: need_str(e, "language")?,
+                            // Optional: pre-family servers only list
+                            // CPU profiles.
+                            family: match e.get("family").and_then(Json::as_str) {
+                                Some(f) => f.to_string(),
+                                None => "cpu".to_string(),
+                            },
                         })
                     })
                     .collect::<Result<_, String>>()?;
@@ -1086,6 +1125,7 @@ mod tests {
                 ways: Some(4),
                 purge: Some(20_000),
             },
+            policy: Some("plru".into()),
             deadline_ms: Some(1_500),
         }));
         request_round_trip(Request::Simulate(SimulateSpec {
@@ -1098,6 +1138,7 @@ mod tests {
                 ways: None,
                 purge: None,
             },
+            policy: None,
             deadline_ms: None,
         }));
         request_round_trip(Request::Sweep(SweepSpec {
@@ -1107,6 +1148,7 @@ mod tests {
             sizes: vec![256, 1024, 65_536],
             ways: Vec::new(),
             line: 16,
+            policy: None,
             deadline_ms: Some(100),
         }));
         request_round_trip(Request::Sweep(SweepSpec {
@@ -1116,6 +1158,7 @@ mod tests {
             sizes: Vec::new(),
             ways: Vec::new(),
             line: DEFAULT_LINE_BYTES,
+            policy: None,
             deadline_ms: None,
         }));
         // A grid sweep: ways crossed with sizes.
@@ -1126,6 +1169,7 @@ mod tests {
             sizes: vec![1024, 16_384],
             ways: vec![1, 2, 4, 8],
             line: 16,
+            policy: Some("random:85".into()),
             deadline_ms: None,
         }));
     }
@@ -1180,12 +1224,22 @@ mod tests {
             trace_id: "00ff00ff00ff00ff".into(),
         }));
         response_round_trip(Response::Catalog(CatalogResult {
-            profiles: vec![CatalogEntry {
-                name: "VCCOM".into(),
-                group: "VAX".into(),
-                arch: "VAX".into(),
-                language: "C".into(),
-            }],
+            profiles: vec![
+                CatalogEntry {
+                    name: "VCCOM".into(),
+                    group: "VAX".into(),
+                    arch: "VAX".into(),
+                    language: "C".into(),
+                    family: "cpu".into(),
+                },
+                CatalogEntry {
+                    name: "S-KVSTORE".into(),
+                    group: "Storage I/O".into(),
+                    arch: "-".into(),
+                    language: "-".into(),
+                    family: "storage".into(),
+                },
+            ],
             mixes: vec!["Z8000 - Assorted".into()],
         }));
         response_round_trip(Response::Stats(StatsResult {
@@ -1390,6 +1444,40 @@ mod tests {
             Request::decode("{\"type\":\"simulate\",\"workload\":\"W\",\"size\":64,\"ways\":\"half\"}")
                 .unwrap_err();
         assert_eq!(bad_ways.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn policy_and_family_are_optional_in_both_directions() {
+        // A pre-policy client's simulate line decodes to policy: None.
+        let parsed = Request::decode(
+            "{\"type\":\"simulate\",\"workload\":\"VCCOM\",\"size\":1024}",
+        )
+        .unwrap();
+        match parsed {
+            Request::Simulate(spec) => assert_eq!(spec.policy, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A policy-carrying line round-trips the exact spelling.
+        let parsed = Request::decode(
+            "{\"type\":\"sweep\",\"workload\":\"S-SCAN\",\"policy\":\"fifo\"}",
+        )
+        .unwrap();
+        match parsed {
+            Request::Sweep(spec) => assert_eq!(spec.policy.as_deref(), Some("fifo")),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A non-string policy is a typed error, not a panic.
+        let bad = Request::decode(
+            "{\"type\":\"simulate\",\"workload\":\"W\",\"size\":64,\"policy\":7}",
+        )
+        .unwrap_err();
+        assert_eq!(bad.code, ErrorCode::BadRequest);
+        // A pre-family server's catalog entry defaults to the CPU family.
+        let line = "{\"type\":\"catalog_result\",\"profiles\":[{\"name\":\"VCCOM\",                    \"group\":\"VAX\",\"arch\":\"VAX\",\"language\":\"C\"}],\"mixes\":[]}";
+        match Response::decode(line).unwrap() {
+            Response::Catalog(r) => assert_eq!(r.profiles[0].family, "cpu"),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn simulate_request(workload: &str, len: usize, size: usize) -> Request {
             ways: None,
             purge: None,
         },
+        policy: None,
         deadline_ms: None,
     })
 }

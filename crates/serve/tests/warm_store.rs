@@ -43,6 +43,7 @@ fn simulate_request() -> Request {
             ways: None,
             purge: None,
         },
+        policy: None,
         deadline_ms: None,
     })
 }
@@ -127,6 +128,7 @@ fn grid_sweep_request() -> Request {
         sizes: vec![1_024, 4_096, 16_384],
         ways: vec![1, 2, 4, 8],
         line: 16,
+        policy: None,
         deadline_ms: None,
     })
 }

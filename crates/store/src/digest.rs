@@ -23,8 +23,12 @@
 ///
 /// History: v1 keyed sweeps on sizes only; v2 adds the grid `ways`
 /// component (one-pass multi-configuration sweeps), so v1 sweep
-/// records miss cleanly instead of aliasing a grid result.
-pub const KEY_SCHEMA_VERSION: u32 = 2;
+/// records miss cleanly instead of aliasing a grid result; v3 adds the
+/// replacement-policy and workload-family components (the policy
+/// matrix and the storage/network families), so v2 records keyed
+/// before policies existed miss cleanly instead of aliasing an
+/// LRU-only result.
+pub const KEY_SCHEMA_VERSION: u32 = 3;
 
 /// The FxHash multiplier (64-bit variant).
 const FX_K: u64 = 0x517c_c1b7_2722_0a95;

@@ -39,6 +39,13 @@ impl ProfileError {
             message: message.into(),
         }
     }
+
+    /// Wraps a validation message from outside the CPU-profile builder
+    /// (the non-CPU families validate with their own knobs but surface
+    /// through the same workload error type).
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self::new(message)
+    }
 }
 
 impl fmt::Display for ProfileError {

@@ -20,10 +20,13 @@ use smith85_trace::{MachineArch, SourceLanguage, Trace};
 use std::fmt;
 
 /// Version of the calibrated catalog data. Bump whenever any profile
-/// parameter changes, so persisted artifacts keyed on the old
-/// calibration (trace spills, cached results) miss instead of replaying
-/// a stale stream.
-pub const CATALOG_VERSION: u32 = 1;
+/// parameter changes — or the servable catalog namespace itself grows —
+/// so persisted artifacts keyed on the old calibration (trace spills,
+/// cached results) miss instead of replaying a stale stream.
+///
+/// History: v1 was the 49 CPU profiles alone; v2 marks the catalog that
+/// also serves the storage-I/O and network-address family profiles.
+pub const CATALOG_VERSION: u32 = 2;
 
 /// The workload group a trace belongs to (the paper's §3.1 clusters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

@@ -39,6 +39,10 @@ pub struct TraceCharacterizer {
     counts: [u64; 3],
     branches: u64,
     last_ifetch: Option<u64>,
+    last_addr: Option<u64>,
+    last_delta: i64,
+    sequential: u64,
+    repeats: u64,
     ilines: HashSet<u64>,
     dlines: HashSet<u64>,
 }
@@ -64,6 +68,10 @@ impl TraceCharacterizer {
             counts: [0; 3],
             branches: 0,
             last_ifetch: None,
+            last_addr: None,
+            last_delta: 0,
+            sequential: 0,
+            repeats: 0,
             ilines: HashSet::new(),
             dlines: HashSet::new(),
         }
@@ -72,6 +80,22 @@ impl TraceCharacterizer {
     /// Records one access.
     pub fn observe(&mut self, access: MemoryAccess) {
         self.counts[access.kind.index()] += 1;
+        // Stride bookkeeping for the sequentiality/repeat statistics the
+        // non-CPU families are characterized by: an access is
+        // *sequential* when it continues the previous positive stride
+        // (an instruction run, a storage scan at block stride), and a
+        // *repeat* when it re-references the previous address exactly
+        // (a network packet train).
+        if let Some(prev) = self.last_addr {
+            let delta = access.addr.get().wrapping_sub(prev) as i64;
+            if delta == 0 {
+                self.repeats += 1;
+            } else if delta > 0 && delta == self.last_delta {
+                self.sequential += 1;
+            }
+            self.last_delta = delta;
+        }
+        self.last_addr = Some(access.addr.get());
         let line = access.line(self.line_size).get();
         match access.kind {
             AccessKind::InstructionFetch => {
@@ -97,6 +121,8 @@ impl TraceCharacterizer {
             line_size: self.line_size,
             counts: self.counts,
             branches: self.branches,
+            sequential: self.sequential,
+            repeats: self.repeats,
             ilines: self.ilines.len() as u64,
             dlines: self.dlines.len() as u64,
         }
@@ -128,6 +154,8 @@ pub struct TraceCharacteristics {
     line_size: usize,
     counts: [u64; 3],
     branches: u64,
+    sequential: u64,
+    repeats: u64,
     ilines: u64,
     dlines: u64,
 }
@@ -187,6 +215,20 @@ impl TraceCharacteristics {
         } else {
             self.branches as f64 / self.ifetches() as f64
         }
+    }
+
+    /// Fraction of references that continue a constant positive address
+    /// stride — instruction runs, storage scans. The first two
+    /// references of a stride never count, so a run of length `n`
+    /// contributes `n - 2`.
+    pub fn sequential_fraction(&self) -> f64 {
+        self.fraction(self.sequential)
+    }
+
+    /// Fraction of references that re-reference the immediately
+    /// preceding address — packet trains, tight data loops.
+    pub fn repeat_fraction(&self) -> f64 {
+        self.fraction(self.repeats)
     }
 
     /// Number of distinct instruction lines touched ("#Ilines").
@@ -319,6 +361,35 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_line_size() {
         let _ = TraceCharacterizer::with_line_size(24);
+    }
+
+    #[test]
+    fn sequential_and_repeat_fractions() {
+        let mut c = TraceCharacterizer::new();
+        // A 5-access stride-0x10 scan: accesses 3..5 continue the stride.
+        for i in 0..5 {
+            c.observe(MemoryAccess::read(Addr::new(0x1000 + i * 0x10), 4));
+        }
+        // Three repeats of one address (a packet train).
+        for _ in 0..3 {
+            c.observe(MemoryAccess::read(Addr::new(0x9000), 4));
+        }
+        let s = c.finish();
+        assert_eq!(s.total_refs(), 8);
+        assert!((s.sequential_fraction() - 3.0 / 8.0).abs() < 1e-12);
+        // The first train access breaks the stride; the next two repeat.
+        assert!((s.repeat_fraction() - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_strides_are_not_sequential() {
+        let mut c = TraceCharacterizer::new();
+        for i in (0..5).rev() {
+            c.observe(MemoryAccess::read(Addr::new(0x1000 + i * 0x10), 4));
+        }
+        let s = c.finish();
+        assert_eq!(s.sequential_fraction(), 0.0);
+        assert_eq!(s.repeat_fraction(), 0.0);
     }
 
     #[test]
