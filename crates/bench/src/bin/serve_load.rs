@@ -8,20 +8,27 @@
 //!
 //! ```text
 //! cargo run --release -p smith85-bench --bin serve_load -- \
-//!     [quick|paper] [--addr HOST:PORT] [--store DIR] [OUT.json]
+//!     [quick|paper] [--addr HOST:PORT] [--store DIR] [--connections N] \
+//!     [OUT.json]
 //! ```
 //!
 //! Without `--addr` the generator spawns an in-process server on an
 //! ephemeral port, which keeps the benchmark self-contained and
-//! runnable in CI. With `--store DIR` the benchmark measures the
-//! persistent store's warm-start win: it runs the load twice against the
-//! same store directory — a cold pass on an empty store, then a restarted
-//! server over the now-populated store — and reports both passes side by
-//! side. Results land in `OUT.json` (default `BENCH_serve.json`),
+//! runnable in CI, and appends a `scale_out` section: an event-loop
+//! pass at >= 64 connections (the regime where a thread-per-connection
+//! accept loop falls over) and a two-backend router pass whose
+//! responses are checked bit-identical against a direct single-node
+//! call. With `--store DIR` the benchmark measures the persistent
+//! store's warm-start win: it runs the load twice against the same
+//! store directory — a cold pass on an empty store, then a restarted
+//! server over the now-populated store — and reports both passes side
+//! by side. Results land in `OUT.json` (default `BENCH_serve.json`),
 //! documented in `EXPERIMENTS.md`.
 
 use smith85_core::session::SimSession;
-use smith85_serve::{CacheSpec, Client, Request, Response, ServeOptions, Server, SimulateSpec};
+use smith85_serve::{
+    CacheSpec, Client, Request, Response, RouterOptions, ServeOptions, Server, SimulateSpec,
+};
 use std::time::Instant;
 
 /// Workloads cycled through by every connection; repeats make the
@@ -76,7 +83,10 @@ fn drive_connection(
     id: usize,
     config: &ModeConfig,
 ) -> Result<ConnectionOutcome, std::io::Error> {
-    let mut client = Client::connect(addr)?;
+    let mut client = Client::builder()
+        .addr(addr)
+        .connect()
+        .map_err(std::io::Error::other)?;
     let mut outcome = ConnectionOutcome {
         latencies_ms: Vec::with_capacity(config.requests_per_connection),
         rejections: 0,
@@ -98,7 +108,9 @@ fn drive_connection(
             deadline_ms: None,
         });
         let start = Instant::now();
-        let response = client.call(&request)?;
+        // call_raw keeps server-side errors as wire responses so the
+        // overload tally below sees them.
+        let response = client.call_raw(&request)?;
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         match response {
             Response::Simulate(_) => outcome.latencies_ms.push(elapsed_ms),
@@ -140,7 +152,10 @@ fn run_pass(target: &str, config: &ModeConfig) -> PassResult {
     latencies.sort_by(|a, b| a.total_cmp(b));
 
     let stats = {
-        let mut client = Client::connect(target).expect("stats connection");
+        let mut client = Client::builder()
+            .addr(target)
+            .connect()
+            .expect("stats connection");
         match client.call(&Request::Stats).expect("stats request") {
             Response::Stats(stats) => Some(stats),
             _ => None,
@@ -160,12 +175,150 @@ fn spawn_store_server(store_dir: &str) -> smith85_serve::RunningServer {
         .store(store_dir)
         .build()
         .expect("session with store");
-    Server::spawn(ServeOptions {
-        addr: "127.0.0.1:0".to_string(),
-        session,
-        ..ServeOptions::default()
-    })
+    Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .session(session)
+            .build()
+            .expect("store-backed serve options"),
+    )
     .expect("spawn store-backed server")
+}
+
+/// The scale-out measurements appended when the benchmark owns its own
+/// servers: an event-loop pass at many connections, and a router pass
+/// over two in-process backend shards.
+struct ScaleOut {
+    event_loop_connections: usize,
+    event_loop: PassResult,
+    router_backends: usize,
+    router: PassResult,
+    bit_identical: bool,
+}
+
+/// Normalizes a response for payload comparison: queue/exec timings and
+/// trace ids legitimately differ between two executions of the same
+/// deterministic request, everything else must match bit-for-bit.
+fn normalized(response: &Response) -> String {
+    let mut response = response.clone();
+    match &mut response {
+        Response::Simulate(r) => {
+            r.queue_ms = 0;
+            r.exec_ms = 0;
+            r.trace_id = String::new();
+        }
+        Response::Sweep(r) => {
+            r.queue_ms = 0;
+            r.exec_ms = 0;
+            r.trace_id = String::new();
+        }
+        _ => {}
+    }
+    response.encode()
+}
+
+/// Issues the same deterministic requests through the router and
+/// directly to a backend shard; the payloads must agree exactly.
+fn check_bit_identical(router_addr: &str, backend_addr: &str, trace_len: usize) -> bool {
+    let mut via_router = Client::builder()
+        .addr(router_addr)
+        .connect()
+        .expect("router connection");
+    let mut direct = Client::builder()
+        .addr(backend_addr)
+        .connect()
+        .expect("backend connection");
+    (0..WORKLOADS.len()).all(|i| {
+        let request = Request::Simulate(SimulateSpec {
+            workload: WORKLOADS[i].to_string(),
+            len: trace_len,
+            seed: None,
+            cache: CacheSpec {
+                size: SIZES[i % SIZES.len()],
+                line: 16,
+                ways: None,
+                purge: None,
+            },
+            policy: None,
+            deadline_ms: None,
+        });
+        let routed = via_router.call(&request).expect("routed simulate");
+        let local = direct.call(&request).expect("direct simulate");
+        normalized(&routed) == normalized(&local)
+    })
+}
+
+/// Runs the event-loop and router passes against in-process servers.
+fn run_scale_out(config: &ModeConfig) -> ScaleOut {
+    // Event loop: the connection count where a thread-per-connection
+    // accept loop (with its 100ms accept cadence) stops keeping up.
+    let connections = config.connections.max(64);
+    let event_server = Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .queue_capacity(connections * 4)
+            .build()
+            .expect("event-loop serve options"),
+    )
+    .expect("spawn event-loop server");
+    let event_config = ModeConfig {
+        connections,
+        requests_per_connection: 4,
+        trace_len: config.trace_len,
+    };
+    let event_pass = run_pass(&event_server.addr().to_string(), &event_config);
+    event_server.stop().expect("clean event-loop shutdown");
+    print_pass("event-loop", &event_config, "in-process", &event_pass);
+
+    // Router: two backend shards plus a front router, all in-process.
+    let backends: Vec<smith85_serve::RunningServer> = (0..2)
+        .map(|_| {
+            Server::spawn(
+                ServeOptions::builder()
+                    .addr("127.0.0.1:0")
+                    .build()
+                    .expect("backend serve options"),
+            )
+            .expect("spawn backend shard")
+        })
+        .collect();
+    let backend_addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    let router_server = Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .router(RouterOptions {
+                backends: backend_addrs.clone(),
+                probe_interval_ms: 100,
+                ..RouterOptions::default()
+            })
+            .build()
+            .expect("router serve options"),
+    )
+    .expect("spawn router");
+    let router_addr = router_server.addr().to_string();
+    let bit_identical = check_bit_identical(&router_addr, &backend_addrs[0], config.trace_len);
+    let router_config = ModeConfig {
+        connections: config.connections,
+        requests_per_connection: config.requests_per_connection,
+        trace_len: config.trace_len,
+    };
+    let router_pass = run_pass(&router_addr, &router_config);
+    router_server.stop().expect("clean router shutdown");
+    for backend in backends {
+        backend.stop().expect("clean backend shutdown");
+    }
+    print_pass("router", &router_config, "2 shards", &router_pass);
+    println!(
+        "router: responses bit-identical to a direct backend call: {bit_identical}"
+    );
+
+    ScaleOut {
+        event_loop_connections: connections,
+        event_loop: event_pass,
+        router_backends: 2,
+        router: router_pass,
+        bit_identical,
+    }
 }
 
 /// One pass's JSON object (shared shape for the top level and the
@@ -241,10 +394,11 @@ fn render_json(
     target: &str,
     primary: &PassResult,
     store: Option<(&str, &PassResult)>,
+    scale_out: Option<&ScaleOut>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"smith85-serve-bench-v2\",\n");
+    s.push_str("  \"schema\": \"smith85-serve-bench-v3\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"target\": \"{target}\",\n"));
     s.push_str(&format!("  \"connections\": {},\n", config.connections));
@@ -271,6 +425,42 @@ fn render_json(
             s.push_str("  }\n");
         }
         None => s.push_str("  \"store\": null\n"),
+    }
+    s.pop();
+    s.push_str(",\n");
+    match scale_out {
+        Some(so) => {
+            s.push_str("  \"scale_out\": {\n");
+            s.push_str("    \"event_loop\": {\n");
+            s.push_str(&format!(
+                "      \"connections\": {},\n",
+                so.event_loop_connections
+            ));
+            s.push_str(&render_pass("      ", &so.event_loop));
+            s.push_str("    },\n");
+            s.push_str("    \"router\": {\n");
+            s.push_str(&format!("      \"backends\": {},\n", so.router_backends));
+            s.push_str(&format!(
+                "      \"bit_identical\": {},\n",
+                so.bit_identical
+            ));
+            if let Some(counters) = so.router.stats.as_ref().and_then(|st| st.router.as_ref()) {
+                s.push_str(&format!("      \"forwarded\": {},\n", counters.forwarded));
+                s.push_str(&format!("      \"hedged\": {},\n", counters.hedged));
+                s.push_str(&format!(
+                    "      \"shard_overloads\": {},\n",
+                    counters.shard_overloads
+                ));
+                s.push_str(&format!(
+                    "      \"shards_healthy\": {},\n",
+                    counters.healthy
+                ));
+            }
+            s.push_str(&render_pass("      ", &so.router));
+            s.push_str("    }\n");
+            s.push_str("  }\n");
+        }
+        None => s.push_str("  \"scale_out\": null\n"),
     }
     s.push_str("}\n");
     s
@@ -312,12 +502,21 @@ fn main() {
     let mut out_path = "BENCH_serve.json".to_string();
     let mut addr: Option<String> = None;
     let mut store_dir: Option<String> = None;
+    let mut connections_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "quick" | "paper" => mode = arg,
             "--addr" => addr = Some(args.next().expect("--addr needs HOST:PORT")),
             "--store" => store_dir = Some(args.next().expect("--store needs DIR")),
+            "--connections" => {
+                connections_override = Some(
+                    args.next()
+                        .expect("--connections needs N")
+                        .parse()
+                        .expect("--connections N must be a number"),
+                )
+            }
             other => out_path = other.to_string(),
         }
     }
@@ -325,7 +524,7 @@ fn main() {
         eprintln!("--store spawns its own in-process servers; drop --addr");
         std::process::exit(2);
     }
-    let config = if mode == "quick" {
+    let mut config = if mode == "quick" {
         ModeConfig {
             connections: 4,
             requests_per_connection: 8,
@@ -338,6 +537,9 @@ fn main() {
             trace_len: 50_000,
         }
     };
+    if let Some(n) = connections_override {
+        config.connections = n.max(1);
+    }
 
     if let Some(dir) = &store_dir {
         // Cold/warm store comparison: an empty store, a full load pass,
@@ -359,7 +561,14 @@ fn main() {
             warm.requests_per_sec() / cold.requests_per_sec().max(1e-12)
         );
 
-        let json = render_json(&mode, &config, "in-process --store", &cold, Some((dir, &warm)));
+        let json = render_json(
+            &mode,
+            &config,
+            "in-process --store",
+            &cold,
+            Some((dir, &warm)),
+            None,
+        );
         std::fs::write(&out_path, &json).expect("write benchmark result file");
         println!("wrote {out_path}");
         return;
@@ -370,10 +579,12 @@ fn main() {
     let in_process = match addr {
         Some(_) => None,
         None => Some(
-            Server::spawn(ServeOptions {
-                addr: "127.0.0.1:0".to_string(),
-                ..ServeOptions::default()
-            })
+            Server::spawn(
+                ServeOptions::builder()
+                    .addr("127.0.0.1:0")
+                    .build()
+                    .expect("serve options"),
+            )
             .expect("spawn in-process server"),
         ),
     };
@@ -389,12 +600,24 @@ fn main() {
     };
 
     let pass = run_pass(&target, &config);
+    let owns_servers = in_process.is_some();
     if let Some(server) = in_process {
         server.stop().expect("clean shutdown");
     }
     print_pass("load", &config, &target_label, &pass);
 
-    let json = render_json(&mode, &config, &target_label, &pass, None);
+    // Scale-out passes spawn their own servers, so they only run when
+    // the benchmark owns the topology (no --addr).
+    let scale_out = owns_servers.then(|| run_scale_out(&config));
+
+    let json = render_json(
+        &mode,
+        &config,
+        &target_label,
+        &pass,
+        None,
+        scale_out.as_ref(),
+    );
     std::fs::write(&out_path, &json).expect("write benchmark result file");
     println!("wrote {out_path}");
 }

@@ -70,9 +70,13 @@ USAGE:
       and the rest of the suite still runs.
   smith85 serve [--addr HOST:PORT] [--unix PATH] [--workers N] [--queue N]
           [--deadline-ms N] [--metrics-addr HOST:PORT] [--journal PATH]
-          [--store DIR] [--store-budget BYTES]
+          [--store DIR] [--store-budget BYTES] [--router ADDR,ADDR,...]
+          [--probe-ms MS] [--shard-inflight N] [--router-replicas N]
+          [--event-loop false]
       Run the simulation server (newline-delimited JSON over TCP, plus a
-      Unix socket with --unix). Requests past the queue bound get a typed
+      Unix socket with --unix). A poll-based event loop owns connections
+      (idle ones cost nothing; --event-loop false falls back to a thread
+      per connection). Requests past the queue bound get a typed
       \"overloaded\" rejection. --metrics-addr serves Prometheus text
       exposition at /metrics. --journal appends every request's spans and
       access-log events to an NDJSON trace journal (see `smith85 trace`).
@@ -80,9 +84,16 @@ USAGE:
       a restarted server answers previously-seen requests bit-identically
       without regenerating anything (corrupt entries are quarantined at
       startup, never served). --store-budget caps the store size with LRU
-      eviction. Ctrl-C drains in-flight jobs and exits.
+      eviction. --router turns the node into a shard router: simulate and
+      sweep requests consistent-hash across the listed backends, a prober
+      (every --probe-ms, default 500) marks dead shards down, each shard
+      carries an in-flight budget (--shard-inflight, default 32) answered
+      as typed \"overloaded\" when full, and a refused shard fails over to
+      the next distinct shard on the hash ring (--router-replicas vnodes
+      per shard, default 64). --router cannot be combined with --store.
+      Ctrl-C drains in-flight jobs and exits.
   smith85 submit TYPE [--addr HOST:PORT] [--unix PATH] [--json true]
-          [--retries N] [--backoff-ms MS] ...
+          [--retries N] [--backoff-ms MS] [--trace-id ID] ...
       Send one request to a running server. TYPE is one of:
         simulate --workload NAME --size BYTES [--len N] [--seed N]
                  [--line BYTES] [--ways N|full] [--purge N] [--policy P]
@@ -96,7 +107,9 @@ USAGE:
       --retries N retries transient failures (typed \"overloaded\"
       rejections and refused connections) with capped exponential backoff
       starting at --backoff-ms (default 100 ms) plus jitter; anything
-      else fails immediately.
+      else fails immediately. --trace-id tags the request envelope so the
+      server (and any backend shard behind a router) journals it under
+      the caller's id.
   smith85 cache ACTION --store DIR [--budget BYTES]
       Inspect or maintain a persistent store directory. ACTION is one of:
         stats   print entry/byte counts, hit/miss/write tallies and the
@@ -737,22 +750,24 @@ fn pool_summary(stats: &smith85_core::trace_pool::PoolStats) -> String {
 pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
     opts.expect_only(&[
         "addr", "unix", "workers", "queue", "deadline-ms", "metrics-addr", "journal", "store",
-        "store-budget",
+        "store-budget", "router", "probe-ms", "shard-inflight", "router-replicas", "event-loop",
     ])?;
-    let mut options = smith85_serve::ServeOptions {
-        addr: opts.get("addr").unwrap_or("127.0.0.1:4085").to_string(),
-        ..smith85_serve::ServeOptions::default()
-    };
+    let defaults = smith85_serve::ServeOptions::default();
+    let mut builder = smith85_serve::ServeOptions::builder()
+        .addr(opts.get("addr").unwrap_or("127.0.0.1:4085"))
+        .workers(opts.get_parse("workers", defaults.workers)?.max(1))
+        .queue_capacity(opts.get_parse("queue", defaults.queue_capacity)?)
+        .event_loop(opts.get_parse("event-loop", true)?);
     if let Some(store_dir) = opts.get("store") {
-        let mut builder = SimSession::builder().store(store_dir);
+        let mut session = SimSession::builder().store(store_dir);
         if let Some(budget) = opts.get("store-budget") {
-            builder = builder.store_budget(
+            session = session.store_budget(
                 budget
                     .parse()
                     .map_err(|_| CliError::usage(format!("bad --store-budget {budget:?}")))?,
             );
         }
-        let session = builder
+        let session = session
             .build()
             .map_err(|e| CliError::usage(format!("invalid configuration: {e}")))?;
         if let Some(store) = session.store() {
@@ -765,23 +780,67 @@ pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
                 eprintln!("smith85-serve: quarantined {} ({})", entry.name, entry.reason);
             }
         }
-        options.session = session;
+        builder = builder.session(session);
     } else if opts.get("store-budget").is_some() {
         return Err(CliError::usage("--store-budget needs --store DIR"));
     }
-    options.unix_path = opts.get("unix").map(std::path::PathBuf::from);
-    options.workers = opts.get_parse("workers", options.workers)?.max(1);
-    options.queue_capacity = opts.get_parse("queue", options.queue_capacity)?;
+    let router = match opts.get("router") {
+        Some(backends) => {
+            let router_defaults = smith85_serve::RouterOptions::default();
+            Some(smith85_serve::RouterOptions {
+                backends: backends
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+                probe_interval_ms: opts
+                    .get_parse("probe-ms", router_defaults.probe_interval_ms)?,
+                shard_inflight: opts
+                    .get_parse("shard-inflight", router_defaults.shard_inflight)?,
+                replicas: opts.get_parse("router-replicas", router_defaults.replicas)?,
+                ..router_defaults
+            })
+        }
+        None => {
+            for flag in ["probe-ms", "shard-inflight", "router-replicas"] {
+                if opts.get(flag).is_some() {
+                    return Err(CliError::usage(format!(
+                        "--{flag} needs --router ADDR[,ADDR...]"
+                    )));
+                }
+            }
+            None
+        }
+    };
+    let routed = router.is_some();
+    if let Some(router) = router {
+        builder = builder.router(router);
+    }
+    if let Some(path) = opts.get("unix") {
+        builder = builder.unix_path(path);
+    }
     if let Some(ms) = opts.get("deadline-ms") {
-        options.default_deadline_ms = Some(
+        builder = builder.default_deadline_ms(
             ms.parse()
                 .map_err(|_| CliError::usage(format!("bad --deadline-ms {ms:?}")))?,
         );
     }
-    options.metrics_addr = opts.get("metrics-addr").map(str::to_string);
-    options.journal = opts.get("journal").map(std::path::PathBuf::from);
+    if let Some(addr) = opts.get("metrics-addr") {
+        builder = builder.metrics_addr(addr);
+    }
+    if let Some(path) = opts.get("journal") {
+        builder = builder.journal(path);
+    }
+    let options = builder
+        .build()
+        .map_err(|e| CliError::usage(format!("invalid serve configuration: {e}")))?;
     let (workers, queue) = (options.workers, options.queue_capacity);
     let unix = options.unix_path.clone();
+    let backends = options
+        .router
+        .as_ref()
+        .map(|r| r.backends.join(", "));
     let server = smith85_serve::Server::bind(options)?;
     // The banner goes to stderr immediately; the returned string only
     // exists once the server has already shut down.
@@ -795,6 +854,9 @@ pub(crate) fn serve(opts: &Opts) -> Result<String, CliError> {
             .map(|p| format!(", unix socket {}", p.display()))
             .unwrap_or_default(),
     );
+    if let Some(backends) = backends.filter(|_| routed) {
+        eprintln!("smith85-serve: routing simulate/sweep across shards [{backends}]");
+    }
     if let Some(addr) = server.metrics_addr() {
         eprintln!("smith85-serve: Prometheus metrics on http://{addr}/metrics");
     }
@@ -1013,6 +1075,19 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
                     one_pass.refs, one_pass.grid_cells
                 );
             }
+            if let Some(router) = &s.router {
+                let _ = writeln!(
+                    out,
+                    "router: {}/{} shards healthy, {} forwarded, {} hedged, \
+                     {} shard overloads, {} health probes",
+                    router.healthy,
+                    router.shards,
+                    router.forwarded,
+                    router.hedged,
+                    router.shard_overloads,
+                    router.health_probes
+                );
+            }
         }
         Response::Metrics(snapshot) => {
             let _ = writeln!(out, "counters:");
@@ -1062,6 +1137,7 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
         "deadline-ms",
         "retries",
         "backoff-ms",
+        "trace-id",
     ])?;
     let kind = opts
         .positional()
@@ -1083,23 +1159,41 @@ pub(crate) fn submit(opts: &Opts) -> Result<String, CliError> {
             "--unix is only available on unix targets; use --addr",
         ));
     }
-    let unix = opts.get("unix").map(std::path::PathBuf::from);
-    let addr = opts.get("addr").unwrap_or("127.0.0.1:4085").to_string();
-    let connect = move || match &unix {
+    let mut builder = smith85_serve::Client::builder().retry_policy(policy);
+    builder = match opts.get("unix") {
         #[cfg(unix)]
-        Some(path) => smith85_serve::Client::connect_unix(path),
+        Some(path) => builder.unix(path),
         #[cfg(not(unix))]
         Some(_) => unreachable!("rejected above"),
-        None => smith85_serve::Client::connect(&addr),
+        None => builder.addr(opts.get("addr").unwrap_or("127.0.0.1:4085")),
     };
-    let response =
-        smith85_serve::call_with_retry(connect, &request, policy, std::thread::sleep)?;
+    if let Some(id) = opts.get("trace-id") {
+        builder = builder.trace_id(id);
+    }
+    let mut client = builder.connect().map_err(client_error)?;
+    // A typed server error stays a wire response here so `--json` can
+    // print it verbatim; render_response turns it into a CliError.
+    let response = match client.call(&request) {
+        Ok(response) => response,
+        Err(smith85_serve::ClientError::Server(body)) => smith85_serve::Response::Error(body),
+        Err(other) => return Err(client_error(other)),
+    };
     if opts.get("json").is_some() {
         let mut line = response.encode();
         line.push('\n');
         return Ok(line);
     }
     render_response(&response)
+}
+
+/// Maps a client failure onto the CLI's error surface: transport
+/// problems keep their `io::Error` (and exit-code semantics), protocol
+/// and configuration failures become server-side messages.
+fn client_error(e: smith85_serve::ClientError) -> CliError {
+    match e {
+        smith85_serve::ClientError::Io(e) => CliError::File(e),
+        other => CliError::Server(other.to_string()),
+    }
 }
 
 pub(crate) fn cache(opts: &Opts) -> Result<String, CliError> {

@@ -1,15 +1,21 @@
 //! A blocking NDJSON client for the serve protocol.
 //!
-//! One request per [`Client::call`]; responses come back in order, so a
-//! single connection is also a valid way to issue a request sequence.
+//! The supported surface is [`Client::builder`]: pick an [`Endpoint`]
+//! (TCP, Unix socket, or in-process loopback), optionally attach a
+//! default deadline, a [`RetryPolicy`] and a trace id, then
+//! [`ClientBuilder::connect`]. [`Client::call`] returns a typed
+//! [`ClientError`] — a server-side [`ErrorBody`] is `Err(Server(..))`,
+//! not a response the caller has to pattern-match for failure.
+//!
+//! One request per call; responses come back in order, so a single
+//! connection is also a valid way to issue a request sequence.
 
-use crate::protocol::{ErrorCode, Request, Response, MAX_LINE_BYTES};
+use crate::protocol::{ErrorBody, ErrorCode, Request, Response, MAX_LINE_BYTES};
+use crate::transport::{Endpoint, LoopbackHub, Transport};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-#[cfg(unix)]
-use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Ceiling for one backoff delay, whatever the attempt count.
@@ -60,9 +66,69 @@ impl RetryPolicy {
     }
 }
 
+/// What a [`Client::call`] can fail with, each failure mode typed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure: connect, write, read, or timeout.
+    Io(io::Error),
+    /// The server answered with a typed protocol error.
+    Server(ErrorBody),
+    /// The server's reply line did not decode.
+    Protocol(String),
+    /// The builder was misconfigured (e.g. an invalid trace id).
+    Config(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(body) => write!(f, "server error: {body}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Config(msg) => write!(f, "client configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error body, when that is what failed.
+    pub fn server_error(&self) -> Option<&ErrorBody> {
+        match self {
+            ClientError::Server(body) => Some(body),
+            _ => None,
+        }
+    }
+
+    /// Whether this failure is worth retrying: a typed `overloaded`
+    /// response or a refused connection.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Server(body) => body.code == ErrorCode::Overloaded,
+            ClientError::Io(e) => e.kind() == io::ErrorKind::ConnectionRefused,
+            _ => false,
+        }
+    }
+}
+
 /// Whether a call outcome is worth retrying: a typed `overloaded`
 /// response or a refused connection. Everything else — including other
 /// typed errors and other I/O failures — is permanent.
+#[deprecated(note = "use Client::builder() with a retry_policy, or ClientError::is_transient")]
 pub fn is_transient(result: &io::Result<Response>) -> bool {
     match result {
         Ok(Response::Error(body)) => body.code == ErrorCode::Overloaded,
@@ -79,24 +145,20 @@ pub fn is_transient(result: &io::Result<Response>) -> bool {
 /// # Errors
 ///
 /// Whatever the last attempt returned.
+#[deprecated(note = "use Client::builder() with a retry_policy; retries now live on Client::call")]
 pub fn call_with_retry(
     mut connect: impl FnMut() -> io::Result<Client>,
     request: &Request,
     policy: RetryPolicy,
     mut sleep: impl FnMut(Duration),
 ) -> io::Result<Response> {
-    // Jitter seed: stable per request shape, so reruns are reproducible,
-    // but different requests in a sweep spread their retries.
-    let encoded = request.encode();
-    let seed = encoded
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-        });
+    let seed = jitter_seed(&request.encode());
     let mut attempt = 0;
     loop {
-        let result = connect().and_then(|mut client| client.call(request));
-        if !is_transient(&result) || attempt >= policy.retries {
+        let result = connect().and_then(|mut client| client.call_raw(request));
+        #[allow(deprecated)]
+        let transient = is_transient(&result);
+        if !transient || attempt >= policy.retries {
             return result;
         }
         sleep(Duration::from_millis(policy.delay_ms(attempt, seed)));
@@ -104,60 +166,181 @@ pub fn call_with_retry(
     }
 }
 
-enum Transport {
-    Tcp(TcpStream),
+/// Jitter seed: stable per request shape, so reruns are reproducible,
+/// but different requests in a sweep spread their retries.
+fn jitter_seed(encoded: &str) -> u64 {
+    encoded.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Configures and connects a [`Client`] (see [`Client::builder`]).
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    endpoint: Endpoint,
+    deadline_ms: Option<u64>,
+    retry: RetryPolicy,
+    trace_id: Option<String>,
+    timeout: Option<Duration>,
+}
+
+impl ClientBuilder {
+    /// Connect over TCP to `addr`.
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.endpoint = Endpoint::Tcp(addr.into());
+        self
+    }
+
+    /// Connect to a Unix-domain socket (unix targets only).
     #[cfg(unix)]
-    Unix(UnixStream),
+    #[must_use]
+    pub fn unix(mut self, path: impl Into<PathBuf>) -> Self {
+        self.endpoint = Endpoint::Unix(path.into());
+        self
+    }
+
+    /// Connect through an in-process loopback hub.
+    #[must_use]
+    pub fn loopback(mut self, hub: LoopbackHub) -> Self {
+        self.endpoint = Endpoint::Loopback(hub);
+        self
+    }
+
+    /// Connect to an explicit [`Endpoint`].
+    #[must_use]
+    pub fn endpoint(mut self, endpoint: Endpoint) -> Self {
+        self.endpoint = endpoint;
+        self
+    }
+
+    /// Default per-request deadline, attached to every `simulate`/`sweep`
+    /// that does not already carry one.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline_ms = Some(deadline.as_millis() as u64);
+        self
+    }
+
+    /// Retry transient failures (typed `overloaded`, refused
+    /// connections) with this policy; the default is fail-fast.
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Attach this trace id to every request envelope, so the server
+    /// (and, through a router, the backend shard) journals the request
+    /// under the caller's id. Must be 1–64 ASCII-alphanumeric bytes.
+    #[must_use]
+    pub fn trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = Some(trace_id.into());
+        self
+    }
+
+    /// Read timeout for responses (`None`, the default, blocks forever).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Validates the configuration and connects. A refused connection is
+    /// retried per the builder's [`RetryPolicy`] (a restarting server is
+    /// exactly the transient failure the policy describes); every other
+    /// failure is immediate.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Config`] for an invalid trace id;
+    /// [`ClientError::Io`] for the connect failure.
+    pub fn connect(self) -> Result<Client, ClientError> {
+        if let Some(id) = &self.trace_id {
+            let valid =
+                !id.is_empty() && id.len() <= 64 && id.bytes().all(|b| b.is_ascii_alphanumeric());
+            if !valid {
+                return Err(ClientError::Config(format!(
+                    "trace id {id:?} must be 1-64 ASCII-alphanumeric bytes"
+                )));
+            }
+        }
+        let seed = jitter_seed(&format!("{:?}", self.endpoint));
+        let mut attempt = 0;
+        let stream = loop {
+            match self.endpoint.connect() {
+                Ok(stream) => break stream,
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionRefused
+                        && attempt < self.retry.retries =>
+                {
+                    std::thread::sleep(Duration::from_millis(self.retry.delay_ms(attempt, seed)));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        if let Some(timeout) = self.timeout {
+            stream.set_read_timeout(Some(timeout))?;
+        }
+        let reader = BufReader::new(stream.try_clone_transport()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            endpoint: self.endpoint,
+            deadline_ms: self.deadline_ms,
+            retry: self.retry,
+            trace_id: self.trace_id,
+            timeout: self.timeout,
+        })
+    }
 }
 
-/// A connected client (TCP, or Unix socket on unix targets).
+/// A connected client over any [`Transport`].
+///
+/// The `Debug` form shows the endpoint and policy, not the stream.
 pub struct Client {
-    reader: BufReader<Transport>,
-    writer: Transport,
+    reader: BufReader<Box<dyn Transport>>,
+    writer: Box<dyn Transport>,
+    endpoint: Endpoint,
+    deadline_ms: Option<u64>,
+    retry: RetryPolicy,
+    trace_id: Option<String>,
+    timeout: Option<Duration>,
 }
 
-impl io::Read for Transport {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Transport::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Transport::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl io::Write for Transport {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Transport::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Transport::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Transport::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Transport::Unix(s) => s.flush(),
-        }
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("endpoint", &self.endpoint)
+            .field("deadline_ms", &self.deadline_ms)
+            .field("retry", &self.retry)
+            .field("trace_id", &self.trace_id)
+            .finish_non_exhaustive()
     }
 }
 
 impl Client {
+    /// A builder defaulting to TCP against the default serve address,
+    /// no deadline, no retries, no trace id.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder {
+            endpoint: Endpoint::Tcp("127.0.0.1:4085".to_string()),
+            deadline_ms: None,
+            retry: RetryPolicy::NONE,
+            trace_id: None,
+            timeout: None,
+        }
+    }
+
     /// Connects over TCP, e.g. `Client::connect("127.0.0.1:4085")`.
     ///
     /// # Errors
     ///
     /// Returns the connect or clone failure.
+    #[deprecated(note = "use Client::builder().addr(..).connect()")]
     pub fn connect(addr: &str) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = Transport::Tcp(stream.try_clone()?);
-        Ok(Client {
-            reader: BufReader::new(reader),
-            writer: Transport::Tcp(stream),
-        })
+        Client::builder().addr(addr).connect().map_err(io_from)
     }
 
     /// Connects to a Unix-domain socket (unix targets only).
@@ -166,13 +349,9 @@ impl Client {
     ///
     /// Returns the connect or clone failure.
     #[cfg(unix)]
+    #[deprecated(note = "use Client::builder().unix(..).connect()")]
     pub fn connect_unix(path: &Path) -> io::Result<Client> {
-        let stream = UnixStream::connect(path)?;
-        let reader = Transport::Unix(stream.try_clone()?);
-        Ok(Client {
-            reader: BufReader::new(reader),
-            writer: Transport::Unix(stream),
-        })
+        Client::builder().unix(path).connect().map_err(io_from)
     }
 
     /// Sets a read timeout for responses (None = block forever).
@@ -181,21 +360,58 @@ impl Client {
     ///
     /// Propagates the socket option failure.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
-        match self.reader.get_ref() {
-            Transport::Tcp(s) => s.set_read_timeout(timeout),
-            #[cfg(unix)]
-            Transport::Unix(s) => s.set_read_timeout(timeout),
+        self.timeout = timeout;
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and returns its typed outcome: deadline and
+    /// trace id from the builder are attached, transient failures are
+    /// retried per the builder's [`RetryPolicy`] (reconnecting when the
+    /// connection itself failed), and a server-side error body comes
+    /// back as [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let effective = self.with_deadline(request);
+        let line = effective.encode_with_trace(self.trace_id.as_deref());
+        let seed = jitter_seed(&line);
+        let policy = self.retry;
+        let mut attempt = 0;
+        loop {
+            let outcome = match self.exchange(&line) {
+                Ok(Response::Error(body)) => Err(ClientError::Server(body)),
+                Ok(response) => Ok(response),
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    Err(ClientError::Protocol(e.to_string()))
+                }
+                Err(e) => Err(ClientError::Io(e)),
+            };
+            let transient = outcome.as_ref().err().is_some_and(ClientError::is_transient);
+            if !transient || attempt >= policy.retries {
+                return outcome;
+            }
+            std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt, seed)));
+            attempt += 1;
+            // A refused connection means this stream is dead; transient
+            // overloads keep the existing connection.
+            if matches!(&outcome, Err(ClientError::Io(_))) {
+                self.reconnect()?;
+            }
         }
     }
 
-    /// Sends one request and reads its response.
+    /// Sends one request and reads its raw response — no deadline or
+    /// trace injection, no retries, server errors as `Ok(Error(..))`.
+    /// The untyped surface [`call_with_retry`] and wire-level tests use.
     ///
     /// # Errors
     ///
     /// Returns I/O failures, a closed connection (`UnexpectedEof`), or an
     /// undecodable response line (`InvalidData`).
-    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        self.send_raw_line(&request.encode())
+    pub fn call_raw(&mut self, request: &Request) -> io::Result<Response> {
+        self.exchange(&request.encode())
     }
 
     /// Sends an arbitrary line (no newline) and reads one response.
@@ -204,8 +420,41 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Same as [`Client::call`].
+    /// Same as [`Client::call_raw`].
     pub fn send_raw_line(&mut self, line: &str) -> io::Result<Response> {
+        self.exchange(line)
+    }
+
+    /// Attaches the builder's default deadline to a job request that
+    /// carries none.
+    fn with_deadline(&self, request: &Request) -> Request {
+        let Some(default_ms) = self.deadline_ms else {
+            return request.clone();
+        };
+        let mut request = request.clone();
+        match &mut request {
+            Request::Simulate(spec) if spec.deadline_ms.is_none() => {
+                spec.deadline_ms = Some(default_ms);
+            }
+            Request::Sweep(spec) if spec.deadline_ms.is_none() => {
+                spec.deadline_ms = Some(default_ms);
+            }
+            _ => {}
+        }
+        request
+    }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = self.endpoint.connect()?;
+        if let Some(timeout) = self.timeout {
+            stream.set_read_timeout(Some(timeout))?;
+        }
+        self.reader = BufReader::new(stream.try_clone_transport()?);
+        self.writer = stream;
+        Ok(())
+    }
+
+    fn exchange(&mut self, line: &str) -> io::Result<Response> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -245,10 +494,17 @@ impl Client {
     }
 }
 
+/// Maps a [`ClientError`] back onto the deprecated io-flavored surface.
+fn io_from(e: ClientError) -> io::Error {
+    match e {
+        ClientError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::ErrorBody;
 
     #[test]
     fn delay_grows_exponentially_and_caps() {
@@ -287,26 +543,20 @@ mod tests {
 
     #[test]
     fn transient_classification() {
-        let overloaded: io::Result<Response> = Ok(Response::Error(ErrorBody::new(
-            ErrorCode::Overloaded,
-            "queue full",
-        )));
-        assert!(is_transient(&overloaded));
-        let refused: io::Result<Response> =
-            Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
-        assert!(is_transient(&refused));
-        let bad: io::Result<Response> = Ok(Response::Error(ErrorBody::new(
-            ErrorCode::BadRequest,
-            "nope",
-        )));
-        assert!(!is_transient(&bad));
-        let eof: io::Result<Response> =
-            Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
-        assert!(!is_transient(&eof));
-        assert!(!is_transient(&Ok(Response::Pong)));
+        let overloaded = ClientError::Server(ErrorBody::new(ErrorCode::Overloaded, "queue full"));
+        assert!(overloaded.is_transient());
+        let refused =
+            ClientError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
+        assert!(refused.is_transient());
+        let bad = ClientError::Server(ErrorBody::new(ErrorCode::BadRequest, "nope"));
+        assert!(!bad.is_transient());
+        let eof = ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+        assert!(!eof.is_transient());
+        assert!(!ClientError::Protocol("junk".to_string()).is_transient());
     }
 
     #[test]
+    #[allow(deprecated)]
     fn retry_exhausts_budget_on_refused_connections() {
         let mut attempts = 0u32;
         let mut sleeps: Vec<u64> = Vec::new();
@@ -331,6 +581,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn permanent_failures_do_not_retry() {
         let mut attempts = 0u32;
         let policy = RetryPolicy {
@@ -348,5 +599,53 @@ mod tests {
         );
         assert_eq!(attempts, 1);
         assert_eq!(result.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn builder_rejects_junk_trace_ids() {
+        let err = Client::builder()
+            .trace_id("has spaces!")
+            .connect()
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Config(_)), "{err}");
+        let err = Client::builder().trace_id("").connect().unwrap_err();
+        assert!(matches!(err, ClientError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn deadline_is_attached_only_when_absent() {
+        use crate::transport::Listener as _;
+        let hub = LoopbackHub::new();
+        let client = Client::builder()
+            .loopback(hub.clone())
+            .deadline(Duration::from_millis(750))
+            .connect()
+            .expect("loopback connect");
+        let _server_end = hub.accept_transport().expect("accept");
+        let bare = Request::Simulate(crate::protocol::SimulateSpec {
+            workload: "VCCOM".to_string(),
+            len: 1,
+            seed: None,
+            cache: crate::protocol::CacheSpec {
+                size: 1024,
+                line: 16,
+                ways: None,
+                purge: None,
+            },
+            policy: None,
+            deadline_ms: None,
+        });
+        match client.with_deadline(&bare) {
+            Request::Simulate(spec) => assert_eq!(spec.deadline_ms, Some(750)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let mut explicit = bare.clone();
+        if let Request::Simulate(spec) = &mut explicit {
+            spec.deadline_ms = Some(10);
+        }
+        match client.with_deadline(&explicit) {
+            Request::Simulate(spec) => assert_eq!(spec.deadline_ms, Some(10)),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,389 @@
+//! Poll-based connection multiplexing (unix targets).
+//!
+//! One thread owns every socket: the listeners, a self-wake pipe, and
+//! all client connections. Readiness drives the work — an idle
+//! connection costs one `pollfd` entry per iteration and nothing else,
+//! so thousands of mostly-idle clients no longer each pin a thread or
+//! (worse, as before this module) wait out the accept loop's 100 ms
+//! sleep. `simulate`/`sweep` still execute on the worker pool; a worker
+//! finishing a job pushes the response onto the completion list and
+//! writes one byte into the wake pipe, which pops the poll.
+//!
+//! Flow control: responses are buffered per connection and written when
+//! the socket reports `POLLOUT`; while a connection's outbound buffer
+//! is above [`WRITE_BUF_LIMIT`] (or a job is in flight for it), the
+//! loop stops reading from it — TCP back-pressure propagates to the
+//! client instead of growing an unbounded buffer.
+
+use crate::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
+use crate::protocol::{ErrorBody, ErrorCode, Response, MAX_LINE_BYTES};
+use crate::server::{dispatch_request, Handled, ReplyTo, ServerState};
+use crate::stats::ServerStats;
+use crate::transport::Transport;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Poll timeout: how often the loop rechecks shutdown with no events.
+const POLL_TIMEOUT_MS: i32 = 100;
+
+/// Outbound-buffer level above which the loop stops reading more
+/// requests from a connection until writes drain.
+const WRITE_BUF_LIMIT: usize = 256 * 1024;
+
+/// Upper bound on the shutdown drain, mirroring the worker reply
+/// timeout: past it, in-flight connections are dropped rather than
+/// keeping the process alive forever on a lost reply.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Completed jobs waiting to be written back, keyed by connection id.
+pub(crate) type Completions = Arc<Mutex<Vec<(u64, Response)>>>;
+
+/// Wakes the poll loop from another thread by writing one byte into the
+/// self-wake pipe (the classic self-pipe trick, on a nonblocking
+/// socketpair so a full pipe — wake already pending — never blocks).
+#[derive(Clone)]
+pub(crate) struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    pub(crate) fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: Box<dyn Transport>,
+    fd: RawFd,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// One job in flight on the worker pool for this connection; the
+    /// loop stops parsing further lines until it completes, preserving
+    /// the one-request-at-a-time reply order of the threaded path.
+    busy: bool,
+    /// Flush the outbound buffer (and finish the in-flight job, if
+    /// any), then close; set on unrecoverable input (oversized lines).
+    /// Unlike `eof`, no further buffered input is parsed.
+    closing: bool,
+    /// The peer half-closed: parse what it already sent, answer it,
+    /// flush, then close.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: Box<dyn Transport>) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let fd = stream.raw_fd().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "event loop needs an fd-backed transport",
+            )
+        })?;
+        Ok(Conn {
+            stream,
+            fd,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            busy: false,
+            closing: false,
+            eof: false,
+        })
+    }
+
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// The poll mask this connection currently cares about.
+    fn interest(&self) -> i16 {
+        let mut mask = 0;
+        if !self.busy && !self.closing && !self.eof && self.pending_write() < WRITE_BUF_LIMIT {
+            mask |= POLLIN;
+        }
+        if self.pending_write() > 0 {
+            mask |= POLLOUT;
+        }
+        mask
+    }
+
+    fn enqueue(&mut self, response: &Response) {
+        let mut line = response.encode();
+        line.push('\n');
+        self.write_buf.extend_from_slice(line.as_bytes());
+    }
+
+    /// Writes as much buffered output as the socket accepts. Returns
+    /// `false` when the connection is finished (write failure, or a
+    /// deferred close whose buffer just drained).
+    fn flush(&mut self) -> bool {
+        while self.pending_write() > 0 {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.pending_write() == 0 {
+            self.write_buf.clear();
+            self.write_pos = 0;
+            // A closing or half-closed connection dies once its buffer
+            // drains — but not while a job is still in flight for it:
+            // the reply is owed first. When `service` left `busy`
+            // clear, every complete buffered line has been answered.
+            if (self.closing || self.eof) && !self.busy {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reads everything currently available. Returns `false` on a
+    /// fatal read error; EOF marks the connection closing so already
+    /// buffered requests (a peer that sent then half-closed) still get
+    /// their responses before the slot is reclaimed.
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+}
+
+/// Parses and dispatches every complete buffered line (stopping at one
+/// in-flight job), then flushes. Returns `false` when the connection is
+/// finished.
+fn service(
+    conn: &mut Conn,
+    id: u64,
+    state: &Arc<ServerState>,
+    completions: &Completions,
+    waker: &Waker,
+) -> bool {
+    while !conn.busy && !conn.closing {
+        let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+            if conn.read_buf.len() > MAX_LINE_BYTES {
+                ServerStats::bump(&state.stats.protocol_errors);
+                conn.enqueue(&Response::Error(ErrorBody::new(
+                    ErrorCode::Oversized,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                )));
+                conn.closing = true;
+            }
+            break;
+        };
+        let mut line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+        line.pop(); // the newline
+        if line.len() > MAX_LINE_BYTES {
+            ServerStats::bump(&state.stats.protocol_errors);
+            conn.enqueue(&Response::Error(ErrorBody::new(
+                ErrorCode::Oversized,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            )));
+            conn.closing = true;
+            break;
+        }
+        let text = match std::str::from_utf8(&line) {
+            Ok(text) => text,
+            Err(_) => {
+                ServerStats::bump(&state.stats.protocol_errors);
+                conn.enqueue(&Response::Error(ErrorBody::new(
+                    ErrorCode::BadRequest,
+                    "request line is not valid UTF-8",
+                )));
+                continue;
+            }
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let handled = dispatch_request(text, state, || ReplyTo::Event {
+            conn_id: id,
+            completions: Arc::clone(completions),
+            waker: waker.clone(),
+        });
+        match handled {
+            Handled::Inline(response) => conn.enqueue(&response),
+            Handled::Admitted => conn.busy = true,
+        }
+    }
+    conn.flush()
+}
+
+/// Accepts everything pending on a nonblocking listener.
+fn accept_burst(
+    accept: impl Fn() -> io::Result<Box<dyn Transport>>,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+) {
+    loop {
+        match accept() {
+            Ok(stream) => match Conn::new(stream) {
+                Ok(conn) => {
+                    let id = *next_id;
+                    *next_id += 1;
+                    conns.insert(id, conn);
+                }
+                Err(e) => eprintln!("smith85-serve: connection setup failed: {e}"),
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Transient accept failures (e.g. EMFILE) must not take
+                // the service down; the listener stays in the poll set.
+                eprintln!("smith85-serve: accept failed: {e}");
+                break;
+            }
+        }
+    }
+}
+
+/// Runs the event loop until shutdown, then drains: stops accepting,
+/// lets in-flight jobs reply, flushes their responses, and returns.
+pub(crate) fn run(
+    listener: &TcpListener,
+    unix_listener: Option<&UnixListener>,
+    state: &Arc<ServerState>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    if let Some(unix) = unix_listener {
+        unix.set_nonblocking(true)?;
+    }
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    let waker = Waker {
+        tx: Arc::new(wake_tx),
+    };
+    let completions: Completions = Arc::new(Mutex::new(Vec::new()));
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
+    let mut drain_started: Option<Instant> = None;
+
+    loop {
+        if crate::signal::sigint_received() {
+            state.begin_shutdown();
+        }
+        let draining = state.shutting_down();
+        if draining {
+            let started = *drain_started.get_or_insert_with(Instant::now);
+            // Idle connections are dropped immediately; connections
+            // with a job in flight or unflushed output get the drain
+            // window to finish.
+            conns.retain(|_, conn| conn.busy || conn.pending_write() > 0);
+            if conns.is_empty() || started.elapsed() > DRAIN_TIMEOUT {
+                return Ok(());
+            }
+        }
+
+        let mut fds = vec![PollFd::new(wake_rx.as_raw_fd(), POLLIN)];
+        let mut tcp_index = None;
+        let mut unix_index = None;
+        if !draining {
+            tcp_index = Some(fds.len());
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+            if let Some(unix) = unix_listener {
+                unix_index = Some(fds.len());
+                fds.push(PollFd::new(unix.as_raw_fd(), POLLIN));
+            }
+        }
+        let conn_base = fds.len();
+        let order: Vec<u64> = conns.keys().copied().collect();
+        for &id in &order {
+            let conn = &conns[&id];
+            fds.push(PollFd::new(conn.fd, conn.interest()));
+        }
+
+        match poll_fds(&mut fds, POLL_TIMEOUT_MS) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+
+        if fds[0].ready(POLLIN) {
+            let mut sink = [0u8; 64];
+            while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        // Worker completions first: they clear `busy`, which may let a
+        // pipelined follow-up line in the read buffer dispatch below.
+        let done: Vec<(u64, Response)> = std::mem::take(&mut *completions.lock().unwrap());
+        let mut dead: Vec<u64> = Vec::new();
+        for (id, response) in done {
+            // A connection that died while its job ran simply has its
+            // response dropped, like the threaded path's failed write.
+            if let Some(conn) = conns.get_mut(&id) {
+                conn.busy = false;
+                conn.enqueue(&response);
+                if !service(conn, id, state, &completions, &waker) {
+                    dead.push(id);
+                }
+            }
+        }
+
+        if tcp_index.is_some_and(|i| fds[i].ready(POLLIN)) {
+            accept_burst(
+                || crate::transport::Listener::accept_transport(listener),
+                &mut conns,
+                &mut next_id,
+            );
+        }
+        if let (Some(i), Some(unix)) = (unix_index, unix_listener) {
+            if fds[i].ready(POLLIN) {
+                accept_burst(
+                    || crate::transport::Listener::accept_transport(unix),
+                    &mut conns,
+                    &mut next_id,
+                );
+            }
+        }
+
+        for (slot, &id) in order.iter().enumerate() {
+            let pfd = fds[conn_base + slot];
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            let mut alive = true;
+            if pfd.ready(POLLOUT) {
+                alive = conn.flush();
+            }
+            if alive && pfd.ready(POLLIN) {
+                alive = conn.fill() && service(conn, id, state, &completions, &waker);
+            }
+            if alive && conn.busy && pfd.broken() && !pfd.ready(POLLIN) {
+                // Peer vanished while its job runs: no one will read
+                // the reply, so reclaim the slot now.
+                alive = false;
+            }
+            if !alive {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            conns.remove(&id);
+        }
+    }
+}

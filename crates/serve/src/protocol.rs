@@ -282,6 +282,27 @@ pub struct OnePassCounters {
     pub grid_cells: u64,
 }
 
+/// Shard-router counters inside a `stats` response. Present only when
+/// the answering node runs in router mode; absent (and `None`) from
+/// single-node servers and pre-router builds, in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Backend shards configured on the ring.
+    pub shards: u64,
+    /// Shards currently passing health checks.
+    pub healthy: u64,
+    /// Requests forwarded to a backend (successful or not).
+    pub forwarded: u64,
+    /// Forwards that hedged to a fallback shard after a refused or
+    /// failed primary.
+    pub hedged: u64,
+    /// Requests rejected because the target shard's in-flight budget
+    /// was exhausted (reported to clients as typed `overloaded`).
+    pub shard_overloads: u64,
+    /// Health probes issued since start.
+    pub health_probes: u64,
+}
+
 /// The `stats` response payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsResult {
@@ -317,6 +338,8 @@ pub struct StatsResult {
     pub store: Option<StoreCounters>,
     /// One-pass grid-sweep counters; `None` from pre-grid servers.
     pub one_pass: Option<OnePassCounters>,
+    /// Shard-router counters; `None` from non-router nodes.
+    pub router: Option<RouterCounters>,
 }
 
 /// Stable machine-readable failure codes.
@@ -405,6 +428,16 @@ impl Request {
     /// Encodes the request as one JSON line (no trailing newline),
     /// with the [`PROTOCOL_VERSION`] envelope (`"v":1`) leading.
     pub fn encode(&self) -> String {
+        self.encode_with_trace(None)
+    }
+
+    /// Encodes like [`Request::encode`], adding a `trace_id` envelope
+    /// field when one is given. A server admits the request under that
+    /// id instead of minting one, so a router (or any caller) can
+    /// correlate its own spans with the backend's journal. Servers
+    /// without trace support ignore the field (unknown request fields
+    /// are always ignored).
+    pub fn encode_with_trace(&self, trace_id: Option<&str>) -> String {
         let mut value = match self {
             Request::Simulate(spec) => {
                 let mut fields = vec![
@@ -469,6 +502,9 @@ impl Request {
         };
         if let Json::Obj(fields) = &mut value {
             fields.insert(0, ("v".to_string(), Json::Uint(PROTOCOL_VERSION)));
+            if let Some(id) = trace_id {
+                fields.insert(1, ("trace_id".to_string(), json::s(id)));
+            }
         }
         value.to_string()
     }
@@ -480,6 +516,19 @@ impl Request {
     /// Returns a typed [`ErrorBody`] (`bad_request`, `unknown_type`) the
     /// server sends back verbatim.
     pub fn decode(line: &str) -> Result<Request, ErrorBody> {
+        Self::decode_with_trace(line).map(|(request, _trace)| request)
+    }
+
+    /// Decodes one request line plus its optional `trace_id` envelope
+    /// field (see [`Request::encode_with_trace`]). Servers use this to
+    /// admit forwarded requests under the caller's trace id. Ids longer
+    /// than 64 bytes or with non-alphanumeric characters are ignored
+    /// rather than rejected — a hostile id must not break journaling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::decode`].
+    pub fn decode_with_trace(line: &str) -> Result<(Request, Option<String>), ErrorBody> {
         let value = Json::parse(line)
             .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid JSON: {e}")))?;
         if !matches!(value, Json::Obj(_)) {
@@ -505,19 +554,29 @@ impl Request {
             .get("type")
             .and_then(Json::as_str)
             .ok_or_else(|| ErrorBody::new(ErrorCode::BadRequest, "missing \"type\" field"))?;
-        match kind {
-            "simulate" => Ok(Request::Simulate(SimulateSpec::from_json(&value)?)),
-            "sweep" => Ok(Request::Sweep(SweepSpec::from_json(&value)?)),
-            "catalog" => Ok(Request::Catalog),
-            "stats" => Ok(Request::Stats),
-            "metrics" => Ok(Request::Metrics),
-            "ping" => Ok(Request::Ping),
-            "shutdown" => Ok(Request::Shutdown),
-            other => Err(ErrorBody::new(
-                ErrorCode::UnknownType,
-                format!("unknown request type {other:?}"),
-            )),
-        }
+        let trace = value
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .filter(|id| {
+                !id.is_empty() && id.len() <= 64 && id.chars().all(|c| c.is_ascii_alphanumeric())
+            })
+            .map(str::to_string);
+        let request = match kind {
+            "simulate" => Request::Simulate(SimulateSpec::from_json(&value)?),
+            "sweep" => Request::Sweep(SweepSpec::from_json(&value)?),
+            "catalog" => Request::Catalog,
+            "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
+            "ping" => Request::Ping,
+            "shutdown" => Request::Shutdown,
+            other => {
+                return Err(ErrorBody::new(
+                    ErrorCode::UnknownType,
+                    format!("unknown request type {other:?}"),
+                ))
+            }
+        };
+        Ok((request, trace))
     }
 }
 
@@ -784,6 +843,19 @@ impl Response {
                     ]),
                 )
             }))
+            .chain(r.router.as_ref().map(|rt| {
+                (
+                    "router",
+                    json::obj(vec![
+                        ("shards", Json::Uint(rt.shards)),
+                        ("healthy", Json::Uint(rt.healthy)),
+                        ("forwarded", Json::Uint(rt.forwarded)),
+                        ("hedged", Json::Uint(rt.hedged)),
+                        ("shard_overloads", Json::Uint(rt.shard_overloads)),
+                        ("health_probes", Json::Uint(rt.health_probes)),
+                    ]),
+                )
+            }))
             .collect()),
             Response::Metrics(snapshot) => json::obj(vec![
                 ("type", json::s("metrics_result")),
@@ -1010,6 +1082,18 @@ impl Response {
                         Some(one_pass) => Some(OnePassCounters {
                             refs: need_u64(one_pass, "refs")?,
                             grid_cells: need_u64(one_pass, "grid_cells")?,
+                        }),
+                        None => None,
+                    },
+                    // Optional: only router nodes report this block.
+                    router: match value.get("router") {
+                        Some(router) => Some(RouterCounters {
+                            shards: need_u64(router, "shards")?,
+                            healthy: need_u64(router, "healthy")?,
+                            forwarded: need_u64(router, "forwarded")?,
+                            hedged: need_u64(router, "hedged")?,
+                            shard_overloads: need_u64(router, "shard_overloads")?,
+                            health_probes: need_u64(router, "health_probes")?,
                         }),
                         None => None,
                     },
@@ -1265,6 +1349,7 @@ mod tests {
             },
             store: None,
             one_pass: None,
+            router: None,
         }));
         // And again with store counters attached (the `--store` shape).
         response_round_trip(Response::Stats(StatsResult {
@@ -1300,6 +1385,14 @@ mod tests {
             one_pass: Some(OnePassCounters {
                 refs: 250_000,
                 grid_cells: 54,
+            }),
+            router: Some(RouterCounters {
+                shards: 3,
+                healthy: 2,
+                forwarded: 120,
+                hedged: 4,
+                shard_overloads: 7,
+                health_probes: 90,
             }),
         }));
         for code in [
@@ -1383,6 +1476,41 @@ mod tests {
             Request::decode("{\"type\":\"stats\",\"extra\":[1,2,3]}").unwrap(),
             Request::Stats
         );
+    }
+
+    #[test]
+    fn request_trace_envelope_round_trips_and_filters_junk() {
+        let request = Request::Simulate(SimulateSpec {
+            workload: "VCCOM".into(),
+            len: 1_000,
+            seed: None,
+            cache: CacheSpec {
+                size: 4_096,
+                line: 16,
+                ways: None,
+                purge: None,
+            },
+            policy: None,
+            deadline_ms: None,
+        });
+        let line = request.encode_with_trace(Some("4f3a2b1c9d8e7f60"));
+        let (decoded, trace) = Request::decode_with_trace(&line).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(trace.as_deref(), Some("4f3a2b1c9d8e7f60"));
+        // Plain encode carries no trace and decodes to None.
+        let (_, trace) = Request::decode_with_trace(&request.encode()).unwrap();
+        assert_eq!(trace, None);
+        // Hostile ids (too long, non-alphanumeric) are dropped, not fatal.
+        let long = "a".repeat(65);
+        for bad in [long.as_str(), "abc def", "x\"y", ""] {
+            let line = format!(
+                "{{\"type\":\"ping\",\"trace_id\":{}}}",
+                crate::json::s(bad)
+            );
+            let (request, trace) = Request::decode_with_trace(&line).unwrap();
+            assert_eq!(request, Request::Ping);
+            assert_eq!(trace, None, "id {bad:?} must be ignored");
+        }
     }
 
     #[test]

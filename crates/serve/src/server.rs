@@ -1,20 +1,30 @@
-//! The simulation server: listeners, connection handlers, worker pool.
+//! The simulation server: listeners, connection handling, worker pool,
+//! and the shard-router mode.
 //!
 //! Architecture (all `std`, no async runtime — the offline shims
 //! preclude tokio):
 //!
 //! ```text
-//!  TCP accept loop ──┐                        ┌─ worker 0 ─┐
-//!  Unix accept loop ─┼─ connection threads ──▶│ bounded    │──▶ TracePool
-//!                    │  (1/conn, parse NDJSON)│ work queue │    (shared)
-//!                    └──────────────────────  └─ worker N ─┘
+//!  poll event loop (unix) ─┐                   ┌─ worker 0 ─┐
+//!   TCP + Unix listeners   ├─ NDJSON lines ──▶ │ bounded    │──▶ TracePool
+//!   + every connection     │                   │ work queue │    (shared)
+//!  loopback accept thread ─┘                   └─ worker N ─┘
 //! ```
 //!
+//! * On unix targets a single poll(2)-driven thread ([`crate::event_loop`])
+//!   owns the TCP/Unix listeners and every connection: idle connections
+//!   cost one pollfd per iteration, and a new connection is admitted the
+//!   instant the listener is readable instead of after the old accept
+//!   loop's 100 ms sleep. `ServeOptions::event_loop = false` (or a
+//!   non-unix target) falls back to the previous thread-per-connection
+//!   model.
 //! * Cheap requests (`catalog`, `stats`, `ping`, `shutdown`) are answered
-//!   inline on the connection thread.
-//! * `simulate`/`sweep` go through the [`BoundedQueue`]; a full queue is
-//!   an immediate typed `overloaded` response (admission control), never
-//!   an unbounded backlog.
+//!   inline; `simulate`/`sweep` go through the [`BoundedQueue`]; a full
+//!   queue is an immediate typed `overloaded` response (admission
+//!   control), never an unbounded backlog.
+//! * In router mode ([`RouterOptions`]) workers forward `simulate`/`sweep`
+//!   to backend shards picked by consistent hashing instead of executing
+//!   them locally; see [`crate::router`].
 //! * Workers run jobs under `catch_unwind`, so a panicking job produces
 //!   an `internal` error response instead of a dead worker.
 //! * Graceful shutdown (SIGINT on unix, or a `shutdown` request): stop
@@ -26,7 +36,9 @@ use crate::protocol::{
     ErrorBody, ErrorCode, Request, Response, SimulateSpec, StatsResult, SweepSpec, MAX_LINE_BYTES,
 };
 use crate::queue::{BoundedQueue, PushError};
+use crate::router::{RouterOptions, RouterState};
 use crate::stats::ServerStats;
+use crate::transport::{Listener, LoopbackHub, Transport};
 use smith85_core::session::SimSession;
 use smith85_obs::MS_BOUNDS;
 use smith85_tracelog::{
@@ -35,7 +47,7 @@ use smith85_tracelog::{
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +64,12 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 const REPLY_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Server construction parameters.
+///
+/// Construct directly (every field is public and `Default` is sensible)
+/// or through [`ServeOptions::builder`], which validates at `build()`
+/// time. [`Server::bind`] re-validates either way, so an invalid combo
+/// — router mode plus a persistent store, zero workers — is a typed
+/// [`ConfigError`] before any socket is bound.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// TCP bind address, e.g. `"127.0.0.1:4085"` (port 0 for ephemeral).
@@ -60,7 +78,8 @@ pub struct ServeOptions {
     /// fails with an error elsewhere). An existing socket file at the
     /// path is replaced.
     pub unix_path: Option<PathBuf>,
-    /// Worker threads executing `simulate`/`sweep` jobs.
+    /// Worker threads executing `simulate`/`sweep` jobs (or, in router
+    /// mode, forwarding them).
     pub workers: usize,
     /// Work-queue capacity; submissions beyond it are rejected with
     /// `overloaded`.
@@ -76,10 +95,23 @@ pub struct ServeOptions {
     /// endpoint (`GET /metrics`); `None` disables it.
     pub metrics_addr: Option<String>,
     /// Optional NDJSON trace-journal path. When set, every worker
-    /// records a per-request span tree (trace id minted at admission
-    /// and echoed in the response) plus an access-log event into the
-    /// file; `None` disables journaling at zero cost.
+    /// records a per-request span tree (trace id minted at admission —
+    /// or adopted from the request envelope, so a router's id threads
+    /// through to the backend journal) plus an access-log event into
+    /// the file; `None` disables journaling at zero cost.
     pub journal: Option<PathBuf>,
+    /// Optional in-process loopback hub to accept connections from
+    /// (tests and embedders; served by a connection thread regardless
+    /// of `event_loop`).
+    pub loopback: Option<LoopbackHub>,
+    /// Router mode: forward `simulate`/`sweep` to these backend shards
+    /// instead of executing locally. Incompatible with a session store.
+    pub router: Option<RouterOptions>,
+    /// Use the poll event loop for TCP/Unix connections (unix targets;
+    /// elsewhere the thread-per-connection fallback is always used).
+    /// `false` forces the fallback — the worker-pool-only baseline the
+    /// benchmarks compare against.
+    pub event_loop: bool,
 }
 
 impl Default for ServeOptions {
@@ -93,42 +125,266 @@ impl Default for ServeOptions {
             session: SimSession::default(),
             metrics_addr: None,
             journal: None,
+            loopback: None,
+            router: None,
+            event_loop: true,
         }
     }
 }
 
-enum JobKind {
-    Simulate(SimulateSpec),
-    Sweep(SweepSpec),
+/// A [`ServeOptions`] combination the server refuses to run with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The TCP bind address is empty.
+    EmptyAddr,
+    /// `workers` is zero: nothing would ever execute a job.
+    ZeroWorkers,
+    /// `queue_capacity` is zero: every job would be rejected.
+    ZeroQueueCapacity,
+    /// Router mode with a persistent store: the router holds no results
+    /// of its own (the backends own their stores), so a store on the
+    /// router could only serve stale or diverging data.
+    RouterWithStore,
+    /// Router mode with an empty backend list.
+    RouterWithoutBackends,
+    /// A per-shard in-flight budget of zero would reject every request.
+    RouterZeroInflight,
+    /// Zero virtual nodes per shard leaves the hash ring empty.
+    RouterZeroReplicas,
 }
 
-struct Job {
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyAddr => write!(f, "bind address is empty"),
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+            ConfigError::RouterWithStore => write!(
+                f,
+                "router mode is incompatible with a persistent store; \
+                 configure the store on the backend shards instead"
+            ),
+            ConfigError::RouterWithoutBackends => {
+                write!(f, "router mode needs at least one backend address")
+            }
+            ConfigError::RouterZeroInflight => {
+                write!(f, "per-shard in-flight budget must be at least 1")
+            }
+            ConfigError::RouterZeroReplicas => {
+                write!(f, "hash-ring replicas must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ServeOptions {
+    /// A validating builder starting from [`ServeOptions::default`].
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
+            opts: ServeOptions::default(),
+        }
+    }
+
+    /// Checks the option combination; [`Server::bind`] calls this, so
+    /// struct-literal construction is validated too.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.addr.trim().is_empty() {
+            return Err(ConfigError::EmptyAddr);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if let Some(router) = &self.router {
+            if self.session.store().is_some() {
+                return Err(ConfigError::RouterWithStore);
+            }
+            if router.backends.is_empty() {
+                return Err(ConfigError::RouterWithoutBackends);
+            }
+            if router.shard_inflight == 0 {
+                return Err(ConfigError::RouterZeroInflight);
+            }
+            if router.replicas == 0 {
+                return Err(ConfigError::RouterZeroReplicas);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeOptions`] (see [`ServeOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServeOptionsBuilder {
+    opts: ServeOptions,
+}
+
+impl ServeOptionsBuilder {
+    /// TCP bind address (port 0 for ephemeral).
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.opts.addr = addr.into();
+        self
+    }
+
+    /// Unix-domain socket path (unix targets only).
+    #[must_use]
+    pub fn unix_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.opts.unix_path = Some(path.into());
+        self
+    }
+
+    /// Worker threads executing (or forwarding) jobs.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Work-queue capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.opts.queue_capacity = capacity;
+        self
+    }
+
+    /// Default per-job deadline for requests that carry none.
+    #[must_use]
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.opts.default_deadline_ms = Some(ms);
+        self
+    }
+
+    /// The simulation session jobs run through.
+    #[must_use]
+    pub fn session(mut self, session: SimSession) -> Self {
+        self.opts.session = session;
+        self
+    }
+
+    /// Bind address for the Prometheus exposition endpoint.
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.opts.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// NDJSON trace-journal path.
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.opts.journal = Some(path.into());
+        self
+    }
+
+    /// In-process loopback hub to accept connections from.
+    #[must_use]
+    pub fn loopback(mut self, hub: LoopbackHub) -> Self {
+        self.opts.loopback = Some(hub);
+        self
+    }
+
+    /// Router mode: forward jobs to these backend shards.
+    #[must_use]
+    pub fn router(mut self, router: RouterOptions) -> Self {
+        self.opts.router = Some(router);
+        self
+    }
+
+    /// Toggles the poll event loop (unix targets).
+    #[must_use]
+    pub fn event_loop(mut self, enabled: bool) -> Self {
+        self.opts.event_loop = enabled;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] in the combination.
+    pub fn build(self) -> Result<ServeOptions, ConfigError> {
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
+}
+
+pub(crate) enum JobKind {
+    Simulate(SimulateSpec),
+    Sweep(SweepSpec),
+    /// Router mode: forward the original request to a backend shard.
+    Forward(Request),
+}
+
+/// Where a finished job's response goes: back to a blocked connection
+/// thread, or onto the event loop's completion list.
+pub(crate) enum ReplyTo {
+    /// A connection thread blocked in `recv_timeout`.
+    Channel(mpsc::SyncSender<Response>),
+    /// The poll event loop: push the response and wake the poller.
+    #[cfg(unix)]
+    Event {
+        conn_id: u64,
+        completions: crate::event_loop::Completions,
+        waker: crate::event_loop::Waker,
+    },
+}
+
+impl ReplyTo {
+    fn send(&self, response: Response) {
+        match self {
+            ReplyTo::Channel(reply) => {
+                let _ = reply.send(response);
+            }
+            #[cfg(unix)]
+            ReplyTo::Event {
+                conn_id,
+                completions,
+                waker,
+            } => {
+                completions.lock().unwrap().push((*conn_id, response));
+                waker.wake();
+            }
+        }
+    }
+}
+
+pub(crate) struct Job {
     kind: JobKind,
-    reply: mpsc::SyncSender<Response>,
+    reply: ReplyTo,
     admitted: Instant,
     deadline: Option<Instant>,
-    /// Minted at admission, echoed in the response envelope and every
-    /// journal record for this request.
+    /// Minted at admission (or adopted from the request envelope, as a
+    /// router's forwarded id is), echoed in the response envelope and
+    /// every journal record for this request.
     trace_id: String,
 }
 
-struct ServerState {
-    queue: BoundedQueue<Job>,
-    stats: ServerStats,
+pub(crate) struct ServerState {
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) stats: ServerStats,
     shutdown: AtomicBool,
     workers: usize,
     default_deadline_ms: Option<u64>,
     session: SimSession,
     journal: SinkHandle,
+    router: Option<Arc<RouterState>>,
 }
 
 impl ServerState {
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
     }
 
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
@@ -139,6 +395,7 @@ impl ServerState {
             self.workers,
             self.session.pool(),
             self.session.store().map(Arc::as_ref),
+            self.router.as_ref().map(|router| router.counters()),
         )
     }
 }
@@ -164,29 +421,28 @@ pub struct Server {
     unix_listener: Option<UnixListener>,
     unix_path: Option<PathBuf>,
     metrics_listener: Option<TcpListener>,
+    loopback: Option<LoopbackHub>,
+    event_loop: bool,
     state: Arc<ServerState>,
 }
 
 impl Server {
-    /// Binds the TCP (and optional Unix) listeners.
+    /// Validates the options and binds the TCP (and optional Unix)
+    /// listeners.
     ///
     /// # Errors
     ///
-    /// Returns the bind failure, or `Unsupported` for a Unix-socket path
-    /// on a non-unix target.
+    /// `InvalidInput` wrapping a [`ConfigError`] for a rejected option
+    /// combination; otherwise the bind failure, or `Unsupported` for a
+    /// Unix-socket path on a non-unix target.
     pub fn bind(opts: ServeOptions) -> io::Result<Server> {
+        opts.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(&opts.addr)?;
         #[cfg(unix)]
         let unix_listener = match &opts.unix_path {
             None => None,
-            Some(path) => {
-                // A previous run's socket file would make bind fail with
-                // AddrInUse; a fresh bind owns the path.
-                if path.exists() {
-                    std::fs::remove_file(path)?;
-                }
-                Some(UnixListener::bind(path)?)
-            }
+            Some(path) => Some(crate::transport::bind_unix(path)?),
         };
         #[cfg(not(unix))]
         if opts.unix_path.is_some() {
@@ -207,6 +463,10 @@ impl Server {
         registry.gauge("serve_queue_depth");
         registry.histogram("serve_queue_wait_ms", MS_BOUNDS);
         registry.histogram("serve_exec_ms", MS_BOUNDS);
+        let router = opts
+            .router
+            .clone()
+            .map(|router_opts| Arc::new(RouterState::new(router_opts, registry.clone())));
         let journal = match &opts.journal {
             None => SinkHandle::disabled(),
             Some(path) => SinkHandle::new(Arc::new(NdjsonWriter::create(path)?)),
@@ -217,6 +477,8 @@ impl Server {
             unix_listener,
             unix_path: opts.unix_path.clone(),
             metrics_listener,
+            loopback: opts.loopback.clone(),
+            event_loop: opts.event_loop,
             state: Arc::new(ServerState {
                 queue: BoundedQueue::new(opts.queue_capacity),
                 stats: ServerStats::default(),
@@ -225,6 +487,7 @@ impl Server {
                 default_deadline_ms: opts.default_deadline_ms,
                 session: opts.session,
                 journal,
+                router,
             }),
         })
     }
@@ -260,7 +523,7 @@ impl Server {
     ///
     /// Returns listener I/O failures; per-connection and per-job errors
     /// are handled internally and never abort the server.
-    pub fn run(self) -> io::Result<StatsResult> {
+    pub fn run(mut self) -> io::Result<StatsResult> {
         #[cfg(unix)]
         crate::signal::install_sigint_handler();
 
@@ -275,20 +538,20 @@ impl Server {
             );
         }
 
-        #[cfg(unix)]
-        let unix_accept = match self.unix_listener {
+        let prober = match &state.router {
             None => None,
-            Some(listener) => {
+            Some(router) => {
+                let router = Arc::clone(router);
                 let state = Arc::clone(&state);
                 Some(
                     thread::Builder::new()
-                        .name("serve-unix-accept".to_string())
-                        .spawn(move || accept_loop_unix(&listener, &state))?,
+                        .name("serve-router-probe".to_string())
+                        .spawn(move || prober_loop(&router, &state))?,
                 )
             }
         };
 
-        let metrics_thread = match self.metrics_listener {
+        let metrics_thread = match self.metrics_listener.take() {
             None => None,
             Some(listener) => {
                 let state = Arc::clone(&state);
@@ -300,55 +563,61 @@ impl Server {
             }
         };
 
-        self.listener.set_nonblocking(true)?;
-        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
-        while !state.shutting_down() {
-            #[cfg(unix)]
-            if crate::signal::sigint_received() {
-                state.begin_shutdown();
-                break;
+        let loopback_accept = match self.loopback.clone() {
+            None => None,
+            Some(hub) => {
+                let state = Arc::clone(&state);
+                Some(
+                    thread::Builder::new()
+                        .name("serve-loopback-accept".to_string())
+                        .spawn(move || accept_loop_transport(&hub, &state))?,
+                )
             }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let state = Arc::clone(&state);
-                    match thread::Builder::new()
-                        .name("serve-conn".to_string())
-                        .spawn(move || handle_tcp_connection(stream, &state))
-                    {
-                        Ok(handle) => connections.push(handle),
-                        Err(e) => eprintln!("smith85-serve: spawn failed: {e}"),
+        };
+
+        #[cfg(unix)]
+        {
+            if self.event_loop {
+                crate::event_loop::run(&self.listener, self.unix_listener.as_ref(), &state)?;
+            } else {
+                let unix_accept = match self.unix_listener.take() {
+                    None => None,
+                    Some(listener) => {
+                        let state = Arc::clone(&state);
+                        Some(
+                            thread::Builder::new()
+                                .name("serve-unix-accept".to_string())
+                                .spawn(move || accept_loop_transport(&listener, &state))?,
+                        )
                     }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(POLL_INTERVAL);
-                    connections.retain(|h| !h.is_finished());
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    // Transient accept failures (e.g. EMFILE) must not
-                    // take the service down.
-                    eprintln!("smith85-serve: accept failed: {e}");
-                    thread::sleep(POLL_INTERVAL);
+                };
+                threaded_accept_loop(&self.listener, &state);
+                if let Some(handle) = unix_accept {
+                    let _ = handle.join();
                 }
             }
         }
+        #[cfg(not(unix))]
+        threaded_accept_loop(&self.listener, &state);
 
         // Drain: the queue is closed, workers finish admitted jobs and
         // exit; connection threads notice the flag via their read
         // timeout and exit after their in-flight request is answered.
         state.begin_shutdown();
+        if let Some(hub) = &self.loopback {
+            hub.close();
+        }
         for worker in workers {
             let _ = worker.join();
         }
-        #[cfg(unix)]
-        if let Some(handle) = unix_accept {
+        if let Some(handle) = prober {
             let _ = handle.join();
         }
         if let Some(handle) = metrics_thread {
             let _ = handle.join();
         }
-        for connection in connections {
-            let _ = connection.join();
+        if let Some(handle) = loopback_accept {
+            let _ = handle.join();
         }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
@@ -420,6 +689,19 @@ impl RunningServer {
     }
 }
 
+/// The health-probe loop for router mode: one round per interval, with
+/// the sleep sliced so shutdown is noticed promptly.
+fn prober_loop(router: &RouterState, state: &ServerState) {
+    while !state.shutting_down() {
+        router.probe_round();
+        let interval = router.probe_interval();
+        let start = Instant::now();
+        while start.elapsed() < interval && !state.shutting_down() {
+            thread::sleep(Duration::from_millis(20).min(interval));
+        }
+    }
+}
+
 fn worker_loop(state: &ServerState) {
     while let Some(job) = state.queue.pop() {
         let probe = state.session.probe();
@@ -430,10 +712,11 @@ fn worker_loop(state: &ServerState) {
         let kind_name = match &job.kind {
             JobKind::Simulate(_) => "simulate",
             JobKind::Sweep(_) => "sweep",
+            JobKind::Forward(_) => "forward",
         };
         // Root span for the whole request, under the trace id minted at
-        // admission; entered thread-locally so the session kernels and
-        // the pool record child spans into the same trace.
+        // admission; entered thread-locally so the session kernels, the
+        // pool, and the router's forward spans land in the same trace.
         let span = state.journal.enabled().then(|| {
             TraceContext::root_with_id(
                 state.journal.clone(),
@@ -448,7 +731,7 @@ fn worker_loop(state: &ServerState) {
                 ServerStats::bump(&state.stats.deadline_misses);
                 probe.count("serve_deadline_misses_total", 1);
                 access_log(&span, kind_name, "deadline_miss", queue_ms, 0);
-                let _ = job.reply.send(Response::Error(ErrorBody::new(
+                job.reply.send(Response::Error(ErrorBody::new(
                     ErrorCode::DeadlineExceeded,
                     format!("job waited {queue_ms} ms in queue, past its deadline"),
                 )));
@@ -458,21 +741,45 @@ fn worker_loop(state: &ServerState) {
                 continue;
             }
         }
+        let forwarded = matches!(&job.kind, JobKind::Forward(_));
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| match &job.kind {
             JobKind::Simulate(spec) => {
                 exec::run_simulate(&state.session, spec).map(Response::Simulate)
             }
             JobKind::Sweep(spec) => exec::run_sweep(&state.session, spec).map(Response::Sweep),
+            JobKind::Forward(request) => {
+                let router = state
+                    .router
+                    .as_ref()
+                    .expect("forward jobs exist only in router mode");
+                router.forward(request, &job.trace_id).map(|outcome| {
+                    let ctx = tracelog::current();
+                    if ctx.enabled() {
+                        ctx.event(
+                            Severity::Info,
+                            "router_route",
+                            vec![
+                                ("shard".to_string(), outcome.shard.clone().into()),
+                                ("hedges".to_string(), outcome.hedges.into()),
+                            ],
+                        );
+                    }
+                    outcome.response
+                })
+            }
         }));
         let exec_elapsed = start.elapsed();
         let exec_ms = exec_elapsed.as_millis() as u64;
         probe.observe("serve_exec_ms", exec_elapsed.as_secs_f64() * 1_000.0);
         let busy_counter = match &job.kind {
-            JobKind::Simulate(_) => &state.stats.busy_ms_simulate,
-            JobKind::Sweep(_) => &state.stats.busy_ms_sweep,
+            JobKind::Simulate(_) => Some(&state.stats.busy_ms_simulate),
+            JobKind::Sweep(_) => Some(&state.stats.busy_ms_sweep),
+            JobKind::Forward(_) => None,
         };
-        ServerStats::add_ms(busy_counter, exec_ms);
+        if let Some(counter) = busy_counter {
+            ServerStats::add_ms(counter, exec_ms);
+        }
         let (response, outcome_name) = match outcome {
             Ok(Ok(mut response)) => {
                 if job
@@ -489,33 +796,48 @@ fn worker_loop(state: &ServerState) {
                         "deadline_miss",
                     )
                 } else {
-                    match &mut response {
-                        Response::Simulate(r) => {
-                            r.queue_ms = queue_ms;
-                            r.exec_ms = exec_ms;
-                            r.trace_id = job.trace_id.clone();
-                        }
-                        Response::Sweep(r) => {
-                            r.queue_ms = queue_ms;
-                            r.exec_ms = exec_ms;
-                            r.trace_id = job.trace_id.clone();
-                            // Grid sweeps (points carrying `ways`) tally
-                            // the one-pass engine's server-wide counters.
-                            let grid_cells =
-                                r.points.iter().filter(|p| p.ways.is_some()).count() as u64;
-                            if grid_cells > 0 {
-                                ServerStats::add(&state.stats.one_pass_refs, r.len as u64);
-                                ServerStats::add(&state.stats.one_pass_grid_cells, grid_cells);
+                    // Forwarded responses pass through verbatim — their
+                    // queue/exec times and trace id describe the backend
+                    // that actually ran the job, which is what makes the
+                    // router transparent (and bit-identical) to clients.
+                    if !forwarded {
+                        match &mut response {
+                            Response::Simulate(r) => {
+                                r.queue_ms = queue_ms;
+                                r.exec_ms = exec_ms;
+                                r.trace_id = job.trace_id.clone();
                             }
+                            Response::Sweep(r) => {
+                                r.queue_ms = queue_ms;
+                                r.exec_ms = exec_ms;
+                                r.trace_id = job.trace_id.clone();
+                                // Grid sweeps (points carrying `ways`) tally
+                                // the one-pass engine's server-wide counters.
+                                let grid_cells =
+                                    r.points.iter().filter(|p| p.ways.is_some()).count() as u64;
+                                if grid_cells > 0 {
+                                    ServerStats::add(&state.stats.one_pass_refs, r.len as u64);
+                                    ServerStats::add(
+                                        &state.stats.one_pass_grid_cells,
+                                        grid_cells,
+                                    );
+                                }
+                            }
+                            _ => {}
                         }
-                        _ => {}
                     }
                     ServerStats::bump(&state.stats.completed);
                     (response, "ok")
                 }
             }
             Ok(Err(error)) => {
-                ServerStats::bump(&state.stats.protocol_errors);
+                // A shard at its budget (or an unreachable ring) is an
+                // overload signal, not a protocol violation.
+                if error.code == ErrorCode::Overloaded {
+                    ServerStats::bump(&state.stats.rejected_overload);
+                } else {
+                    ServerStats::bump(&state.stats.protocol_errors);
+                }
                 (Response::Error(error), "error")
             }
             Err(payload) => (
@@ -530,7 +852,7 @@ fn worker_loop(state: &ServerState) {
             ),
         };
         access_log(&span, kind_name, outcome_name, queue_ms, exec_ms);
-        let _ = job.reply.send(response);
+        job.reply.send(response);
         probe.gauge("serve_queue_depth", state.queue.depth() as f64);
     }
     // Shutdown drain finished: whatever value the gauge last held, the
@@ -618,6 +940,78 @@ fn serve_metrics_scrape(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.flush();
 }
 
+/// The thread-per-connection TCP accept loop (the pre-event-loop model;
+/// still the `event_loop: false` baseline and the non-unix fallback).
+fn threaded_accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        #[cfg(unix)]
+        if crate::signal::sigint_received() {
+            state.begin_shutdown();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                match thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || handle_tcp_connection(stream, &state))
+                {
+                    Ok(handle) => connections.push(handle),
+                    Err(e) => eprintln!("smith85-serve: spawn failed: {e}"),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Transient accept failures (e.g. EMFILE) must not
+                // take the service down.
+                eprintln!("smith85-serve: accept failed: {e}");
+                thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+    state.begin_shutdown();
+    for connection in connections {
+        let _ = connection.join();
+    }
+}
+
+/// Accept loop over any [`Listener`] (loopback hubs always; Unix
+/// listeners in threaded mode), one connection thread per accept.
+fn accept_loop_transport(listener: &dyn Listener, state: &Arc<ServerState>) {
+    let _ = listener.set_nonblocking(true);
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        match listener.accept_transport() {
+            Ok(stream) => {
+                let state = Arc::clone(state);
+                if let Ok(handle) = thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || handle_transport_connection(stream, &state))
+                {
+                    connections.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+}
+
 fn handle_tcp_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let reader = match stream.try_clone() {
@@ -627,43 +1021,13 @@ fn handle_tcp_connection(stream: TcpStream, state: &Arc<ServerState>) {
     serve_lines(reader, stream, state);
 }
 
-#[cfg(unix)]
-fn handle_unix_connection(stream: UnixStream, state: &Arc<ServerState>) {
+fn handle_transport_connection(stream: Box<dyn Transport>, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let reader = match stream.try_clone() {
+    let reader = match stream.try_clone_transport() {
         Ok(clone) => clone,
         Err(_) => return,
     };
     serve_lines(reader, stream, state);
-}
-
-#[cfg(unix)]
-fn accept_loop_unix(listener: &UnixListener, state: &Arc<ServerState>) {
-    if listener.set_nonblocking(true).is_err() {
-        return;
-    }
-    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
-    while !state.shutting_down() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let state = Arc::clone(state);
-                if let Ok(handle) = thread::Builder::new()
-                    .name("serve-unix-conn".to_string())
-                    .spawn(move || handle_unix_connection(stream, &state))
-                {
-                    connections.push(handle);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(POLL_INTERVAL);
-                connections.retain(|h| !h.is_finished());
-            }
-            Err(_) => thread::sleep(POLL_INTERVAL),
-        }
-    }
-    for connection in connections {
-        let _ = connection.join();
-    }
 }
 
 enum LineRead {
@@ -772,46 +1136,100 @@ fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()
     writer.flush()
 }
 
-fn handle_request(line: &str, state: &Arc<ServerState>) -> Response {
-    let request = match Request::decode(line) {
-        Ok(request) => request,
+/// How [`dispatch_request`] settled a request.
+pub(crate) enum Handled {
+    /// Answered without touching the worker pool.
+    Inline(Box<Response>),
+    /// Admitted to the queue; the response arrives via the [`ReplyTo`]
+    /// the caller supplied.
+    Admitted,
+}
+
+/// Parses and routes one request line. Cheap requests are answered
+/// inline; `simulate`/`sweep` are admitted to the worker queue with a
+/// reply destination built by `make_reply` (a blocking channel on the
+/// threaded path, the completion list on the event loop).
+pub(crate) fn dispatch_request(
+    line: &str,
+    state: &Arc<ServerState>,
+    make_reply: impl FnOnce() -> ReplyTo,
+) -> Handled {
+    let (request, inbound_trace) = match Request::decode_with_trace(line) {
+        Ok(decoded) => decoded,
         Err(error) => {
             ServerStats::bump(&state.stats.protocol_errors);
-            return Response::Error(error);
+            return Handled::Inline(Box::new(Response::Error(error)));
         }
     };
     match request {
-        Request::Ping => Response::Pong,
+        Request::Ping => Handled::Inline(Box::new(Response::Pong)),
         Request::Catalog => {
             ServerStats::bump(&state.stats.catalog_requests);
-            Response::Catalog(exec::catalog_result())
+            Handled::Inline(Box::new(Response::Catalog(exec::catalog_result())))
         }
         Request::Stats => {
             ServerStats::bump(&state.stats.stats_requests);
-            Response::Stats(state.snapshot())
+            Handled::Inline(Box::new(Response::Stats(state.snapshot())))
         }
-        Request::Metrics => Response::Metrics(state.session.registry().snapshot()),
+        Request::Metrics => Handled::Inline(Box::new(Response::Metrics(state.session.registry().snapshot()))),
         Request::Shutdown => {
             state.begin_shutdown();
-            Response::Ok
+            Handled::Inline(Box::new(Response::Ok))
         }
         Request::Simulate(spec) => {
             let deadline_ms = spec.deadline_ms.or(state.default_deadline_ms);
+            let kind = if state.router.is_some() {
+                JobKind::Forward(Request::Simulate(spec))
+            } else {
+                JobKind::Simulate(spec)
+            };
             submit_job(
                 state,
-                JobKind::Simulate(spec),
+                kind,
                 deadline_ms,
                 &state.stats.simulate_requests,
+                inbound_trace,
+                make_reply,
             )
         }
         Request::Sweep(spec) => {
             let deadline_ms = spec.deadline_ms.or(state.default_deadline_ms);
+            let kind = if state.router.is_some() {
+                JobKind::Forward(Request::Sweep(spec))
+            } else {
+                JobKind::Sweep(spec)
+            };
             submit_job(
                 state,
-                JobKind::Sweep(spec),
+                kind,
                 deadline_ms,
                 &state.stats.sweep_requests,
+                inbound_trace,
+                make_reply,
             )
+        }
+    }
+}
+
+/// The threaded path: dispatch, then block for the worker's reply.
+fn handle_request(line: &str, state: &Arc<ServerState>) -> Response {
+    let mut receiver = None;
+    let handled = dispatch_request(line, state, || {
+        let (reply, receive) = mpsc::sync_channel(1);
+        receiver = Some(receive);
+        ReplyTo::Channel(reply)
+    });
+    match handled {
+        Handled::Inline(response) => *response,
+        Handled::Admitted => {
+            let receive = receiver.expect("admitted jobs reply over the channel");
+            match receive.recv_timeout(REPLY_TIMEOUT) {
+                Ok(response) => response,
+                Err(_) => Response::Error(ErrorBody::new(
+                    ErrorCode::Internal,
+                    "worker did not reply in time",
+                )),
+            }
         }
     }
 }
@@ -821,33 +1239,34 @@ fn submit_job(
     kind: JobKind,
     deadline_ms: Option<u64>,
     admitted_counter: &std::sync::atomic::AtomicU64,
-) -> Response {
+    inbound_trace: Option<String>,
+    make_reply: impl FnOnce() -> ReplyTo,
+) -> Handled {
     let admitted = Instant::now();
-    let (reply, receive) = mpsc::sync_channel(1);
     let job = Job {
         kind,
-        reply,
+        reply: make_reply(),
         admitted,
         deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
-        trace_id: mint_trace_id(),
+        trace_id: inbound_trace.unwrap_or_else(mint_trace_id),
     };
     match state.queue.try_push(job) {
         Ok(()) => {}
         Err(PushError::Full(_)) => {
             ServerStats::bump(&state.stats.rejected_overload);
-            return Response::Error(ErrorBody::new(
+            return Handled::Inline(Box::new(Response::Error(ErrorBody::new(
                 ErrorCode::Overloaded,
                 format!(
                     "work queue is full ({} jobs); retry later",
                     state.queue.depth()
                 ),
-            ));
+            ))));
         }
         Err(PushError::Closed(_)) => {
-            return Response::Error(ErrorBody::new(
+            return Handled::Inline(Box::new(Response::Error(ErrorBody::new(
                 ErrorCode::ShuttingDown,
                 "server is draining and no longer admits work",
-            ));
+            ))));
         }
     }
     ServerStats::bump(admitted_counter);
@@ -855,11 +1274,116 @@ fn submit_job(
         .session
         .probe()
         .gauge("serve_queue_depth", state.queue.depth() as f64);
-    match receive.recv_timeout(REPLY_TIMEOUT) {
-        Ok(response) => response,
-        Err(_) => Response::Error(ErrorBody::new(
-            ErrorCode::Internal,
-            "worker did not reply in time",
-        )),
+    Handled::Admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let opts = ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .queue_capacity(8)
+            .default_deadline_ms(250)
+            .build()
+            .expect("valid combination");
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.queue_capacity, 8);
+        assert_eq!(opts.default_deadline_ms, Some(250));
+        assert!(opts.event_loop, "event loop is the default");
+    }
+
+    #[test]
+    fn zero_workers_and_zero_queue_are_typed_errors() {
+        assert_eq!(
+            ServeOptions::builder().workers(0).build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQueueCapacity
+        );
+        assert_eq!(
+            ServeOptions::builder().addr("  ").build().unwrap_err(),
+            ConfigError::EmptyAddr
+        );
+    }
+
+    #[test]
+    fn router_combos_are_validated() {
+        let backends = || RouterOptions {
+            backends: vec!["127.0.0.1:1".to_string()],
+            ..RouterOptions::default()
+        };
+        assert_eq!(
+            ServeOptions::builder()
+                .router(RouterOptions::default())
+                .build()
+                .unwrap_err(),
+            ConfigError::RouterWithoutBackends
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .router(RouterOptions {
+                    shard_inflight: 0,
+                    ..backends()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::RouterZeroInflight
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .router(RouterOptions {
+                    replicas: 0,
+                    ..backends()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::RouterZeroReplicas
+        );
+        assert!(ServeOptions::builder().router(backends()).build().is_ok());
+    }
+
+    #[test]
+    fn router_plus_store_is_rejected_before_binding() {
+        let dir = std::env::temp_dir().join(format!(
+            "smith85-serve-cfg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let session = SimSession::builder()
+            .store(dir.join("store"))
+            .build()
+            .expect("session with store");
+        let err = ServeOptions::builder()
+            .session(session)
+            .router(RouterOptions {
+                backends: vec!["127.0.0.1:1".to_string()],
+                ..RouterOptions::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RouterWithStore);
+        assert!(err.to_string().contains("store"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bind_rejects_invalid_options_with_invalid_input() {
+        let err = Server::bind(ServeOptions {
+            addr: String::new(),
+            ..ServeOptions::default()
+        })
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -4,7 +4,7 @@
 //! read for observability, not for synchronization, so the cheapest
 //! ordering is the right one.
 
-use crate::protocol::{OnePassCounters, PoolCounters, StatsResult, StoreCounters};
+use crate::protocol::{OnePassCounters, PoolCounters, RouterCounters, StatsResult, StoreCounters};
 use smith85_core::trace_pool::TracePool;
 use smith85_store::Store;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,8 +54,9 @@ impl ServerStats {
         counter.fetch_add(ms, Ordering::Relaxed);
     }
 
-    /// A point-in-time snapshot joined with queue, pool and (when the
-    /// server runs with `--store`) persistent-store state.
+    /// A point-in-time snapshot joined with queue, pool, (when the
+    /// server runs with `--store`) persistent-store state, and (in
+    /// router mode) shard-router counters.
     pub fn snapshot(
         &self,
         queue_depth: usize,
@@ -63,6 +64,7 @@ impl ServerStats {
         workers: usize,
         pool: &TracePool,
         store: Option<&Store>,
+        router: Option<RouterCounters>,
     ) -> StatsResult {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let pool_stats = pool.stats();
@@ -103,6 +105,7 @@ impl ServerStats {
                 refs: load(&self.one_pass_refs),
                 grid_cells: load(&self.one_pass_grid_cells),
             }),
+            router,
         }
     }
 }
@@ -121,7 +124,7 @@ mod tests {
         ServerStats::add(&stats.one_pass_refs, 5_000);
         ServerStats::add(&stats.one_pass_grid_cells, 54);
         let pool = TracePool::new();
-        let snap = stats.snapshot(3, 9, 4, &pool, None);
+        let snap = stats.snapshot(3, 9, 4, &pool, None, None);
         assert_eq!(snap.simulate_requests, 2);
         assert_eq!(snap.rejected_overload, 1);
         assert_eq!(snap.busy_ms_simulate, 37);

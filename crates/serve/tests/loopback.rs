@@ -8,7 +8,8 @@
 
 use smith85_cachesim::{CacheConfig, Simulator, UnifiedCache};
 use smith85_serve::{
-    CacheSpec, Client, ErrorCode, Request, Response, ServeOptions, Server, SimulateSpec,
+    CacheSpec, Client, ClientError, ErrorCode, Request, Response, ServeOptions, Server,
+    SimulateSpec,
 };
 use smith85_synth::catalog;
 use std::time::{Duration, Instant};
@@ -48,7 +49,7 @@ fn direct_miss_ratio(workload: &str, len: usize, size: usize) -> f64 {
 }
 
 fn fetch_stats(addr: &str) -> smith85_serve::StatsResult {
-    let mut client = Client::connect(addr).expect("stats client");
+    let mut client = Client::builder().addr(addr).connect().expect("stats client");
     match client.call(&Request::Stats).expect("stats call") {
         Response::Stats(stats) => stats,
         other => panic!("expected stats, got {other:?}"),
@@ -68,7 +69,7 @@ fn eight_concurrent_clients_get_bit_identical_results() {
             .map(|&size| {
                 let addr = &addr;
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut client = Client::builder().addr(addr).connect().expect("connect");
                     match client
                         .call(&simulate_request("VCCOM", LEN, size))
                         .expect("call")
@@ -126,7 +127,7 @@ fn full_queue_rejects_with_typed_overloaded_not_a_hang() {
         let slow_handle = {
             let addr = addr.clone();
             scope.spawn(move || {
-                let mut client = Client::connect(&addr).expect("connect");
+                let mut client = Client::builder().addr(&addr).connect().expect("connect");
                 client.call(&slow).expect("slow job")
             })
         };
@@ -140,20 +141,17 @@ fn full_queue_rejects_with_typed_overloaded_not_a_hang() {
         let queued_handle = {
             let addr = addr.clone();
             scope.spawn(move || {
-                let mut client = Client::connect(&addr).expect("connect");
+                let mut client = Client::builder().addr(&addr).connect().expect("connect");
                 client.call(&queued).expect("queued job")
             })
         };
         wait_until(|| fetch_stats(&addr).queue_depth == 1);
 
         // Queue full: this must come back immediately and typed.
-        let mut client = Client::connect(&addr).expect("connect");
+        let mut client = Client::builder().addr(&addr).connect().expect("connect");
         let start = Instant::now();
-        match client
-            .call(&simulate_request("VCCOM", 1_000, 1 << 12))
-            .expect("rejected call still answers")
-        {
-            Response::Error(e) => {
+        match client.call(&simulate_request("VCCOM", 1_000, 1 << 12)) {
+            Err(ClientError::Server(e)) => {
                 assert_eq!(e.code, ErrorCode::Overloaded, "{e:?}");
             }
             other => panic!("expected overloaded error, got {other:?}"),
@@ -180,7 +178,7 @@ fn malformed_input_gets_typed_errors_and_workers_survive() {
     let addr = server.addr().to_string();
 
     // Truncated JSON.
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut client = Client::builder().addr(&addr).connect().expect("connect");
     match client.send_raw_line("{\"type\": \"sim").expect("answer") {
         Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{e:?}"),
         other => panic!("expected bad_request, got {other:?}"),
@@ -219,7 +217,7 @@ fn malformed_input_gets_typed_errors_and_workers_survive() {
     }
 
     // A fresh connection still gets real work done: nothing died.
-    let mut client = Client::connect(&addr).expect("reconnect");
+    let mut client = Client::builder().addr(&addr).connect().expect("reconnect");
     assert!(matches!(
         client.call(&Request::Ping).expect("ping"),
         Response::Pong
@@ -242,7 +240,7 @@ fn shutdown_request_drains_and_stops_admitting() {
     let server = spawn_default();
     let addr = server.addr().to_string();
 
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut client = Client::builder().addr(&addr).connect().expect("connect");
     match client
         .call(&simulate_request("PL0", 5_000, 1 << 12))
         .expect("job before shutdown")
@@ -257,11 +255,10 @@ fn shutdown_request_drains_and_stops_admitting() {
 
     // Late submissions are refused with a typed shutting_down error (the
     // connection may also already be closed, which is equally fine).
-    if let Ok(response) = client.call(&simulate_request("PL0", 5_000, 1 << 13)) {
-        match response {
-            Response::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown, "{e:?}"),
-            other => panic!("expected shutting_down, got {other:?}"),
-        }
+    match client.call(&simulate_request("PL0", 5_000, 1 << 13)) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::ShuttingDown, "{e:?}"),
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected shutting_down or a closed connection, got {other:?}"),
     }
 
     let stats = server.stop().expect("clean shutdown");
@@ -279,7 +276,7 @@ fn unix_socket_round_trip() {
     })
     .expect("spawn server with unix socket");
 
-    let mut client = Client::connect_unix(&path).expect("unix connect");
+    let mut client = Client::builder().unix(&path).connect().expect("unix connect");
     assert!(matches!(
         client.call(&Request::Ping).expect("ping"),
         Response::Pong
@@ -303,7 +300,7 @@ fn unix_socket_round_trip() {
 fn metrics_request_parses_and_counters_are_monotonic() {
     let server = spawn_default();
     let addr = server.addr().to_string();
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut client = Client::builder().addr(&addr).connect().expect("connect");
 
     let fetch_metrics = |client: &mut Client| match client.call(&Request::Metrics).expect("metrics")
     {
@@ -356,7 +353,7 @@ fn v_less_client_round_trips_bit_identically() {
     // A pre-versioning client sends no "v" envelope at all; the served
     // result must still be bit-identical to a direct library run.
     let server = spawn_default();
-    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let mut client = Client::builder().addr(server.addr().to_string()).connect().expect("connect");
     let raw = "{\"type\":\"simulate\",\"workload\":\"VCCOM\",\"len\":2000,\"size\":4096,\"line\":16}";
     match client.send_raw_line(raw).expect("answer") {
         Response::Simulate(r) => {
@@ -389,7 +386,7 @@ fn prometheus_endpoint_serves_valid_exposition() {
     .expect("spawn server with metrics endpoint");
     let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
 
-    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let mut client = Client::builder().addr(server.addr().to_string()).connect().expect("connect");
     assert!(matches!(
         client.call(&simulate_request("ZGREP", 2_000, 1 << 12)).expect("job"),
         Response::Simulate(_)
@@ -452,7 +449,7 @@ fn journaled_request_is_attributable_end_to_end() {
     })
     .expect("spawn server with journal");
 
-    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let mut client = Client::builder().addr(server.addr().to_string()).connect().expect("connect");
     let trace_id = match client
         .call(&simulate_request("VCCOM", 20_000, 1 << 13))
         .expect("journaled job")
@@ -525,12 +522,9 @@ fn panicking_job_gets_typed_error_and_gauge_returns_to_zero() {
     .expect("spawn server");
     let addr = server.addr().to_string();
 
-    let mut client = Client::connect(&addr).expect("connect");
-    match client
-        .call(&simulate_request(smith85_serve::exec::PANIC_WORKLOAD, 1_000, 1 << 12))
-        .expect("panicking job still answers")
-    {
-        Response::Error(e) => {
+    let mut client = Client::builder().addr(&addr).connect().expect("connect");
+    match client.call(&simulate_request(smith85_serve::exec::PANIC_WORKLOAD, 1_000, 1 << 12)) {
+        Err(ClientError::Server(e)) => {
             assert_eq!(e.code, ErrorCode::Internal, "{e:?}");
             assert!(e.message.contains("panic"), "{e:?}");
         }

@@ -1,0 +1,245 @@
+//! End-to-end acceptance tests for the shard router.
+//!
+//! Pinned guarantees: a routed answer is bit-identical to asking a
+//! backend directly (the router forwards, it never recomputes or
+//! rewrites); stats expose the shard counters; a supplied trace id
+//! survives the extra hop; and when a backend dies mid-run every
+//! outstanding request resolves to a typed error or a hedged success —
+//! never a hang.
+
+use smith85_serve::{
+    CacheSpec, Client, ClientError, ErrorCode, Request, Response, RouterOptions, ServeOptions,
+    Server, SimulateSpec,
+};
+use std::time::{Duration, Instant};
+
+fn spawn_backend() -> smith85_serve::RunningServer {
+    Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .build()
+            .expect("serve options"),
+    )
+    .expect("spawn backend")
+}
+
+fn spawn_router(backends: Vec<String>, probe_interval_ms: u64) -> smith85_serve::RunningServer {
+    Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .router(RouterOptions {
+                backends,
+                probe_interval_ms,
+                ..RouterOptions::default()
+            })
+            .build()
+            .expect("serve options"),
+    )
+    .expect("spawn router")
+}
+
+fn simulate_request(workload: &str, len: usize, size: usize) -> Request {
+    Request::Simulate(SimulateSpec {
+        workload: workload.to_string(),
+        len,
+        seed: None,
+        cache: CacheSpec {
+            size,
+            line: 16,
+            ways: None,
+            purge: None,
+        },
+        policy: None,
+        deadline_ms: None,
+    })
+}
+
+/// A response with per-execution noise (queue/exec timing, trace id)
+/// zeroed out, so two executions of the same deterministic request can
+/// be compared byte for byte.
+fn normalized(response: &Response) -> String {
+    let mut response = response.clone();
+    match &mut response {
+        Response::Simulate(r) => {
+            r.queue_ms = 0;
+            r.exec_ms = 0;
+            r.trace_id = String::new();
+        }
+        Response::Sweep(r) => {
+            r.queue_ms = 0;
+            r.exec_ms = 0;
+            r.trace_id = String::new();
+        }
+        _ => {}
+    }
+    response.encode()
+}
+
+fn stats(client: &mut Client) -> smith85_serve::StatsResult {
+    match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {}", other.encode()),
+    }
+}
+
+#[test]
+fn routed_answers_are_bit_identical_to_direct_backend_calls() {
+    let backend_a = spawn_backend();
+    let backend_b = spawn_backend();
+    let router = spawn_router(
+        vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        500,
+    );
+
+    let mut via_router = Client::builder()
+        .addr(router.addr().to_string())
+        .connect()
+        .expect("connect router");
+    let mut direct = Client::builder()
+        .addr(backend_a.addr().to_string())
+        .connect()
+        .expect("connect backend");
+
+    let workloads = ["MVS1", "VCCOM", "ZGREP", "TWOD"];
+    for (i, workload) in workloads.iter().enumerate() {
+        let request = simulate_request(workload, 2_000 + 500 * i, 4_096);
+        let routed = via_router.call(&request).expect("routed call");
+        let straight = direct.call(&request).expect("direct call");
+        assert_eq!(
+            normalized(&routed),
+            normalized(&straight),
+            "routed {workload} answer must be bit-identical to a direct call"
+        );
+    }
+
+    let s = stats(&mut via_router);
+    let counters = s.router.expect("router node must report shard counters");
+    assert_eq!(counters.shards, 2);
+    assert_eq!(counters.healthy, 2, "both backends are up");
+    assert_eq!(
+        counters.forwarded,
+        workloads.len() as u64,
+        "every simulate must have been forwarded, none answered locally"
+    );
+    assert_eq!(counters.shard_overloads, 0);
+
+    // Control-plane requests are answered by the router itself and match
+    // what any backend would say.
+    let routed_catalog = via_router.call(&Request::Catalog).expect("catalog");
+    let direct_catalog = direct.call(&Request::Catalog).expect("catalog");
+    assert_eq!(routed_catalog.encode(), direct_catalog.encode());
+
+    router.stop().unwrap();
+    backend_a.stop().unwrap();
+    backend_b.stop().unwrap();
+}
+
+#[test]
+fn trace_ids_survive_the_router_hop() {
+    let backend = spawn_backend();
+    let router = spawn_router(vec![backend.addr().to_string()], 500);
+
+    let mut client = Client::builder()
+        .addr(router.addr().to_string())
+        .trace_id("hop2hop77")
+        .connect()
+        .expect("connect");
+    match client
+        .call(&simulate_request("VCCOM", 2_000, 4_096))
+        .expect("routed call")
+    {
+        Response::Simulate(r) => assert_eq!(
+            r.trace_id, "hop2hop77",
+            "the backend must echo the client's trace id through the router"
+        ),
+        other => panic!("expected simulate result, got {}", other.encode()),
+    }
+
+    router.stop().unwrap();
+    backend.stop().unwrap();
+}
+
+#[test]
+fn killed_backend_means_typed_errors_or_hedged_success_never_a_hang() {
+    let backend_a = spawn_backend();
+    let backend_b = spawn_backend();
+    let router = spawn_router(
+        vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        100,
+    );
+    let router_addr = router.addr().to_string();
+
+    // Warm the ring with both backends alive.
+    let mut client = Client::builder()
+        .addr(router_addr.as_str())
+        .timeout(Duration::from_secs(30))
+        .connect()
+        .expect("connect");
+    client
+        .call(&simulate_request("VCCOM", 2_000, 4_096))
+        .expect("warm-up call");
+
+    // Kill one backend mid-run: its listener closes, in-flight work is
+    // torn down, future connects are refused.
+    backend_b.stop().expect("stop backend b");
+
+    // Every request issued from now on must resolve quickly: either a
+    // hedged/direct success on the surviving shard or a typed error.
+    let mut successes = 0u32;
+    let mut typed_errors = 0u32;
+    let workloads = ["MVS1", "FCOMP1", "VCCOM", "VSPICE", "ZGREP", "TWOD", "WATEX", "PL0"];
+    for (i, workload) in workloads.iter().enumerate() {
+        let started = Instant::now();
+        let mut client = Client::builder()
+            .addr(router_addr.as_str())
+            .timeout(Duration::from_secs(30))
+            .connect()
+            .expect("connect");
+        match client.call(&simulate_request(workload, 1_500 + 100 * i, 8_192)) {
+            Ok(Response::Simulate(_)) => successes += 1,
+            Ok(other) => panic!("unexpected success payload: {}", other.encode()),
+            Err(ClientError::Server(body)) => {
+                assert!(
+                    matches!(body.code, ErrorCode::Overloaded | ErrorCode::Internal),
+                    "degradation must be a typed transient error, got {:?}: {}",
+                    body.code,
+                    body.message
+                );
+                typed_errors += 1;
+            }
+            Err(other) => panic!("request must not fail untyped: {other}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(25),
+            "request {i} must not hang (took {:?})",
+            started.elapsed()
+        );
+    }
+    assert_eq!(successes + typed_errors, workloads.len() as u32);
+    assert!(
+        successes > 0,
+        "hedging to the surviving shard must rescue at least some requests"
+    );
+
+    // Once the prober has marked the dead shard down, everything lands
+    // on the survivor and succeeds outright.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut client = Client::builder()
+        .addr(router_addr.as_str())
+        .timeout(Duration::from_secs(30))
+        .connect()
+        .expect("connect");
+    for workload in &workloads {
+        match client.call(&simulate_request(workload, 1_200, 4_096)) {
+            Ok(Response::Simulate(_)) => {}
+            other => panic!("steady-state after failover must succeed, got {other:?}"),
+        }
+    }
+    let s = stats(&mut client);
+    let counters = s.router.expect("router counters");
+    assert_eq!(counters.healthy, 1, "the dead shard must be marked down");
+    assert!(counters.health_probes > 0, "the prober must be running");
+
+    router.stop().unwrap();
+    backend_a.stop().unwrap();
+}

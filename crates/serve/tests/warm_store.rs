@@ -49,7 +49,7 @@ fn simulate_request() -> Request {
 }
 
 fn call(addr: &str, request: &Request) -> Response {
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder().addr(addr).connect().expect("connect");
     client.call(request).expect("call")
 }
 

@@ -566,14 +566,24 @@ impl RingJournal {
         self.len() == 0
     }
 
-    /// All retained events, sorted by timestamp.
+    /// All retained events, sorted by timestamp. Ties (events within the
+    /// same microsecond) break causally: span starts first in parent
+    /// order, then point events, then span ends in child-before-parent
+    /// order — so a parent's end never sorts between its children.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = Vec::new();
         for shard in &self.shards {
             let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
             all.extend(guard.iter().cloned());
         }
-        all.sort_by_key(|e| (e.ts_us, e.span_id));
+        all.sort_by_key(|e| {
+            let (rank, id_order) = match e.kind {
+                EventKind::SpanStart => (0u8, e.span_id as i64),
+                EventKind::Event => (1, e.span_id as i64),
+                EventKind::SpanEnd => (2, -(e.span_id as i64)),
+            };
+            (e.ts_us, rank, id_order)
+        });
         all
     }
 }
