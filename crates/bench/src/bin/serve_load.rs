@@ -186,11 +186,22 @@ fn spawn_store_server(store_dir: &str) -> smith85_serve::RunningServer {
 }
 
 /// The scale-out measurements appended when the benchmark owns its own
-/// servers: an event-loop pass at many connections, and a router pass
-/// over two in-process backend shards.
+/// servers: an event-loop pass at many connections (journaling off and
+/// on, to price the observability layer), and a router pass over two
+/// in-process backend shards.
 struct ScaleOut {
     event_loop_connections: usize,
     event_loop: PassResult,
+    /// The same event-loop pass with a trace journal attached: every
+    /// request now emits spans and an access-log event to disk. The
+    /// journaling-off pass above costs nothing extra by construction
+    /// (the sink short-circuits when no journal is configured).
+    instrumented: PassResult,
+    /// Throughput cost of journaling, percent (positive = journaling
+    /// is slower): the median of per-pair overheads across interleaved
+    /// baseline/journal rounds, which cancels machine drift that a
+    /// single best-vs-best ratio would misattribute to the code path.
+    journal_overhead_percent: f64,
     router_backends: usize,
     router: PassResult,
     bit_identical: bool,
@@ -261,14 +272,84 @@ fn run_scale_out(config: &ModeConfig) -> ScaleOut {
             .expect("event-loop serve options"),
     )
     .expect("spawn event-loop server");
+    // Journaling costs a fixed ~5 events per request, independent of
+    // request size, so the overhead ratio below is only meaningful
+    // against a representative request — quick mode's micro requests
+    // would quote the fixed cost against almost no work. Pin the
+    // scale-out passes to the full-mode request size in every mode.
     let event_config = ModeConfig {
         connections,
-        requests_per_connection: 4,
-        trace_len: config.trace_len,
+        requests_per_connection: 8,
+        trace_len: config.trace_len.max(50_000),
     };
-    let event_pass = run_pass(&event_server.addr().to_string(), &event_config);
+    // The identical topology with journaling on: same load, plus
+    // per-request spans and an access-log event written to disk.
+    let journal_path = std::env::temp_dir().join(format!(
+        "smith85-serve-bench-journal-{}.ndjson",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+    let instr_server = Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .queue_capacity(connections * 4)
+            .journal(journal_path.clone())
+            .build()
+            .expect("instrumented serve options"),
+    )
+    .expect("spawn instrumented event-loop server");
+
+    // The journaling price tag is a ratio of two short passes, and the
+    // box drifts (CPU frequency, neighbours) on a scale of seconds —
+    // two back-to-back blocks of rounds would measure the drift, not
+    // the code path. Interleave paired rounds (baseline, journal,
+    // baseline, journal, ...) so each pair sees the same machine
+    // weather, and take the MEDIAN per-pair overhead: pairing cancels
+    // drift, the median shrugs off the odd descheduled round. The
+    // first (warm-up) pair populates the shared trace pool on both
+    // servers and is discarded.
+    const MEASURED_PAIRS: usize = 9;
+    let event_addr = event_server.addr().to_string();
+    let instr_addr = instr_server.addr().to_string();
+    let mut pairs: Vec<(PassResult, PassResult)> = (0..MEASURED_PAIRS + 1)
+        .map(|round| {
+            // Alternate which server goes first so any systematic
+            // first-runner advantage cancels across pairs too.
+            if round % 2 == 0 {
+                (
+                    run_pass(&event_addr, &event_config),
+                    run_pass(&instr_addr, &event_config),
+                )
+            } else {
+                let instr = run_pass(&instr_addr, &event_config);
+                (run_pass(&event_addr, &event_config), instr)
+            }
+        })
+        .collect();
+    pairs.remove(0); // warm-up pair
+    let mut overheads: Vec<f64> = pairs
+        .iter()
+        .map(|(base, instr)| {
+            (1.0 - instr.requests_per_sec() / base.requests_per_sec()) * 100.0
+        })
+        .collect();
+    overheads.sort_by(|a, b| a.total_cmp(b));
+    let journal_overhead_percent = overheads[overheads.len() / 2];
+
+    let best = |passes: Vec<PassResult>| -> PassResult {
+        passes
+            .into_iter()
+            .max_by(|a, b| a.requests_per_sec().total_cmp(&b.requests_per_sec()))
+            .expect("measured rounds ran")
+    };
+    let (bases, instrs): (Vec<PassResult>, Vec<PassResult>) = pairs.into_iter().unzip();
+    let event_pass = best(bases);
+    let instr_pass = best(instrs);
     event_server.stop().expect("clean event-loop shutdown");
+    instr_server.stop().expect("clean instrumented shutdown");
     print_pass("event-loop", &event_config, "in-process", &event_pass);
+    print_pass("event-loop+journal", &event_config, "in-process", &instr_pass);
+    let _ = std::fs::remove_file(&journal_path);
 
     // Router: two backend shards plus a front router, all in-process.
     let backends: Vec<smith85_serve::RunningServer> = (0..2)
@@ -312,13 +393,21 @@ fn run_scale_out(config: &ModeConfig) -> ScaleOut {
         "router: responses bit-identical to a direct backend call: {bit_identical}"
     );
 
-    ScaleOut {
+    let scale_out = ScaleOut {
         event_loop_connections: connections,
         event_loop: event_pass,
+        instrumented: instr_pass,
+        journal_overhead_percent,
         router_backends: 2,
         router: router_pass,
         bit_identical,
-    }
+    };
+    println!(
+        "event-loop journaling overhead: {:.1}% median of {MEASURED_PAIRS} paired rounds \
+         (0% by construction when disabled)",
+        scale_out.journal_overhead_percent
+    );
+    scale_out
 }
 
 /// One pass's JSON object (shared shape for the top level and the
@@ -398,7 +487,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"smith85-serve-bench-v3\",\n");
+    s.push_str("  \"schema\": \"smith85-serve-bench-v4\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"target\": \"{target}\",\n"));
     s.push_str(&format!("  \"connections\": {},\n", config.connections));
@@ -437,6 +526,19 @@ fn render_json(
                 so.event_loop_connections
             ));
             s.push_str(&render_pass("      ", &so.event_loop));
+            s.push_str("    },\n");
+            // v4: the observability price tag. The disabled figure is
+            // structural — no journal configured means the tracing sink
+            // short-circuits before any work happens.
+            s.push_str("    \"instrumentation\": {\n");
+            s.push_str(&format!(
+                "      \"journal_overhead_percent\": {:.1},\n",
+                so.journal_overhead_percent
+            ));
+            s.push_str("      \"disabled_overhead_percent\": 0.0,\n");
+            s.push_str("      \"journal_enabled\": {\n");
+            s.push_str(&render_pass("        ", &so.instrumented));
+            s.push_str("      }\n");
             s.push_str("    },\n");
             s.push_str("    \"router\": {\n");
             s.push_str(&format!("      \"backends\": {},\n", so.router_backends));

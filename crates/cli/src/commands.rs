@@ -119,13 +119,17 @@ USAGE:
         verify  re-validate every record; corrupt entries are moved to
                 quarantine/ and the exit status is nonzero if any were
                 found
-  smith85 trace report JOURNAL [--top N] [--format tree|collapsed]
-      Render an NDJSON trace journal as per-trace span trees with total
+  smith85 trace report JOURNAL [--journal PATH]... [--top N] [--format tree|collapsed]
+      Render NDJSON trace journals as per-trace span trees with total
       and self times (slowest first, --top per default 10), or as
       collapsed stacks (`root;child;leaf self_us`) for flamegraph tools.
-  smith85 trace follow JOURNAL [--max-events N]
+      --journal is repeatable: a router's journal and its shards'
+      journals merge into one cross-process tree per trace id (shard
+      subtrees hang under the router's forwarding hops).
+  smith85 trace follow JOURNAL [--max-events N] [--trace-id ID]
       Tail a journal: print events as they are appended (ctrl-c stops;
-      --max-events exits after N events).
+      --max-events exits after N printed events; --trace-id shows only
+      one trace).
 "
     .to_string()
 }
@@ -1087,23 +1091,44 @@ fn render_response(response: &smith85_serve::Response) -> Result<String, CliErro
                     router.shard_overloads,
                     router.health_probes
                 );
+                if router.federated_shards + router.stale_shards > 0 {
+                    let _ = writeln!(
+                        out,
+                        "router metrics federation: {} shard snapshot(s) absorbed, \
+                         {} shard(s) marked stale",
+                        router.federated_shards, router.stale_shards
+                    );
+                }
             }
         }
         Response::Metrics(snapshot) => {
+            let series = |name: &str, labels: &[(String, String)]| {
+                if labels.is_empty() {
+                    name.to_string()
+                } else {
+                    let body: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("{name}{{{}}}", body.join(","))
+                }
+            };
             let _ = writeln!(out, "counters:");
             for c in &snapshot.counters {
-                let _ = writeln!(out, "  {:<40} {}", c.name, c.value);
+                let _ = writeln!(out, "  {:<40} {}", series(&c.name, &c.labels), c.value);
             }
             let _ = writeln!(out, "gauges:");
             for g in &snapshot.gauges {
-                let _ = writeln!(out, "  {:<40} {}", g.name, g.value);
+                let _ = writeln!(out, "  {:<40} {}", series(&g.name, &g.labels), g.value);
             }
             let _ = writeln!(out, "histograms:");
             for h in &snapshot.histograms {
                 let _ = writeln!(
                     out,
                     "  {:<40} count {}  p50 {:.3}  p95 {:.3}  p99 {:.3}",
-                    h.name, h.count, h.p50, h.p95, h.p99
+                    series(&h.name, &h.labels),
+                    h.count,
+                    h.p50,
+                    h.p95,
+                    h.p99
                 );
             }
         }
@@ -1288,24 +1313,34 @@ pub(crate) fn trace(opts: &Opts) -> Result<String, CliError> {
     let action = opts.positional().first().map(String::as_str).ok_or_else(|| {
         CliError::usage("need an action: `smith85 trace report JOURNAL` or `smith85 trace follow JOURNAL`")
     })?;
-    let journal = opts
-        .positional()
-        .get(1)
-        .map(String::as_str)
-        .ok_or_else(|| CliError::usage(format!("`smith85 trace {action}` needs a journal path")))?;
     match action {
         "report" => {
-            opts.expect_only(&["top", "format"])?;
-            let (header, events) = smith85_tracelog::report::read_journal(journal)?;
-            if let Some(header) = &header {
-                if header.version != smith85_tracelog::JOURNAL_VERSION {
-                    return Err(CliError::usage(format!(
-                        "journal {journal:?} is format v{}, this build reads v{}",
-                        header.version,
-                        smith85_tracelog::JOURNAL_VERSION
-                    )));
-                }
+            opts.expect_only(&["top", "format", "journal"])?;
+            // Journals come as a positional path, repeated --journal
+            // flags, or both; several paths (e.g. a router's and its
+            // shards') are merged into one cross-process view.
+            let mut paths: Vec<&str> = opts.positional().iter().skip(1).map(String::as_str).collect();
+            paths.extend(opts.get_all("journal"));
+            if paths.is_empty() {
+                return Err(CliError::usage(
+                    "`smith85 trace report` needs a journal path (positional or --journal, repeatable)",
+                ));
             }
+            let mut journals: Vec<Vec<smith85_tracelog::TraceEvent>> = Vec::new();
+            for path in &paths {
+                let (header, events) = smith85_tracelog::report::read_journal(path)?;
+                if let Some(header) = &header {
+                    if header.version != smith85_tracelog::JOURNAL_VERSION {
+                        return Err(CliError::usage(format!(
+                            "journal {path:?} is format v{}, this build reads v{}",
+                            header.version,
+                            smith85_tracelog::JOURNAL_VERSION
+                        )));
+                    }
+                }
+                journals.push(events);
+            }
+            let events = smith85_tracelog::report::merge_journals(&journals);
             let trees = smith85_tracelog::report::build_trees(&events);
             match opts.get("format").unwrap_or("tree") {
                 "tree" => {
@@ -1319,9 +1354,12 @@ pub(crate) fn trace(opts: &Opts) -> Result<String, CliError> {
             }
         }
         "follow" => {
-            opts.expect_only(&["max-events"])?;
+            opts.expect_only(&["max-events", "trace-id"])?;
+            let journal = opts.positional().get(1).map(String::as_str).ok_or_else(|| {
+                CliError::usage("`smith85 trace follow` needs a journal path")
+            })?;
             let max_events = opts.get_parse("max-events", usize::MAX)?;
-            follow_journal(journal, max_events)
+            follow_journal(journal, max_events, opts.get("trace-id"))
         }
         other => Err(CliError::usage(format!(
             "unknown trace action {other:?} (report or follow)"
@@ -1331,8 +1369,9 @@ pub(crate) fn trace(opts: &Opts) -> Result<String, CliError> {
 
 /// Tails a journal file: prints each event line as it lands, polling for
 /// growth. With `max_events == usize::MAX` it runs until interrupted, so
-/// events go straight to stdout rather than the returned string.
-fn follow_journal(path: &str, max_events: usize) -> Result<String, CliError> {
+/// events go straight to stdout rather than the returned string. With a
+/// `trace_id` filter, only that trace's events print (or count).
+fn follow_journal(path: &str, max_events: usize, trace_id: Option<&str>) -> Result<String, CliError> {
     use std::io::BufRead as _;
     let file = File::open(path)?;
     let mut reader = std::io::BufReader::new(file);
@@ -1372,8 +1411,10 @@ fn follow_journal(path: &str, max_events: usize) -> Result<String, CliError> {
             .map_err(|e| CliError::usage(format!("bad journal line: {e}")))?;
         let event = smith85_tracelog::report::parse_event(&value)
             .map_err(|e| CliError::usage(format!("bad journal event: {e}")))?;
-        println!("{}", smith85_tracelog::report::render_event_line(&event));
-        printed += 1;
+        if trace_id.is_none_or(|id| &*event.trace_id == id) {
+            println!("{}", smith85_tracelog::report::render_event_line(&event));
+            printed += 1;
+        }
         line.clear();
     }
     Ok(format!("followed {printed} event(s) from {path}\n"))

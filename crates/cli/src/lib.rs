@@ -108,7 +108,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         None => return Ok(commands::help()),
         Some((c, rest)) => (c.as_str(), rest),
     };
-    let opts = Opts::parse(rest)?;
+    // `trace report` merges several per-process journals, so --journal
+    // is repeatable there (and only there).
+    let opts = if command == "trace" {
+        Opts::parse_allowing_repeats(rest, &["journal"])?
+    } else {
+        Opts::parse(rest)?
+    };
     match command {
         "help" | "--help" | "-h" => Ok(commands::help()),
         "list" => commands::list(&opts),

@@ -1,12 +1,12 @@
 //! Minimal `--flag value` option parsing (no external dependencies).
 
 use crate::CliError;
-use std::collections::HashMap;
 
-/// Parsed options: a set of `--key value` pairs plus positional arguments.
+/// Parsed options: `--key value` pairs (in argument order) plus
+/// positional arguments.
 #[derive(Debug, Clone, Default)]
 pub struct Opts {
-    flags: HashMap<String, String>,
+    flags: Vec<(String, String)>,
     positional: Vec<String>,
 }
 
@@ -18,6 +18,18 @@ impl Opts {
     /// Returns an error for a trailing `--key` with no value or a repeated
     /// key.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        Self::parse_allowing_repeats(args, &[])
+    }
+
+    /// Like [`Opts::parse`], but the keys named in `repeatable` may be
+    /// given more than once (collected in order, read via
+    /// [`Opts::get_all`]); every other repeated key is still an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a trailing `--key` with no value or a
+    /// non-repeatable key given twice.
+    pub fn parse_allowing_repeats(args: &[String], repeatable: &[&str]) -> Result<Self, CliError> {
         let mut opts = Opts::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -25,13 +37,11 @@ impl Opts {
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
-                if opts
-                    .flags
-                    .insert(key.to_string(), value.clone())
-                    .is_some()
-                {
+                let seen = opts.flags.iter().any(|(k, _)| k == key);
+                if seen && !repeatable.contains(&key) {
                     return Err(CliError::usage(format!("--{key} given twice")));
                 }
+                opts.flags.push((key.to_string(), value.clone()));
             } else {
                 opts.positional.push(arg.clone());
             }
@@ -44,9 +54,21 @@ impl Opts {
         &self.positional
     }
 
-    /// A string option.
+    /// A string option (the first occurrence, for repeatable keys).
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(String::as_str)
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for a repeatable option, in argument order.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// A required string option.
@@ -79,7 +101,7 @@ impl Opts {
     ///
     /// Returns a usage error naming the unknown flag.
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
-        for key in self.flags.keys() {
+        for (key, _) in &self.flags {
             if !allowed.contains(&key.as_str()) {
                 return Err(CliError::usage(format!("unknown option --{key}")));
             }
@@ -117,6 +139,23 @@ mod tests {
     fn missing_value_and_duplicates_rejected() {
         assert!(Opts::parse(&args(&["--size"])).is_err());
         assert!(Opts::parse(&args(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn repeatable_keys_collect_in_order_others_still_reject() {
+        let o = Opts::parse_allowing_repeats(
+            &args(&["--journal", "a.ndjson", "--top", "5", "--journal", "b.ndjson"]),
+            &["journal"],
+        )
+        .unwrap();
+        assert_eq!(o.get_all("journal"), vec!["a.ndjson", "b.ndjson"]);
+        assert_eq!(o.get("journal"), Some("a.ndjson"), "get returns the first");
+        assert_eq!(o.get("top"), Some("5"));
+        assert!(Opts::parse_allowing_repeats(
+            &args(&["--top", "5", "--top", "6"]),
+            &["journal"]
+        )
+        .is_err());
     }
 
     #[test]

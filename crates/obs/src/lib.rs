@@ -236,11 +236,34 @@ impl Drop for Span {
     }
 }
 
+/// A metric identity: name plus sorted label pairs. Plain (unlabeled)
+/// metrics sort ahead of labeled series of the same name, which keeps
+/// exposition output grouped by family.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<MetricKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<Histogram>>>,
 }
 
 /// A named collection of metrics, cheaply cloneable (clones share the
@@ -267,16 +290,34 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter named `name` with the given label pairs, created on
+    /// first use. Label order does not matter: pairs are sorted, so
+    /// `[("a","1"),("b","2")]` and `[("b","2"),("a","1")]` are the same
+    /// series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         Arc::clone(
             lock(&self.inner.counters)
-                .entry(name.to_string())
+                .entry(MetricKey::new(name, labels))
                 .or_default(),
         )
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        Arc::clone(lock(&self.inner.gauges).entry(name.to_string()).or_default())
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge named `name` with the given label pairs, created on
+    /// first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.inner.gauges)
+                .entry(MetricKey::new(name, labels))
+                .or_default(),
+        )
     }
 
     /// The histogram named `name`, created with `bounds` on first use.
@@ -284,9 +325,20 @@ impl Registry {
     /// The first registration wins: later calls return the existing
     /// histogram and ignore their `bounds` argument.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// The histogram named `name` with the given label pairs, created
+    /// with `bounds` on first use (first registration wins the bounds).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
         Arc::clone(
             lock(&self.inner.histograms)
-                .entry(name.to_string())
+                .entry(MetricKey::new(name, labels))
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
         )
     }
@@ -297,25 +349,27 @@ impl Registry {
         Span::new(self.histogram(name, MS_BOUNDS))
     }
 
-    /// A point-in-time copy of every metric, ordered by name.
+    /// A point-in-time copy of every metric, ordered by name then labels.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let counters = lock(&self.inner.counters)
             .iter()
-            .map(|(name, counter)| CounterSnapshot {
-                name: name.clone(),
+            .map(|(key, counter)| CounterSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
                 value: counter.get(),
             })
             .collect();
         let gauges = lock(&self.inner.gauges)
             .iter()
-            .map(|(name, gauge)| GaugeSnapshot {
-                name: name.clone(),
+            .map(|(key, gauge)| GaugeSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
                 value: gauge.get(),
             })
             .collect();
         let histograms = lock(&self.inner.histograms)
             .iter()
-            .map(|(name, histogram)| {
+            .map(|(key, histogram)| {
                 let buckets = histogram
                     .bounds
                     .iter()
@@ -326,7 +380,8 @@ impl Registry {
                     })
                     .collect();
                 HistogramSnapshot {
-                    name: name.clone(),
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
                     count: histogram.count(),
                     sum: histogram.sum(),
                     overflow: histogram.buckets[histogram.bounds.len()].load(Ordering::Relaxed),
@@ -350,6 +405,8 @@ impl Registry {
 pub struct CounterSnapshot {
     /// Metric name (unprefixed).
     pub name: String,
+    /// Sorted label pairs (empty for plain metrics).
+    pub labels: Vec<(String, String)>,
     /// Counter value at snapshot time.
     pub value: u64,
 }
@@ -359,6 +416,8 @@ pub struct CounterSnapshot {
 pub struct GaugeSnapshot {
     /// Metric name (unprefixed).
     pub name: String,
+    /// Sorted label pairs (empty for plain metrics).
+    pub labels: Vec<(String, String)>,
     /// Gauge value at snapshot time.
     pub value: f64,
 }
@@ -377,6 +436,8 @@ pub struct BucketSnapshot {
 pub struct HistogramSnapshot {
     /// Metric name (unprefixed).
     pub name: String,
+    /// Sorted label pairs (empty for plain metrics).
+    pub labels: Vec<(String, String)>,
     /// Total observations.
     pub count: u64,
     /// Sum of all observations.
@@ -393,6 +454,70 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<BucketSnapshot>,
 }
 
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile recomputed from the snapshot's buckets,
+    /// with the same semantics as [`Histogram::quantile`]: the upper
+    /// bound of the bucket containing the target rank, saturating at the
+    /// last finite bound, `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.buckets.iter().map(|b| b.count).sum::<u64>() + self.overflow;
+        if total == 0 {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for bucket in &self.buckets {
+            cumulative += bucket.count;
+            if cumulative >= target {
+                return bucket.le;
+            }
+        }
+        self.buckets.last().map(|b| b.le).unwrap_or(0.0)
+    }
+
+    /// Bucket-wise merge with another snapshot of the same shape: counts
+    /// and sums add exactly, and the quantile estimates are recomputed
+    /// from the merged buckets. Returns `None` when the two histograms do
+    /// not share the same bucket bounds (there is no lossless merge in
+    /// that case). The merged snapshot keeps `self`'s name and labels.
+    pub fn merge(&self, other: &HistogramSnapshot) -> Option<HistogramSnapshot> {
+        if self.buckets.len() != other.buckets.len()
+            || self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .any(|(a, b)| a.le.to_bits() != b.le.to_bits())
+        {
+            return None;
+        }
+        let buckets: Vec<BucketSnapshot> = self
+            .buckets
+            .iter()
+            .zip(&other.buckets)
+            .map(|(a, b)| BucketSnapshot {
+                le: a.le,
+                count: a.count + b.count,
+            })
+            .collect();
+        let mut merged = HistogramSnapshot {
+            name: self.name.clone(),
+            labels: self.labels.clone(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            overflow: self.overflow + other.overflow,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            buckets,
+        };
+        merged.p50 = merged.quantile(0.50);
+        merged.p95 = merged.quantile(0.95);
+        merged.p99 = merged.quantile(0.99);
+        Some(merged)
+    }
+}
+
 /// A point-in-time copy of a [`Registry`], ordered by metric name.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RegistrySnapshot {
@@ -404,37 +529,196 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+/// Escapes a label value for the Prometheus text format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` for a series, with `extra` appended last (the
+/// `le` bucket label). Empty labels and no extra renders nothing.
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
 impl RegistrySnapshot {
     /// Renders the snapshot in the Prometheus text exposition format
     /// (version 0.0.4), every metric prefixed `smith85_`.
     ///
     /// Histogram buckets are emitted cumulatively with a final
     /// `le="+Inf"` bucket equal to `_count`, as the format requires.
+    /// A `# TYPE` line is emitted once per family, so an unlabeled
+    /// aggregate and its labeled per-shard series share one header.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = String::new();
         for counter in &self.counters {
             let name = format!("{PROMETHEUS_PREFIX}{}", counter.name);
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", counter.value);
+            if name != last_family {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_family = name.clone();
+            }
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                render_labels(&counter.labels, None),
+                counter.value
+            );
         }
+        last_family.clear();
         for gauge in &self.gauges {
             let name = format!("{PROMETHEUS_PREFIX}{}", gauge.name);
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", gauge.value);
+            if name != last_family {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                last_family = name.clone();
+            }
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                render_labels(&gauge.labels, None),
+                gauge.value
+            );
         }
+        last_family.clear();
         for histogram in &self.histograms {
             let name = format!("{PROMETHEUS_PREFIX}{}", histogram.name);
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            if name != last_family {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                last_family = name.clone();
+            }
             let mut cumulative = 0u64;
             for bucket in &histogram.buckets {
                 cumulative += bucket.count;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket.le);
+                let le = bucket.le.to_string();
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    render_labels(&histogram.labels, Some(("le", &le)))
+                );
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.count);
-            let _ = writeln!(out, "{name}_sum {}", histogram.sum);
-            let _ = writeln!(out, "{name}_count {}", histogram.count);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                render_labels(&histogram.labels, Some(("le", "+Inf"))),
+                histogram.count
+            );
+            let labels = render_labels(&histogram.labels, None);
+            let _ = writeln!(out, "{name}_sum{labels} {}", histogram.sum);
+            let _ = writeln!(out, "{name}_count{labels} {}", histogram.count);
         }
         out
+    }
+
+    /// A copy of the snapshot with `key=value` set on every series (an
+    /// existing label with the same key is replaced). This is how a
+    /// federating node tags a shard's snapshot with `shard=<addr>`
+    /// before merging it into its own exposition.
+    #[must_use]
+    pub fn with_label(&self, key: &str, value: &str) -> RegistrySnapshot {
+        let relabel = |labels: &[(String, String)]| {
+            let mut labels: Vec<(String, String)> = labels
+                .iter()
+                .filter(|(k, _)| k != key)
+                .cloned()
+                .collect();
+            labels.push((key.to_string(), value.to_string()));
+            labels.sort();
+            labels
+        };
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSnapshot {
+                    labels: relabel(&c.labels),
+                    ..c.clone()
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| GaugeSnapshot {
+                    labels: relabel(&g.labels),
+                    ..g.clone()
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| HistogramSnapshot {
+                    labels: relabel(&h.labels),
+                    ..h.clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds `other`'s counters and histograms into this snapshot's
+    /// same-(name, labels) series: counters sum exactly, histograms merge
+    /// bucket-wise (a bounds mismatch keeps the existing series and drops
+    /// the other's — there is no lossless merge), and series `self` does
+    /// not have yet are added. Gauges are deliberately NOT aggregated:
+    /// summing instantaneous values across processes has no meaning, so
+    /// gauges only federate as per-shard labeled series.
+    pub fn absorb_totals(&mut self, other: &RegistrySnapshot) {
+        for counter in &other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|c| c.name == counter.name && c.labels == counter.labels)
+            {
+                Some(existing) => existing.value += counter.value,
+                None => self.counters.push(counter.clone()),
+            }
+        }
+        for histogram in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|h| h.name == histogram.name && h.labels == histogram.labels)
+            {
+                Some(existing) => {
+                    if let Some(merged) = existing.merge(histogram) {
+                        *existing = merged;
+                    }
+                }
+                None => self.histograms.push(histogram.clone()),
+            }
+        }
+        self.sort();
+    }
+
+    /// Appends every series of `other` (no merging; callers relabel
+    /// first so keys cannot collide) and restores (name, labels) order.
+    pub fn append(&mut self, other: RegistrySnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.sort();
+    }
+
+    /// Re-sorts every section by (name, labels), the registry's own
+    /// snapshot order.
+    pub fn sort(&mut self) {
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
     }
 }
 
@@ -639,5 +923,183 @@ mod tests {
         let clone = registry.clone();
         clone.counter("shared").add(5);
         assert_eq!(registry.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_label_order_is_insensitive() {
+        let registry = Registry::new();
+        registry.counter_with("fwd", &[("shard", "a"), ("zone", "1")]).inc();
+        // Same pair set, swapped argument order: must hit the same series.
+        registry.counter_with("fwd", &[("zone", "1"), ("shard", "a")]).add(2);
+        registry.counter_with("fwd", &[("shard", "b")]).add(7);
+        registry.counter("fwd").add(10);
+        let snapshot = registry.snapshot();
+        let series: Vec<(Vec<(String, String)>, u64)> = snapshot
+            .counters
+            .iter()
+            .filter(|c| c.name == "fwd")
+            .map(|c| (c.labels.clone(), c.value))
+            .collect();
+        assert_eq!(series.len(), 3);
+        // Unlabeled aggregate sorts first within the family.
+        assert_eq!(series[0], (vec![], 10));
+        assert_eq!(
+            series[1],
+            (
+                vec![
+                    ("shard".to_string(), "a".to_string()),
+                    ("zone".to_string(), "1".to_string())
+                ],
+                3
+            )
+        );
+        assert_eq!(series[2].1, 7);
+    }
+
+    #[test]
+    fn labeled_exposition_renders_escaped_label_sets_once_per_family() {
+        let registry = Registry::new();
+        registry.counter("fwd").add(1);
+        registry.counter_with("fwd", &[("shard", "127.0.0.1:4090")]).add(2);
+        registry
+            .gauge_with("up", &[("path", "a\"b\\c\nd")])
+            .set(1.0);
+        registry
+            .histogram_with("lat_ms", &[("shard", "a")], &[1.0, 10.0])
+            .observe(0.5);
+        let text = registry.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE smith85_fwd counter").count(), 1);
+        assert!(text.contains("smith85_fwd 1"));
+        assert!(text.contains("smith85_fwd{shard=\"127.0.0.1:4090\"} 2"));
+        assert!(text.contains("smith85_up{path=\"a\\\"b\\\\c\\nd\"} 1"));
+        assert!(text.contains("smith85_lat_ms_bucket{shard=\"a\",le=\"1\"} 1"));
+        assert!(text.contains("smith85_lat_ms_bucket{shard=\"a\",le=\"+Inf\"} 1"));
+        assert!(text.contains("smith85_lat_ms_sum{shard=\"a\"} 0.5"));
+        // Labeled lines still parse as `series value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value_part) =
+                line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name_part.is_empty());
+            assert!(value_part.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    /// Deterministic pseudo-random stream for the merge property test.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_on_counts_and_bounded_on_quantiles() {
+        let bounds = [1.0, 2.0, 5.0, 10.0, 50.0, 100.0];
+        let mut seed = 0xdecafbadu64;
+        for case in 0..64 {
+            let left = Registry::new();
+            let right = Registry::new();
+            let lh = left.histogram("m", &bounds);
+            let rh = right.histogram("m", &bounds);
+            let n_left = 1 + (splitmix64(&mut seed) % 40) as usize;
+            let n_right = 1 + (splitmix64(&mut seed) % 40) as usize;
+            for _ in 0..n_left {
+                lh.observe((splitmix64(&mut seed) % 120) as f64);
+            }
+            for _ in 0..n_right {
+                rh.observe((splitmix64(&mut seed) % 120) as f64);
+            }
+            let a = left.snapshot().histograms[0].clone();
+            let b = right.snapshot().histograms[0].clone();
+            let merged = a.merge(&b).expect("same bounds must merge");
+            // Counters are exact sums.
+            assert_eq!(merged.count, a.count + b.count, "case {case}");
+            assert_eq!(merged.overflow, a.overflow + b.overflow);
+            assert!((merged.sum - (a.sum + b.sum)).abs() < 1e-9);
+            for (i, bucket) in merged.buckets.iter().enumerate() {
+                assert_eq!(bucket.count, a.buckets[i].count + b.buckets[i].count);
+            }
+            // Merged quantiles are bounded by the component quantiles.
+            for q in [0.5, 0.9, 0.95, 0.99] {
+                let (qa, qb, qm) = (a.quantile(q), b.quantile(q), merged.quantile(q));
+                assert!(
+                    qm >= qa.min(qb) && qm <= qa.max(qb),
+                    "case {case} q={q}: merged {qm} outside [{}, {}]",
+                    qa.min(qb),
+                    qa.max(qb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_refuses_mismatched_bounds() {
+        let left = Registry::new();
+        let right = Registry::new();
+        left.histogram("m", &[1.0, 2.0]).observe(0.5);
+        right.histogram("m", &[1.0, 3.0]).observe(0.5);
+        let a = left.snapshot().histograms[0].clone();
+        let b = right.snapshot().histograms[0].clone();
+        assert!(a.merge(&b).is_none());
+    }
+
+    #[test]
+    fn federation_helpers_sum_totals_and_keep_labeled_series() {
+        let router = Registry::new();
+        router.counter("requests_total").add(5);
+        router.histogram("lat_ms", &[1.0, 10.0]).observe(0.5);
+        let shard = Registry::new();
+        shard.counter("requests_total").add(3);
+        shard.counter("shard_only_total").add(9);
+        shard.gauge("depth").set(2.0);
+        shard.histogram("lat_ms", &[1.0, 10.0]).observe(5.0);
+
+        let mut federated = router.snapshot();
+        let shard_snap = shard.snapshot();
+        federated.absorb_totals(&shard_snap);
+        federated.append(shard_snap.with_label("shard", "127.0.0.1:4090"));
+
+        let get = |name: &str, labels: &[(&str, &str)]| -> Option<u64> {
+            let labels: Vec<(String, String)> = labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect();
+            federated
+                .counters
+                .iter()
+                .find(|c| c.name == name && c.labels == labels)
+                .map(|c| c.value)
+        };
+        // Aggregate equals router + shard; labeled series keeps shard's own value.
+        assert_eq!(get("requests_total", &[]), Some(8));
+        assert_eq!(
+            get("requests_total", &[("shard", "127.0.0.1:4090")]),
+            Some(3)
+        );
+        // A series only the shard has still shows up in the aggregate.
+        assert_eq!(get("shard_only_total", &[]), Some(9));
+        // Gauges are not aggregated — only the labeled copy exists.
+        assert!(!federated
+            .gauges
+            .iter()
+            .any(|g| g.name == "depth" && g.labels.is_empty()));
+        assert!(federated
+            .gauges
+            .iter()
+            .any(|g| g.name == "depth" && !g.labels.is_empty()));
+        // Histogram aggregate merged bucket-wise.
+        let agg = federated
+            .histograms
+            .iter()
+            .find(|h| h.name == "lat_ms" && h.labels.is_empty())
+            .unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.buckets[0].count, 1);
+        assert_eq!(agg.buckets[1].count, 1);
+        // Exposition stays parseable with the mixed label sets.
+        for line in federated.to_prometheus().lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.rsplit_once(' ').unwrap().1.parse::<f64>().is_ok());
+        }
     }
 }

@@ -14,12 +14,23 @@
 //! is above [`WRITE_BUF_LIMIT`] (or a job is in flight for it), the
 //! loop stops reading from it — TCP back-pressure propagates to the
 //! client instead of growing an unbounded buffer.
+//!
+//! Observability: the loop publishes per-connection lifecycle counters
+//! (`event_loop_conns_{accepted,closed,drained}_total`,
+//! `event_loop_half_closes_total`), `event_loop_poll_wait_us` /
+//! `event_loop_dispatch_us` histograms, and `event_loop_connections` /
+//! `event_loop_busy_jobs` / `event_loop_write_buf_bytes` gauges into
+//! the session registry. Request spans and `access_log` events come
+//! from the shared worker pool, identical to the threaded path (pinned
+//! by the journal-parity loopback test). Journal emission itself stays
+//! gated on the sink, so a journal-less server pays nothing for spans.
 
 use crate::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
 use crate::protocol::{ErrorBody, ErrorCode, Response, MAX_LINE_BYTES};
 use crate::server::{dispatch_request, Handled, ReplyTo, ServerState};
 use crate::stats::ServerStats;
 use crate::transport::Transport;
+use smith85_obs::Counter;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
@@ -30,6 +41,20 @@ use std::time::{Duration, Instant};
 
 /// Poll timeout: how often the loop rechecks shutdown with no events.
 const POLL_TIMEOUT_MS: i32 = 100;
+
+/// Bucket bounds (microseconds) for the loop's poll-wait and dispatch
+/// histograms: spans idle 100 ms poll timeouts down to hot sub-50 µs
+/// dispatch rounds.
+const US_BOUNDS: [f64; 8] = [
+    50.0,
+    100.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    25_000.0,
+    100_000.0,
+    500_000.0,
+];
 
 /// Outbound-buffer level above which the loop stops reading more
 /// requests from a connection until writes drain.
@@ -238,6 +263,7 @@ fn accept_burst(
     accept: impl Fn() -> io::Result<Box<dyn Transport>>,
     conns: &mut HashMap<u64, Conn>,
     next_id: &mut u64,
+    accepted: &Counter,
 ) {
     loop {
         match accept() {
@@ -246,6 +272,7 @@ fn accept_burst(
                     let id = *next_id;
                     *next_id += 1;
                     conns.insert(id, conn);
+                    accepted.inc();
                 }
                 Err(e) => eprintln!("smith85-serve: connection setup failed: {e}"),
             },
@@ -283,6 +310,19 @@ pub(crate) fn run(
     let mut next_id: u64 = 1;
     let mut drain_started: Option<Instant> = None;
 
+    // Loop metric handles are resolved once here; the hot path only
+    // touches relaxed atomics through them.
+    let registry = state.session().registry();
+    let accepted = registry.counter("event_loop_conns_accepted_total");
+    let closed = registry.counter("event_loop_conns_closed_total");
+    let half_closed = registry.counter("event_loop_half_closes_total");
+    let drained_ctr = registry.counter("event_loop_conns_drained_total");
+    let conns_gauge = registry.gauge("event_loop_connections");
+    let busy_gauge = registry.gauge("event_loop_busy_jobs");
+    let write_buf_gauge = registry.gauge("event_loop_write_buf_bytes");
+    let poll_wait = registry.histogram("event_loop_poll_wait_us", &US_BOUNDS);
+    let dispatch_hist = registry.histogram("event_loop_dispatch_us", &US_BOUNDS);
+
     loop {
         if crate::signal::sigint_received() {
             state.begin_shutdown();
@@ -293,8 +333,13 @@ pub(crate) fn run(
             // Idle connections are dropped immediately; connections
             // with a job in flight or unflushed output get the drain
             // window to finish.
+            let before = conns.len();
             conns.retain(|_, conn| conn.busy || conn.pending_write() > 0);
+            drained_ctr.add((before - conns.len()) as u64);
             if conns.is_empty() || started.elapsed() > DRAIN_TIMEOUT {
+                conns_gauge.set(0.0);
+                busy_gauge.set(0.0);
+                write_buf_gauge.set(0.0);
                 return Ok(());
             }
         }
@@ -317,11 +362,14 @@ pub(crate) fn run(
             fds.push(PollFd::new(conn.fd, conn.interest()));
         }
 
+        let poll_started = Instant::now();
         match poll_fds(&mut fds, POLL_TIMEOUT_MS) {
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
+        poll_wait.observe(poll_started.elapsed().as_micros() as f64);
+        let dispatch_started = Instant::now();
 
         if fds[0].ready(POLLIN) {
             let mut sink = [0u8; 64];
@@ -349,6 +397,7 @@ pub(crate) fn run(
                 || crate::transport::Listener::accept_transport(listener),
                 &mut conns,
                 &mut next_id,
+                &accepted,
             );
         }
         if let (Some(i), Some(unix)) = (unix_index, unix_listener) {
@@ -357,6 +406,7 @@ pub(crate) fn run(
                     || crate::transport::Listener::accept_transport(unix),
                     &mut conns,
                     &mut next_id,
+                    &accepted,
                 );
             }
         }
@@ -371,7 +421,11 @@ pub(crate) fn run(
                 alive = conn.flush();
             }
             if alive && pfd.ready(POLLIN) {
+                let was_eof = conn.eof;
                 alive = conn.fill() && service(conn, id, state, &completions, &waker);
+                if !was_eof && conn.eof {
+                    half_closed.inc();
+                }
             }
             if alive && conn.busy && pfd.broken() && !pfd.ready(POLLIN) {
                 // Peer vanished while its job runs: no one will read
@@ -382,8 +436,24 @@ pub(crate) fn run(
                 dead.push(id);
             }
         }
+        // A connection can land in `dead` twice (completion handling
+        // then readiness handling); dedup so the counter stays exact.
+        dead.sort_unstable();
+        dead.dedup();
         for id in dead {
-            conns.remove(&id);
+            if conns.remove(&id).is_some() {
+                closed.inc();
+            }
         }
+
+        conns_gauge.set(conns.len() as f64);
+        let (mut busy_jobs, mut buffered) = (0u64, 0u64);
+        for conn in conns.values() {
+            busy_jobs += u64::from(conn.busy);
+            buffered += conn.pending_write() as u64;
+        }
+        busy_gauge.set(busy_jobs as f64);
+        write_buf_gauge.set(buffered as f64);
+        dispatch_hist.observe(dispatch_started.elapsed().as_micros() as f64);
     }
 }

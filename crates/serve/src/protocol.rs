@@ -301,6 +301,13 @@ pub struct RouterCounters {
     pub shard_overloads: u64,
     /// Health probes issued since start.
     pub health_probes: u64,
+    /// Shard snapshots merged into federated `metrics`/`/metrics`
+    /// answers since start. Decoded as 0 from pre-federation routers.
+    pub federated_shards: u64,
+    /// Shards skipped as down during federation (their series are
+    /// marked stale instead of blocking the scrape). Decoded as 0 from
+    /// pre-federation routers.
+    pub stale_shards: u64,
 }
 
 /// The `stats` response payload.
@@ -424,6 +431,22 @@ impl fmt::Display for ErrorBody {
     }
 }
 
+/// The optional tracing fields of the request envelope: the trace id
+/// the request should be admitted under and, when a caller in another
+/// process already opened a span for this hop, that span's id. Both are
+/// tolerated in both directions — a v-less or pre-tracing peer simply
+/// never sends or reads them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceEnvelope {
+    /// Trace id (1–64 ASCII-alphanumeric bytes) or `None` to mint one.
+    pub trace_id: Option<String>,
+    /// Span id in the *sender's* journal that this request should hang
+    /// under — the receiver roots its `request` span with this parent so
+    /// a multi-journal `trace report` can stitch the hop. Only
+    /// meaningful (and only decoded) together with `trace_id`.
+    pub parent_span: Option<u64>,
+}
+
 impl Request {
     /// Encodes the request as one JSON line (no trailing newline),
     /// with the [`PROTOCOL_VERSION`] envelope (`"v":1`) leading.
@@ -438,6 +461,17 @@ impl Request {
     /// without trace support ignore the field (unknown request fields
     /// are always ignored).
     pub fn encode_with_trace(&self, trace_id: Option<&str>) -> String {
+        self.encode_with_envelope(&TraceEnvelope {
+            trace_id: trace_id.map(str::to_string),
+            parent_span: None,
+        })
+    }
+
+    /// Encodes like [`Request::encode_with_trace`], additionally writing
+    /// the `parent_span` envelope field when the envelope carries one
+    /// (routers use it to link the shard's `request` span under their
+    /// own forward span). Pre-tracing servers ignore both fields.
+    pub fn encode_with_envelope(&self, envelope: &TraceEnvelope) -> String {
         let mut value = match self {
             Request::Simulate(spec) => {
                 let mut fields = vec![
@@ -502,8 +536,11 @@ impl Request {
         };
         if let Json::Obj(fields) = &mut value {
             fields.insert(0, ("v".to_string(), Json::Uint(PROTOCOL_VERSION)));
-            if let Some(id) = trace_id {
+            if let Some(id) = &envelope.trace_id {
                 fields.insert(1, ("trace_id".to_string(), json::s(id)));
+                if let Some(parent) = envelope.parent_span {
+                    fields.insert(2, ("parent_span".to_string(), Json::Uint(parent)));
+                }
             }
         }
         value.to_string()
@@ -529,6 +566,20 @@ impl Request {
     ///
     /// Same as [`Request::decode`].
     pub fn decode_with_trace(line: &str) -> Result<(Request, Option<String>), ErrorBody> {
+        Self::decode_with_envelope(line).map(|(request, envelope)| (request, envelope.trace_id))
+    }
+
+    /// Decodes one request line plus its full [`TraceEnvelope`]:
+    /// `trace_id` (as in [`Request::decode_with_trace`]) and the
+    /// optional `parent_span` id. `parent_span` is only honoured
+    /// alongside a valid `trace_id`, and a non-numeric or zero value is
+    /// ignored rather than rejected — hostile envelopes must not break
+    /// request handling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::decode`].
+    pub fn decode_with_envelope(line: &str) -> Result<(Request, TraceEnvelope), ErrorBody> {
         let value = Json::parse(line)
             .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("invalid JSON: {e}")))?;
         if !matches!(value, Json::Obj(_)) {
@@ -561,6 +612,14 @@ impl Request {
                 !id.is_empty() && id.len() <= 64 && id.chars().all(|c| c.is_ascii_alphanumeric())
             })
             .map(str::to_string);
+        let parent_span = if trace.is_some() {
+            value
+                .get("parent_span")
+                .and_then(Json::as_u64)
+                .filter(|&span| span != 0)
+        } else {
+            None
+        };
         let request = match kind {
             "simulate" => Request::Simulate(SimulateSpec::from_json(&value)?),
             "sweep" => Request::Sweep(SweepSpec::from_json(&value)?),
@@ -576,7 +635,13 @@ impl Request {
                 ))
             }
         };
-        Ok((request, trace))
+        Ok((
+            request,
+            TraceEnvelope {
+                trace_id: trace,
+                parent_span,
+            },
+        ))
     }
 }
 
@@ -853,77 +918,104 @@ impl Response {
                         ("hedged", Json::Uint(rt.hedged)),
                         ("shard_overloads", Json::Uint(rt.shard_overloads)),
                         ("health_probes", Json::Uint(rt.health_probes)),
+                        ("federated_shards", Json::Uint(rt.federated_shards)),
+                        ("stale_shards", Json::Uint(rt.stale_shards)),
                     ]),
                 )
             }))
             .collect()),
-            Response::Metrics(snapshot) => json::obj(vec![
-                ("type", json::s("metrics_result")),
-                (
-                    "counters",
-                    Json::Arr(
-                        snapshot
-                            .counters
-                            .iter()
-                            .map(|c| {
-                                json::obj(vec![
-                                    ("name", json::s(&c.name)),
-                                    ("value", Json::Uint(c.value)),
-                                ])
-                            })
-                            .collect(),
+            Response::Metrics(snapshot) => {
+                // Sorted label pairs render as a `"labels"` object,
+                // omitted when empty so pre-label payloads are
+                // byte-identical to what old servers sent.
+                let labels_field = |labels: &[(String, String)]| -> Option<(String, Json)> {
+                    if labels.is_empty() {
+                        return None;
+                    }
+                    Some((
+                        "labels".to_string(),
+                        Json::Obj(
+                            labels
+                                .iter()
+                                .map(|(k, v)| (k.clone(), json::s(v)))
+                                .collect(),
+                        ),
+                    ))
+                };
+                json::obj(vec![
+                    ("type", json::s("metrics_result")),
+                    (
+                        "counters",
+                        Json::Arr(
+                            snapshot
+                                .counters
+                                .iter()
+                                .map(|c| {
+                                    let mut fields = vec![
+                                        ("name".to_string(), json::s(&c.name)),
+                                        ("value".to_string(), Json::Uint(c.value)),
+                                    ];
+                                    fields.extend(labels_field(&c.labels));
+                                    Json::Obj(fields)
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-                (
-                    "gauges",
-                    Json::Arr(
-                        snapshot
-                            .gauges
-                            .iter()
-                            .map(|g| {
-                                json::obj(vec![
-                                    ("name", json::s(&g.name)),
-                                    ("value", Json::Num(g.value)),
-                                ])
-                            })
-                            .collect(),
+                    (
+                        "gauges",
+                        Json::Arr(
+                            snapshot
+                                .gauges
+                                .iter()
+                                .map(|g| {
+                                    let mut fields = vec![
+                                        ("name".to_string(), json::s(&g.name)),
+                                        ("value".to_string(), Json::Num(g.value)),
+                                    ];
+                                    fields.extend(labels_field(&g.labels));
+                                    Json::Obj(fields)
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-                (
-                    "histograms",
-                    Json::Arr(
-                        snapshot
-                            .histograms
-                            .iter()
-                            .map(|h| {
-                                json::obj(vec![
-                                    ("name", json::s(&h.name)),
-                                    ("count", Json::Uint(h.count)),
-                                    ("sum", Json::Num(h.sum)),
-                                    ("overflow", Json::Uint(h.overflow)),
-                                    ("p50", Json::Num(h.p50)),
-                                    ("p95", Json::Num(h.p95)),
-                                    ("p99", Json::Num(h.p99)),
-                                    (
-                                        "buckets",
-                                        Json::Arr(
-                                            h.buckets
-                                                .iter()
-                                                .map(|b| {
-                                                    json::obj(vec![
-                                                        ("le", Json::Num(b.le)),
-                                                        ("count", Json::Uint(b.count)),
-                                                    ])
-                                                })
-                                                .collect(),
+                    (
+                        "histograms",
+                        Json::Arr(
+                            snapshot
+                                .histograms
+                                .iter()
+                                .map(|h| {
+                                    let mut fields = vec![
+                                        ("name".to_string(), json::s(&h.name)),
+                                        ("count".to_string(), Json::Uint(h.count)),
+                                        ("sum".to_string(), Json::Num(h.sum)),
+                                        ("overflow".to_string(), Json::Uint(h.overflow)),
+                                        ("p50".to_string(), Json::Num(h.p50)),
+                                        ("p95".to_string(), Json::Num(h.p95)),
+                                        ("p99".to_string(), Json::Num(h.p99)),
+                                        (
+                                            "buckets".to_string(),
+                                            Json::Arr(
+                                                h.buckets
+                                                    .iter()
+                                                    .map(|b| {
+                                                        json::obj(vec![
+                                                            ("le", Json::Num(b.le)),
+                                                            ("count", Json::Uint(b.count)),
+                                                        ])
+                                                    })
+                                                    .collect(),
+                                            ),
                                         ),
-                                    ),
-                                ])
-                            })
-                            .collect(),
+                                    ];
+                                    fields.extend(labels_field(&h.labels));
+                                    Json::Obj(fields)
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
+                ])
+            }
             Response::Pong => json::obj(vec![("type", json::s("pong"))]),
             Response::Ok => json::obj(vec![("type", json::s("ok"))]),
             Response::Error(e) => json::obj(vec![
@@ -1094,12 +1186,36 @@ impl Response {
                             hedged: need_u64(router, "hedged")?,
                             shard_overloads: need_u64(router, "shard_overloads")?,
                             health_probes: need_u64(router, "health_probes")?,
+                            // Optional: absent from pre-federation routers.
+                            federated_shards: router
+                                .get("federated_shards")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0),
+                            stale_shards: router
+                                .get("stale_shards")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0),
                         }),
                         None => None,
                     },
                 }))
             }
             "metrics_result" => {
+                // Optional per-series label object; absent from
+                // pre-label servers and unlabeled series alike.
+                let opt_labels = |entry: &Json| -> Vec<(String, String)> {
+                    let mut labels: Vec<(String, String)> = match entry.get("labels") {
+                        Some(Json::Obj(fields)) => fields
+                            .iter()
+                            .filter_map(|(k, v)| {
+                                v.as_str().map(|v| (k.clone(), v.to_string()))
+                            })
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    labels.sort();
+                    labels
+                };
                 let counters = value
                     .get("counters")
                     .and_then(Json::as_arr)
@@ -1108,6 +1224,7 @@ impl Response {
                     .map(|c| {
                         Ok(CounterSnapshot {
                             name: need_str(c, "name")?,
+                            labels: opt_labels(c),
                             value: need_u64(c, "value")?,
                         })
                     })
@@ -1120,6 +1237,7 @@ impl Response {
                     .map(|g| {
                         Ok(GaugeSnapshot {
                             name: need_str(g, "name")?,
+                            labels: opt_labels(g),
                             value: need_f64(g, "value")?,
                         })
                     })
@@ -1144,6 +1262,7 @@ impl Response {
                             .collect::<Result<_, String>>()?;
                         Ok(HistogramSnapshot {
                             name: need_str(h, "name")?,
+                            labels: opt_labels(h),
                             count: need_u64(h, "count")?,
                             sum: need_f64(h, "sum")?,
                             overflow: need_u64(h, "overflow")?,
@@ -1393,6 +1512,8 @@ mod tests {
                 hedged: 4,
                 shard_overloads: 7,
                 health_probes: 90,
+                federated_shards: 6,
+                stale_shards: 1,
             }),
         }));
         for code in [
@@ -1418,14 +1539,17 @@ mod tests {
         response_round_trip(Response::Metrics(RegistrySnapshot {
             counters: vec![CounterSnapshot {
                 name: "pool_hits_total".into(),
+                labels: Vec::new(),
                 value: 42,
             }],
             gauges: vec![GaugeSnapshot {
                 name: "serve_queue_depth".into(),
+                labels: Vec::new(),
                 value: 3.0,
             }],
             histograms: vec![HistogramSnapshot {
                 name: "sweep_job_ms".into(),
+                labels: Vec::new(),
                 count: 7,
                 sum: 123.5,
                 overflow: 1,
@@ -1438,6 +1562,90 @@ mod tests {
                 ],
             }],
         }));
+    }
+
+    #[test]
+    fn labeled_metrics_round_trip_and_pre_label_payloads_decode() {
+        let labels = vec![("shard".to_string(), "127.0.0.1:4090".to_string())];
+        response_round_trip(Response::Metrics(RegistrySnapshot {
+            counters: vec![CounterSnapshot {
+                name: "router_forwarded_total".into(),
+                labels: labels.clone(),
+                value: 9,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "router_shard_up".into(),
+                labels: labels.clone(),
+                value: 1.0,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "request_ms".into(),
+                labels,
+                count: 1,
+                sum: 0.5,
+                overflow: 0,
+                p50: 1.0,
+                p95: 1.0,
+                p99: 1.0,
+                buckets: vec![BucketSnapshot { le: 1.0, count: 1 }],
+            }],
+        }));
+        // A pre-label server's payload (no "labels" keys) decodes to
+        // empty label sets, and an unlabeled series encodes without the
+        // key at all.
+        let line = "{\"type\":\"metrics_result\",\
+                    \"counters\":[{\"name\":\"c\",\"value\":1}],\
+                    \"gauges\":[],\"histograms\":[]}";
+        match Response::decode(line).unwrap() {
+            Response::Metrics(snapshot) => {
+                assert_eq!(snapshot.counters[0].labels, Vec::new());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let unlabeled = Response::Metrics(RegistrySnapshot {
+            counters: vec![CounterSnapshot {
+                name: "c".into(),
+                labels: Vec::new(),
+                value: 1,
+            }],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        });
+        assert!(!unlabeled.encode().contains("labels"));
+    }
+
+    #[test]
+    fn parent_span_rides_the_envelope_and_filters_junk() {
+        let line = Request::Ping.encode_with_envelope(&TraceEnvelope {
+            trace_id: Some("4f3a2b1c9d8e7f60".into()),
+            parent_span: Some(17),
+        });
+        let (request, envelope) = Request::decode_with_envelope(&line).unwrap();
+        assert_eq!(request, Request::Ping);
+        assert_eq!(envelope.trace_id.as_deref(), Some("4f3a2b1c9d8e7f60"));
+        assert_eq!(envelope.parent_span, Some(17));
+        // No trace id → the parent is meaningless and dropped.
+        let (_, envelope) =
+            Request::decode_with_envelope("{\"type\":\"ping\",\"parent_span\":17}").unwrap();
+        assert_eq!(envelope, TraceEnvelope::default());
+        // Zero and non-numeric parents are ignored, never fatal.
+        for junk in ["0", "\"seventeen\"", "-3", "{}"] {
+            let line = format!(
+                "{{\"type\":\"ping\",\"trace_id\":\"abc\",\"parent_span\":{junk}}}"
+            );
+            let (request, envelope) = Request::decode_with_envelope(&line).unwrap();
+            assert_eq!(request, Request::Ping);
+            assert_eq!(envelope.trace_id.as_deref(), Some("abc"));
+            assert_eq!(envelope.parent_span, None, "parent {junk} must be ignored");
+        }
+        // A parent without a trace id is never encoded.
+        let line = Request::Ping.encode_with_envelope(&TraceEnvelope {
+            trace_id: None,
+            parent_span: Some(17),
+        });
+        assert!(!line.contains("parent_span"));
+        // v-less clients are untouched: plain encode has neither field.
+        assert!(!Request::Ping.encode().contains("trace_id"));
     }
 
     #[test]

@@ -10,22 +10,30 @@
 //! Resilience:
 //!
 //! * a health prober pings every shard on an interval and flips its
-//!   up/down flag (published as `router_shard_up_<i>` gauges);
+//!   up/down flag (published as `router_shard_up{shard="<addr>"}`
+//!   gauges — one metric family, one labeled series per shard);
 //! * per-shard in-flight budgets propagate back-pressure as typed
 //!   `overloaded` errors instead of letting one hot shard absorb an
 //!   unbounded backlog;
 //! * a refused or failed forward marks the shard down and **hedges** to
 //!   the next shard on the ring, so a killed backend degrades to
 //!   slightly-colder caches, never to hung clients;
-//! * the router's admission trace id is forwarded in the request
-//!   envelope, so one id attributes the request in the router journal
-//!   *and* the chosen backend's journal.
+//! * the router's admission trace id — and the forward span's id as the
+//!   envelope's `parent_span` — are forwarded with every request, so
+//!   one id attributes the request in the router journal *and* the
+//!   chosen backend's journal, and a multi-journal `trace report`
+//!   stitches the shard's `request` span under the router's hop span;
+//! * the router's `metrics` answer and `/metrics` exposition federate
+//!   every healthy shard's snapshot (counters summed, histograms merged
+//!   bucket-wise, per-shard series labeled `shard="<addr>"`); a down
+//!   shard is marked stale (`router_shard_stale{shard=...} 1`) instead
+//!   of blocking the scrape.
 
 use crate::protocol::{
-    ErrorBody, ErrorCode, Request, Response, RouterCounters, MAX_LINE_BYTES,
+    ErrorBody, ErrorCode, Request, Response, RouterCounters, TraceEnvelope, MAX_LINE_BYTES,
 };
 use crate::transport::Transport;
-use smith85_obs::Registry;
+use smith85_obs::{GaugeSnapshot, Registry, RegistrySnapshot};
 use smith85_tracelog::{self as tracelog, FieldValue};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -87,6 +95,8 @@ pub(crate) struct RouterState {
     hedged: AtomicU64,
     shard_overloads: AtomicU64,
     health_probes: AtomicU64,
+    federated_shards: AtomicU64,
+    stale_shards: AtomicU64,
 }
 
 /// 64-bit FNV-1a over a byte stream; the same cheap stable hash the
@@ -153,11 +163,14 @@ impl RouterState {
         }
         ring.sort_unstable();
         // Pre-register the gauges so a scrape before the first probe
-        // still lists every shard (optimistically up).
-        for (index, _) in shards.iter().enumerate() {
-            registry.gauge(&format!("router_shard_up_{index}")).set(1.0);
+        // still lists every shard (optimistically up). One family with
+        // a `shard` label per backend, never per-index metric names.
+        for shard in &shards {
             registry
-                .gauge(&format!("router_shard_inflight_{index}"))
+                .gauge_with("router_shard_up", &[("shard", &shard.addr)])
+                .set(1.0);
+            registry
+                .gauge_with("router_shard_inflight", &[("shard", &shard.addr)])
                 .set(0.0);
         }
         registry.counter("router_forwarded_total");
@@ -172,6 +185,8 @@ impl RouterState {
             hedged: AtomicU64::new(0),
             shard_overloads: AtomicU64::new(0),
             health_probes: AtomicU64::new(0),
+            federated_shards: AtomicU64::new(0),
+            stale_shards: AtomicU64::new(0),
         }
     }
 
@@ -214,13 +229,16 @@ impl RouterState {
             hedged: self.hedged.load(Ordering::Relaxed),
             shard_overloads: self.shard_overloads.load(Ordering::Relaxed),
             health_probes: self.health_probes.load(Ordering::Relaxed),
+            federated_shards: self.federated_shards.load(Ordering::Relaxed),
+            stale_shards: self.stale_shards.load(Ordering::Relaxed),
         }
     }
 
     fn mark(&self, index: usize, up: bool) {
-        self.shards[index].up.store(up, Ordering::Relaxed);
+        let shard = &self.shards[index];
+        shard.up.store(up, Ordering::Relaxed);
         self.registry
-            .gauge(&format!("router_shard_up_{index}"))
+            .gauge_with("router_shard_up", &[("shard", &shard.addr)])
             .set(if up { 1.0 } else { 0.0 });
     }
 
@@ -269,7 +287,7 @@ impl RouterState {
             // Per-shard budget: admission control at the router tier.
             let inflight = shard.inflight.fetch_add(1, Ordering::AcqRel);
             self.registry
-                .gauge(&format!("router_shard_inflight_{index}"))
+                .gauge_with("router_shard_inflight", &[("shard", &shard.addr)])
                 .set((inflight + 1) as f64);
             if inflight >= self.opts.shard_inflight {
                 shard.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -292,7 +310,7 @@ impl RouterState {
             );
             shard.inflight.fetch_sub(1, Ordering::AcqRel);
             self.registry
-                .gauge(&format!("router_shard_inflight_{index}"))
+                .gauge_with("router_shard_inflight", &[("shard", &shard.addr)])
                 .set(shard.inflight.load(Ordering::Relaxed) as f64);
             match result {
                 Ok(response) => {
@@ -326,6 +344,53 @@ impl RouterState {
                 None => "no backend shard is healthy; retry later".to_string(),
             },
         ))
+    }
+
+    /// The fleet-wide metrics view: the router's own registry plus every
+    /// healthy shard's snapshot. Counters and histograms fold into the
+    /// unlabeled aggregate series (exact sums / bucket-wise merges, so a
+    /// scrape of the router equals the sum of its parts); each shard's
+    /// snapshot is also appended verbatim under a `shard="<addr>"`
+    /// label. A down or unreachable shard contributes only
+    /// `router_shard_stale{shard=...} 1` — the scrape never blocks on a
+    /// dead backend (known-down shards are skipped without a connect,
+    /// and live fetches are bounded by the connect timeout).
+    pub(crate) fn federated_snapshot(&self) -> RegistrySnapshot {
+        let connect = Duration::from_millis(self.opts.connect_timeout_ms.max(1));
+        // A scrape must stay fast even when a shard is sick: bound the
+        // reply wait by the (short) connect timeout, not the (long)
+        // forward reply timeout.
+        let reply = connect.max(Duration::from_millis(250));
+        let mut federated = self.registry.snapshot();
+        for shard in &self.shards {
+            let snapshot = if shard.up.load(Ordering::Relaxed) {
+                fetch_shard_metrics(&shard.addr, connect, reply).ok()
+            } else {
+                None
+            };
+            let stale = GaugeSnapshot {
+                name: "router_shard_stale".to_string(),
+                labels: vec![("shard".to_string(), shard.addr.clone())],
+                value: if snapshot.is_some() { 0.0 } else { 1.0 },
+            };
+            match snapshot {
+                Some(snapshot) => {
+                    self.federated_shards.fetch_add(1, Ordering::Relaxed);
+                    federated.absorb_totals(&snapshot);
+                    let mut labeled = snapshot.with_label("shard", &shard.addr);
+                    labeled.gauges.push(stale);
+                    federated.append(labeled);
+                }
+                None => {
+                    self.stale_shards.fetch_add(1, Ordering::Relaxed);
+                    federated.append(RegistrySnapshot {
+                        gauges: vec![stale],
+                        ..RegistrySnapshot::default()
+                    });
+                }
+            }
+        }
+        federated
     }
 }
 
@@ -362,8 +427,42 @@ fn probe_shard(addr: &str, timeout: Duration) -> bool {
         && matches!(Response::decode(line.trim_end()), Ok(Response::Pong))
 }
 
+/// One bounded metrics fetch against one shard: connect + `metrics`,
+/// decode the snapshot. Any failure (connect, timeout, bad payload)
+/// just reports the shard stale for this scrape.
+fn fetch_shard_metrics(
+    addr: &str,
+    connect_timeout: Duration,
+    reply_timeout: Duration,
+) -> io::Result<RegistrySnapshot> {
+    let mut stream = connect_timed(addr, connect_timeout)?;
+    stream.set_read_timeout(Some(reply_timeout))?;
+    let mut line = Request::Metrics.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    if reader.read_line(&mut reply)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "shard closed the connection before answering metrics",
+        ));
+    }
+    match Response::decode(reply.trim_end()) {
+        Ok(Response::Metrics(snapshot)) => Ok(snapshot),
+        Ok(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("shard answered metrics with {other:?}"),
+        )),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
+}
+
 /// One forward attempt against one backend: fresh connection, request
-/// with the forwarded trace id, one reply line.
+/// with the forwarded trace id and the hop span's id as `parent_span`
+/// (so the shard roots its `request` span under this hop in a merged
+/// report; hedged retries each open their own hop span and therefore
+/// land as siblings), one reply line.
 fn forward_once(
     addr: &str,
     request: &Request,
@@ -380,11 +479,14 @@ fn forward_once(
             )
         })
     };
-    let _ = &span;
+    let parent_span = span.as_ref().map(|s| s.ctx().span_id()).filter(|&id| id != 0);
     let stream = connect_timed(addr, connect_timeout)?;
     stream.set_read_timeout(Some(reply_timeout))?;
     let mut writer: Box<dyn Transport> = Box::new(stream);
-    let mut line = request.encode_with_trace(Some(trace_id));
+    let mut line = request.encode_with_envelope(&TraceEnvelope {
+        trace_id: Some(trace_id.to_string()),
+        parent_span,
+    });
     line.push('\n');
     writer.write_all(line.as_bytes())?;
     writer.flush()?;

@@ -365,6 +365,11 @@ pub(crate) struct Job {
     /// router's forwarded id is), echoed in the response envelope and
     /// every journal record for this request.
     trace_id: String,
+    /// The sender's span id from the request envelope (0 = none): the
+    /// request's root span opens with this as its parent, so a merged
+    /// multi-journal report hangs this node's subtree under the
+    /// sender's hop span.
+    parent_span: u64,
 }
 
 pub(crate) struct ServerState {
@@ -379,6 +384,22 @@ pub(crate) struct ServerState {
 }
 
 impl ServerState {
+    /// The session this server executes jobs through (the event loop
+    /// reads its metrics registry).
+    pub(crate) fn session(&self) -> &SimSession {
+        &self.session
+    }
+
+    /// The metrics view this node answers `metrics` and `/metrics`
+    /// with: its own registry, federated with every shard's snapshot
+    /// when running as a router.
+    pub(crate) fn metrics_snapshot(&self) -> smith85_obs::RegistrySnapshot {
+        match &self.router {
+            Some(router) => router.federated_snapshot(),
+            None => self.session.registry().snapshot(),
+        }
+    }
+
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
@@ -717,11 +738,20 @@ fn worker_loop(state: &ServerState) {
         // Root span for the whole request, under the trace id minted at
         // admission; entered thread-locally so the session kernels, the
         // pool, and the router's forward spans land in the same trace.
+        // A router roots `router_request` (its hop spans nest below); a
+        // shard receiving a forwarded request roots under the wire
+        // `parent_span`, linking the journals into one tree.
+        let root_name = if state.router.is_some() {
+            "router_request"
+        } else {
+            "request"
+        };
         let span = state.journal.enabled().then(|| {
-            TraceContext::root_with_id(
+            TraceContext::root_with_parent(
                 state.journal.clone(),
                 &job.trace_id,
-                "request",
+                job.parent_span,
+                root_name,
                 vec![("kind".to_string(), kind_name.into())],
             )
         });
@@ -922,7 +952,10 @@ fn serve_metrics_scrape(mut stream: TcpStream, state: &Arc<ServerState>) {
     };
     let request = String::from_utf8_lossy(&head[..read]);
     let response = if request.starts_with("GET ") {
-        let body = state.session.registry().snapshot().to_prometheus();
+        // Router nodes answer with the federated fleet view; the scrape
+        // runs on its own thread, so the bounded shard fetches never
+        // stall request connections.
+        let body = state.metrics_snapshot().to_prometheus();
         format!(
             "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             body.len(),
@@ -1154,7 +1187,7 @@ pub(crate) fn dispatch_request(
     state: &Arc<ServerState>,
     make_reply: impl FnOnce() -> ReplyTo,
 ) -> Handled {
-    let (request, inbound_trace) = match Request::decode_with_trace(line) {
+    let (request, envelope) = match Request::decode_with_envelope(line) {
         Ok(decoded) => decoded,
         Err(error) => {
             ServerStats::bump(&state.stats.protocol_errors);
@@ -1171,7 +1204,11 @@ pub(crate) fn dispatch_request(
             ServerStats::bump(&state.stats.stats_requests);
             Handled::Inline(Box::new(Response::Stats(state.snapshot())))
         }
-        Request::Metrics => Handled::Inline(Box::new(Response::Metrics(state.session.registry().snapshot()))),
+        // On a router this federates the healthy shards' snapshots;
+        // every fetch is bounded by the (short) connect timeout and
+        // known-down shards are skipped outright, so the inline answer
+        // stays fast even with a dead backend.
+        Request::Metrics => Handled::Inline(Box::new(Response::Metrics(state.metrics_snapshot()))),
         Request::Shutdown => {
             state.begin_shutdown();
             Handled::Inline(Box::new(Response::Ok))
@@ -1188,7 +1225,7 @@ pub(crate) fn dispatch_request(
                 kind,
                 deadline_ms,
                 &state.stats.simulate_requests,
-                inbound_trace,
+                envelope,
                 make_reply,
             )
         }
@@ -1204,7 +1241,7 @@ pub(crate) fn dispatch_request(
                 kind,
                 deadline_ms,
                 &state.stats.sweep_requests,
-                inbound_trace,
+                envelope,
                 make_reply,
             )
         }
@@ -1239,7 +1276,7 @@ fn submit_job(
     kind: JobKind,
     deadline_ms: Option<u64>,
     admitted_counter: &std::sync::atomic::AtomicU64,
-    inbound_trace: Option<String>,
+    envelope: crate::protocol::TraceEnvelope,
     make_reply: impl FnOnce() -> ReplyTo,
 ) -> Handled {
     let admitted = Instant::now();
@@ -1248,7 +1285,8 @@ fn submit_job(
         reply: make_reply(),
         admitted,
         deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
-        trace_id: inbound_trace.unwrap_or_else(mint_trace_id),
+        trace_id: envelope.trace_id.unwrap_or_else(mint_trace_id),
+        parent_span: envelope.parent_span.unwrap_or(0),
     };
     match state.queue.try_push(job) {
         Ok(()) => {}

@@ -135,6 +135,155 @@ fn pipelined_requests_answer_in_request_order() {
     server.stop().expect("clean shutdown");
 }
 
+/// The same end-to-end journal assertions, run against both connection
+/// paths: a request served by the poll loop must be exactly as
+/// attributable as one served by a connection thread — same root span,
+/// same access-log fields, same nested kernel span.
+#[test]
+fn journal_parity_between_event_loop_and_threaded_paths() {
+    use smith85_tracelog::report;
+
+    for (mode, tag) in [(true, "event"), (false, "threaded")] {
+        let journal_path = std::env::temp_dir().join(format!(
+            "smith85-parity-journal-{tag}-{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal_path);
+        let server = Server::spawn(
+            ServeOptions::builder()
+                .addr("127.0.0.1:0")
+                .journal(journal_path.clone())
+                .event_loop(mode)
+                .build()
+                .expect("serve options"),
+        )
+        .expect("spawn server");
+
+        let mut client = Client::builder()
+            .addr(server.addr().to_string())
+            .connect()
+            .expect("connect");
+        let trace_id = match client
+            .call(&simulate_request("VCCOM", 8_000, 1 << 12))
+            .expect("journaled job")
+        {
+            Response::Simulate(r) => r.trace_id,
+            other => panic!("expected simulate result, got {other:?}"),
+        };
+        server.stop().expect("clean shutdown");
+
+        let (_, events) = report::read_journal(&journal_path).expect("read journal");
+        let ours: Vec<_> = events
+            .iter()
+            .filter(|e| &*e.trace_id == trace_id.as_str())
+            .collect();
+        assert!(
+            ours.iter().any(|e| e.name == "request"),
+            "[{tag}] request span missing for {trace_id}"
+        );
+        let access = ours
+            .iter()
+            .find(|e| e.name == "access_log")
+            .unwrap_or_else(|| panic!("[{tag}] access_log missing for {trace_id}"));
+        let field = |name: &str| {
+            access
+                .fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("[{tag}] access_log field {name} missing"))
+                .1
+                .clone()
+        };
+        assert_eq!(field("outcome").as_str(), Some("ok"), "[{tag}]");
+        assert_eq!(field("kind").as_str(), Some("simulate"), "[{tag}]");
+
+        let trees = report::build_trees(&events);
+        let tree = trees
+            .iter()
+            .find(|t| &*t.trace_id == trace_id.as_str())
+            .expect("tree for our trace");
+        assert_eq!(tree.root_name(), "request", "[{tag}]");
+        let root = &tree.roots[0];
+        assert!(root.closed, "[{tag}] request span must be closed");
+        assert!(
+            root.children.iter().any(|c| c.name == "simulate_workload"),
+            "[{tag}] kernel span must nest under the request: {root:?}"
+        );
+        let _ = std::fs::remove_file(&journal_path);
+    }
+}
+
+/// The loop's lifecycle instrumentation: accepted/half-close/closed
+/// counters move with real connection events, the poll/dispatch
+/// histograms record iterations, and the gauges are published.
+#[test]
+fn event_loop_lifecycle_metrics_track_connections() {
+    let server = spawn(true);
+    let addr = server.addr().to_string();
+
+    // One full lifecycle including a half-close.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"{\"v\":1,\"type\":\"ping\"}\n")
+        .expect("write ping");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half close");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("answer");
+    assert!(line.contains("pong"), "{line}");
+    let mut tail = String::new();
+    assert_eq!(reader.read_line(&mut tail).expect("eof"), 0);
+    // Give the loop an iteration to reclaim the slot and set gauges.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut client = Client::builder().addr(addr).connect().expect("connect");
+    let snapshot = match client.call(&Request::Metrics).expect("metrics") {
+        Response::Metrics(s) => s,
+        other => panic!("expected metrics, got {other:?}"),
+    };
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name && c.labels.is_empty())
+            .map(|c| c.value)
+            .unwrap_or(0)
+    };
+    assert!(
+        counter("event_loop_conns_accepted_total") >= 2,
+        "raw conn + metrics client accepted: {snapshot:?}"
+    );
+    assert!(counter("event_loop_half_closes_total") >= 1, "{snapshot:?}");
+    assert!(counter("event_loop_conns_closed_total") >= 1, "{snapshot:?}");
+    let hist_count = |name: &str| {
+        snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == name && h.labels.is_empty())
+            .map(|h| h.count)
+            .unwrap_or(0)
+    };
+    assert!(hist_count("event_loop_poll_wait_us") > 0, "{snapshot:?}");
+    assert!(hist_count("event_loop_dispatch_us") > 0, "{snapshot:?}");
+    let gauge = |name: &str| {
+        snapshot
+            .gauges
+            .iter()
+            .find(|g| g.name == name && g.labels.is_empty())
+            .map(|g| g.value)
+    };
+    assert!(
+        gauge("event_loop_connections").is_some_and(|v| v >= 1.0),
+        "the metrics client itself is an open connection: {snapshot:?}"
+    );
+    assert!(gauge("event_loop_busy_jobs").is_some(), "{snapshot:?}");
+    assert!(gauge("event_loop_write_buf_bytes").is_some(), "{snapshot:?}");
+
+    server.stop().expect("clean shutdown");
+}
+
 #[test]
 fn half_close_after_sending_still_gets_every_answer() {
     let server = spawn(true);

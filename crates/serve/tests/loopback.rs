@@ -435,6 +435,79 @@ fn prometheus_endpoint_serves_valid_exposition() {
     server.stop().expect("clean shutdown");
 }
 
+/// Concurrent scrapes while jobs run: every scrape must return a
+/// complete, parseable exposition — no torn lines, no 5xx, no hang —
+/// because each scrape renders one atomic registry snapshot.
+#[test]
+fn concurrent_prometheus_scrapes_stay_consistent_under_load() {
+    use std::io::{Read as _, Write as _};
+
+    let server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServeOptions::default()
+    })
+    .expect("spawn server with metrics endpoint");
+    let addr = server.addr().to_string();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let load = {
+        let addr = addr.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::builder().addr(addr).connect().expect("load client");
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                client
+                    .call(&simulate_request("ZGREP", 1_000, 1 << 12))
+                    .expect("load job");
+            }
+        })
+    };
+
+    let scrapers: Vec<_> = (0..8)
+        .map(|thread| {
+            std::thread::spawn(move || {
+                for round in 0..5 {
+                    let mut stream =
+                        std::net::TcpStream::connect(metrics_addr).expect("scrape connect");
+                    stream
+                        .write_all(b"GET /metrics HTTP/1.1\r\nHost: loopback\r\n\r\n")
+                        .expect("scrape request");
+                    let mut raw = String::new();
+                    stream.read_to_string(&mut raw).expect("scrape response");
+                    assert!(
+                        raw.starts_with("HTTP/1.1 200 OK\r\n"),
+                        "scraper {thread} round {round}: {raw}"
+                    );
+                    let body = raw.split("\r\n\r\n").nth(1).expect("response body");
+                    let mut lines = 0usize;
+                    for line in body.lines() {
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let (_, value) = line
+                            .rsplit_once(' ')
+                            .unwrap_or_else(|| panic!("torn line {line:?}"));
+                        assert!(
+                            value.parse::<f64>().is_ok(),
+                            "scraper {thread} round {round}: unparseable {line:?}"
+                        );
+                        lines += 1;
+                    }
+                    assert!(lines > 0, "scraper {thread} round {round}: empty body");
+                }
+            })
+        })
+        .collect();
+    for scraper in scrapers {
+        scraper.join().expect("scraper thread");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    load.join().expect("load thread");
+    server.stop().expect("clean shutdown");
+}
+
 #[test]
 fn journaled_request_is_attributable_end_to_end() {
     use smith85_tracelog::report;

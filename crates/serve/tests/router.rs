@@ -159,6 +159,327 @@ fn trace_ids_survive_the_router_hop() {
     backend.stop().unwrap();
 }
 
+fn fetch_metrics(client: &mut Client) -> smith85_obs::RegistrySnapshot {
+    match client.call(&Request::Metrics).expect("metrics") {
+        Response::Metrics(snapshot) => snapshot,
+        other => panic!("expected metrics, got {}", other.encode()),
+    }
+}
+
+fn counter_value(
+    snapshot: &smith85_obs::RegistrySnapshot,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|c| {
+            c.name == name
+                && c.labels.len() == labels.len()
+                && labels
+                    .iter()
+                    .all(|(k, v)| c.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+        })
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+fn stale_flag(snapshot: &smith85_obs::RegistrySnapshot, shard: &str) -> Option<f64> {
+    snapshot
+        .gauges
+        .iter()
+        .find(|g| {
+            g.name == "router_shard_stale"
+                && g.labels
+                    .iter()
+                    .any(|(k, v)| k == "shard" && v == shard)
+        })
+        .map(|g| g.value)
+}
+
+#[test]
+fn federated_metrics_sum_shards_exactly_and_mark_dead_shards_stale() {
+    let backend_a = spawn_backend();
+    let backend_b = spawn_backend();
+    let addr_a = backend_a.addr().to_string();
+    let addr_b = backend_b.addr().to_string();
+    let router = Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .metrics_addr("127.0.0.1:0")
+            .router(RouterOptions {
+                backends: vec![addr_a.clone(), addr_b.clone()],
+                probe_interval_ms: 100,
+                ..RouterOptions::default()
+            })
+            .build()
+            .expect("serve options"),
+    )
+    .expect("spawn router");
+
+    // Spread work across both shards, then quiesce: pool counters only
+    // move on simulate traffic, so they are stable across the scrapes
+    // below (health probes are pings and do not touch them).
+    let mut via_router = Client::builder()
+        .addr(router.addr().to_string())
+        .connect()
+        .expect("connect router");
+    for (i, workload) in ["MVS1", "VCCOM", "ZGREP", "TWOD", "WATEX", "PL0"].iter().enumerate() {
+        via_router
+            .call(&simulate_request(workload, 1_500 + 100 * i, 4_096))
+            .expect("routed call");
+    }
+
+    let mut direct_a = Client::builder().addr(addr_a.clone()).connect().expect("connect a");
+    let mut direct_b = Client::builder().addr(addr_b.clone()).connect().expect("connect b");
+    let snap_a = fetch_metrics(&mut direct_a);
+    let snap_b = fetch_metrics(&mut direct_b);
+    let federated = fetch_metrics(&mut via_router);
+
+    // The unlabeled aggregate equals the exact sum of the per-shard
+    // answers (the router itself runs no simulations), and the same
+    // series reappear under shard labels.
+    for name in ["pool_misses_total", "pool_materialized_bytes_total"] {
+        let direct_sum = counter_value(&snap_a, name, &[]) + counter_value(&snap_b, name, &[]);
+        assert!(direct_sum > 0, "{name} must have moved on the shards");
+        assert_eq!(
+            counter_value(&federated, name, &[]),
+            direct_sum,
+            "aggregate {name} must be the exact shard sum"
+        );
+        assert_eq!(
+            counter_value(&federated, name, &[("shard", addr_a.as_str())])
+                + counter_value(&federated, name, &[("shard", addr_b.as_str())]),
+            direct_sum,
+            "shard-labeled {name} series must add up to the same total"
+        );
+    }
+    // Histograms federate bucket-wise: the aggregate count is the exact
+    // sum of the shard counts plus the router's own contribution (its
+    // worker pool observes serve_exec_ms once per forwarded job).
+    let hist_count = |snap: &smith85_obs::RegistrySnapshot, labeled: bool| -> u64 {
+        snap.histograms
+            .iter()
+            .filter(|h| h.name == "serve_exec_ms" && h.labels.is_empty() != labeled)
+            .map(|h| h.count)
+            .sum()
+    };
+    let direct_hist = hist_count(&snap_a, false) + hist_count(&snap_b, false);
+    let forwarded = stats(&mut via_router)
+        .router
+        .expect("router counters")
+        .forwarded;
+    assert_eq!(
+        hist_count(&federated, false),
+        direct_hist + forwarded,
+        "aggregate serve_exec_ms count must be shards + router's own forwards"
+    );
+    assert_eq!(
+        hist_count(&federated, true),
+        direct_hist,
+        "shard-labeled serve_exec_ms counts must match the direct answers"
+    );
+    assert_eq!(stale_flag(&federated, &addr_a), Some(0.0));
+    assert_eq!(stale_flag(&federated, &addr_b), Some(0.0));
+
+    // The router's Prometheus endpoint serves the same federated view:
+    // shard-labeled series present, every line exposition-parseable.
+    let metrics_addr = router.metrics_addr().expect("metrics endpoint bound");
+    let body = scrape(metrics_addr);
+    assert!(
+        body.contains("shard=\""),
+        "federated exposition must carry shard labels:\n{body}"
+    );
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+    }
+
+    // Kill shard B. Once the prober notices, a scrape still succeeds:
+    // B contributes only a stale marker, A keeps reporting, and the
+    // aggregate no longer includes the dead shard's fresh values.
+    backend_b.stop().expect("stop backend b");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = stats(&mut via_router);
+        if s.router.as_ref().expect("router counters").healthy == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "prober never marked the dead shard down");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let after = fetch_metrics(&mut via_router);
+    assert_eq!(stale_flag(&after, &addr_b), Some(1.0), "dead shard must read stale");
+    assert_eq!(stale_flag(&after, &addr_a), Some(0.0), "live shard stays fresh");
+    assert_eq!(
+        counter_value(&after, "pool_misses_total", &[]),
+        counter_value(&snap_a, "pool_misses_total", &[]),
+        "aggregate must now be the live shard alone"
+    );
+    assert_eq!(
+        counter_value(&after, "pool_misses_total", &[("shard", addr_b.as_str())]),
+        0,
+        "no fresh labeled series for a stale shard"
+    );
+    let s = stats(&mut via_router);
+    let counters = s.router.expect("router counters");
+    assert!(counters.federated_shards >= 3, "live-shard absorptions counted");
+    assert!(counters.stale_shards >= 1, "stale shard counted");
+
+    router.stop().unwrap();
+    backend_a.stop().unwrap();
+}
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("scrape connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: loopback\r\n\r\n")
+        .expect("scrape request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("scrape response");
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    raw.split("\r\n\r\n").nth(1).expect("response body").to_string()
+}
+
+#[test]
+fn hedged_request_renders_as_one_merged_span_tree_across_journals() {
+    use smith85_tracelog::report;
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let router_journal = dir.join(format!("smith85-router-journal-{pid}.ndjson"));
+    let shard_journal = dir.join(format!("smith85-shard-journal-{pid}.ndjson"));
+    let _ = std::fs::remove_file(&router_journal);
+    let _ = std::fs::remove_file(&shard_journal);
+
+    let backend = Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .journal(shard_journal.clone())
+            .build()
+            .expect("serve options"),
+    )
+    .expect("spawn backend");
+    let backend_b = spawn_backend();
+    let router = Server::spawn(
+        ServeOptions::builder()
+            .addr("127.0.0.1:0")
+            .journal(router_journal.clone())
+            .router(RouterOptions {
+                backends: vec![backend.addr().to_string(), backend_b.addr().to_string()],
+                // Long probe period: the hedge below, not the prober,
+                // must be what discovers the killed shard.
+                probe_interval_ms: 60_000,
+                ..RouterOptions::default()
+            })
+            .build()
+            .expect("serve options"),
+    )
+    .expect("spawn router");
+    let router_addr = router.addr().to_string();
+
+    // Find a request key whose ring primary is shard B (its exec count
+    // moves when the routed request lands there) — then kill B and
+    // replay that exact key: the forward to B is refused, the router
+    // hedges to the surviving shard, and both hop spans are journaled.
+    let mut direct_b = Client::builder()
+        .addr(backend_b.addr().to_string())
+        .connect()
+        .expect("connect b");
+    let b_exec_count = |client: &mut Client| -> u64 {
+        fetch_metrics(client)
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve_exec_ms")
+            .map(|h| h.count)
+            .unwrap_or(0)
+    };
+    let workloads = ["MVS1", "FCOMP1", "VCCOM", "VSPICE", "ZGREP", "TWOD", "WATEX", "PL0"];
+    let mut primary_on_b: Option<(usize, &str)> = None;
+    for (i, workload) in workloads.iter().enumerate() {
+        let before = b_exec_count(&mut direct_b);
+        let mut client = Client::builder()
+            .addr(router_addr.as_str())
+            .timeout(Duration::from_secs(30))
+            .connect()
+            .expect("connect");
+        match client.call(&simulate_request(workload, 1_500 + 100 * i, 4_096)) {
+            Ok(Response::Simulate(_)) => {}
+            other => panic!("routed call must succeed, got {other:?}"),
+        }
+        if b_exec_count(&mut direct_b) > before {
+            primary_on_b = Some((i, workload));
+            break;
+        }
+    }
+    let (i, workload) = primary_on_b
+        .expect("one of eight distinct request keys must route primarily to shard B");
+    drop(direct_b);
+    backend_b.stop().expect("stop backend b");
+
+    let hedged_trace = "hedgedhop1".to_string();
+    let mut client = Client::builder()
+        .addr(router_addr.as_str())
+        .trace_id(hedged_trace.clone())
+        .timeout(Duration::from_secs(30))
+        .connect()
+        .expect("connect");
+    match client.call(&simulate_request(workload, 1_500 + 100 * i, 4_096)) {
+        Ok(Response::Simulate(_)) => {}
+        other => panic!("hedged replay must succeed on the survivor, got {other:?}"),
+    }
+    assert!(
+        stats(&mut client).router.expect("router counters").hedged >= 1,
+        "the replayed key must have hedged off the killed shard"
+    );
+
+    router.stop().unwrap();
+    backend.stop().unwrap();
+
+    // Merge the two process-local journals: the hedged request must be
+    // ONE tree — router root, hedge hops as siblings, and the shard's
+    // subtree hanging under the hop that reached it.
+    let (_, router_events) = report::read_journal(&router_journal).expect("router journal");
+    let (_, shard_events) = report::read_journal(&shard_journal).expect("shard journal");
+    let merged = report::merge_journals(&[router_events, shard_events]);
+    let trees = report::build_trees(&merged);
+    let tree = trees
+        .iter()
+        .find(|t| t.trace_id == hedged_trace)
+        .expect("tree for the hedged trace");
+    assert_eq!(tree.roots.len(), 1, "exactly one linked root: {tree:?}");
+    let root = &tree.roots[0];
+    assert_eq!(root.name, "router_request");
+    let hops: Vec<_> = root
+        .children
+        .iter()
+        .filter(|c| c.name == "router_forward")
+        .collect();
+    assert_eq!(hops.len(), 2, "failed attempt and hedge are sibling hops: {root:?}");
+    let winners: Vec<_> = hops
+        .iter()
+        .filter(|h| h.children.iter().any(|c| c.name == "request"))
+        .collect();
+    assert_eq!(winners.len(), 1, "exactly one hop reached the shard: {hops:?}");
+    let shard_root = winners[0]
+        .children
+        .iter()
+        .find(|c| c.name == "request")
+        .expect("shard request span");
+    assert!(
+        shard_root.children.iter().any(|c| c.name == "simulate_workload"),
+        "shard-side kernel span must nest under the merged tree: {shard_root:?}"
+    );
+
+    let _ = std::fs::remove_file(&router_journal);
+    let _ = std::fs::remove_file(&shard_journal);
+}
+
 #[test]
 fn killed_backend_means_typed_errors_or_hedged_success_never_a_hang() {
     let backend_a = spawn_backend();

@@ -11,9 +11,12 @@
 //!   drops the *oldest* events and counts the drops, so the newest
 //!   evidence is always present when something goes wrong.
 //! - [`NdjsonWriter`] — one JSON object per line to a file (hand-rolled
-//!   JSON, matching the workspace's no-op serde shim), flushed per line
-//!   so `smith85 trace follow` can tail a live journal. The first line
-//!   is a versioned `{"v":1,...}` header.
+//!   JSON, matching the workspace's no-op serde shim). Lines are written
+//!   by a dedicated writer thread that flushes after each drained batch,
+//!   so `smith85 trace follow` can tail a live journal while emission
+//!   stays off the request path; [`EventSink::flush`] blocks until
+//!   everything emitted so far is durable. The first line is a
+//!   versioned `{"v":1,...}` header, written synchronously on create.
 //!
 //! Propagation uses a cheap, cloneable [`TraceContext`] plus a
 //! thread-local "current context" ([`current`]/[`enter`]) so existing
@@ -41,7 +44,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Journal format version emitted in the NDJSON header line.
@@ -378,6 +381,27 @@ impl TraceContext {
         ctx.child(name, fields)
     }
 
+    /// Opens a span under a caller-supplied trace id whose parent is a
+    /// span id minted by *another process* (the protocol envelope's
+    /// `parent_span`): the span starts with `parent_span_id` set to that
+    /// foreign id, so a multi-journal `trace report` merge can hang this
+    /// process's subtree under the sender's hop span. A `parent_span` of
+    /// 0 degrades to [`TraceContext::root_with_id`].
+    pub fn root_with_parent(
+        sink: SinkHandle,
+        trace_id: &str,
+        parent_span: u64,
+        name: &str,
+        fields: Vec<(String, FieldValue)>,
+    ) -> SpanGuard {
+        let ctx = TraceContext {
+            sink,
+            trace_id: Arc::from(trace_id),
+            span_id: parent_span,
+        };
+        ctx.child(name, fields)
+    }
+
     /// Opens a child span of this context. On a disabled context the
     /// guard is inert.
     pub fn child(&self, name: &str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
@@ -604,18 +628,58 @@ impl EventSink for RingJournal {
 // NdjsonWriter
 // ---------------------------------------------------------------------------
 
-/// Writes one JSON object per line to a file, flushed per line so a
-/// live journal can be tailed. The first line is a versioned header:
-/// `{"v":1,"schema":"smith85-tracelog-v1"}`.
+/// How many encoded lines the journal queue may buffer before
+/// producers block on the writer thread (lossless back-pressure, not
+/// drops — a journal that silently loses spans is worse than one that
+/// briefly stalls a producer that is 64k events ahead of the disk).
+const JOURNAL_QUEUE_CAP: usize = 1 << 16;
+
+/// How long the writer thread lingers after being woken before it
+/// drains. A request emits a burst of spans over its lifetime; without
+/// the linger the writer wakes per event (the queue is always drained
+/// by the time the next event lands) and on a saturated box each wake
+/// is a context switch stolen from the workload. Lingering turns
+/// thousands of wakes per second into at most ~100, and bounds how
+/// stale a tailed journal can be at roughly this duration (explicit
+/// [`EventSink::flush`] calls and shutdown skip the linger).
+const JOURNAL_LINGER: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// Queue shared between producers ([`EventSink::emit`]) and the
+/// journal writer thread.
+struct JournalQueue {
+    events: VecDeque<TraceEvent>,
+    shutdown: bool,
+    /// Monotonic flush tickets: [`EventSink::flush`] takes a ticket and
+    /// waits until the writer reports it completed, which guarantees
+    /// every event emitted before the call is on disk.
+    flush_requested: u64,
+    flush_completed: u64,
+}
+
+/// Writes one JSON object per line to a file. The first line is a
+/// versioned header — `{"v":1,"schema":"smith85-tracelog-v1"}` —
+/// written synchronously in [`create`](NdjsonWriter::create); events
+/// are handed to a dedicated writer thread that encodes and writes
+/// them, so neither JSON encoding nor a write syscall sits inside any
+/// instrumented request. The writer flushes after each
+/// drained batch: under light load that is effectively per line, so
+/// `smith85 trace follow` can still tail a live journal; under heavy
+/// load batches coalesce and the per-event cost amortises.
+///
+/// [`EventSink::flush`] blocks until everything emitted so far is
+/// durable, and dropping the writer drains the queue before returning
+/// — readers that stop the workload first never see a truncated tail.
 ///
 /// Emission is best-effort: I/O errors after creation are swallowed
 /// (the journal must never take down the workload it observes).
 pub struct NdjsonWriter {
-    inner: Mutex<BufWriter<File>>,
+    shared: Arc<(Mutex<JournalQueue>, Condvar, Condvar)>,
+    worker: Option<std::thread::JoinHandle<()>>,
 }
 
 impl NdjsonWriter {
-    /// Creates (truncating) `path` and writes the header line.
+    /// Creates (truncating) `path`, writes the header line, and starts
+    /// the writer thread.
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<NdjsonWriter> {
         let file = File::create(path)?;
         let mut writer = BufWriter::new(file);
@@ -624,9 +688,68 @@ impl NdjsonWriter {
             "{{\"v\":{JOURNAL_VERSION},\"schema\":\"{JOURNAL_SCHEMA}\"}}"
         )?;
         writer.flush()?;
+
+        let shared = Arc::new((
+            Mutex::new(JournalQueue {
+                events: VecDeque::new(),
+                shutdown: false,
+                flush_requested: 0,
+                flush_completed: 0,
+            }),
+            Condvar::new(), // work: the writer thread waits here
+            Condvar::new(), // done: producers and flushers wait here
+        ));
+        let thread_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("smith85-journal".to_string())
+            .spawn(move || Self::writer_loop(&thread_shared, writer))?;
         Ok(NdjsonWriter {
-            inner: Mutex::new(writer),
+            shared,
+            worker: Some(worker),
         })
+    }
+
+    fn writer_loop(
+        shared: &(Mutex<JournalQueue>, Condvar, Condvar),
+        mut writer: BufWriter<File>,
+    ) {
+        let (queue, work, done) = shared;
+        loop {
+            let (batch, flush_target, quit) = {
+                let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                while q.events.is_empty()
+                    && !q.shutdown
+                    && q.flush_requested == q.flush_completed
+                {
+                    q = work.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+                if !q.shutdown && q.flush_requested == q.flush_completed {
+                    // Woken by the first event of a burst: linger so
+                    // the rest of the burst lands in the same batch.
+                    // Flushes and shutdown skip the linger.
+                    drop(q);
+                    std::thread::sleep(JOURNAL_LINGER);
+                    q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                }
+                let batch: Vec<TraceEvent> = q.events.drain(..).collect();
+                // The queue is empty again: wake producers blocked on
+                // capacity before the (slow) encode + file I/O below.
+                done.notify_all();
+                (batch, q.flush_requested, q.shutdown)
+            };
+            for event in &batch {
+                let _ = writeln!(writer, "{}", NdjsonWriter::encode(event));
+            }
+            let _ = writer.flush();
+            {
+                let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.flush_completed = q.flush_completed.max(flush_target);
+                done.notify_all();
+                if quit && q.events.is_empty() {
+                    return;
+                }
+            }
+        }
     }
 
     /// Encodes one event as its NDJSON line (no trailing newline).
@@ -678,15 +801,46 @@ impl NdjsonWriter {
 
 impl EventSink for NdjsonWriter {
     fn emit(&self, event: TraceEvent) {
-        let line = NdjsonWriter::encode(&event);
-        let mut writer = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(writer, "{line}");
-        let _ = writer.flush();
+        let (queue, work, done) = &*self.shared;
+        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+        while q.events.len() >= JOURNAL_QUEUE_CAP && !q.shutdown {
+            q = done.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if q.shutdown {
+            return;
+        }
+        q.events.push_back(event);
+        // Encoding happens writer-side; the only producer cost is the
+        // push above. The writer re-checks the queue before sleeping,
+        // so a wake is only owed on the empty -> non-empty transition.
+        if q.events.len() == 1 {
+            work.notify_one();
+        }
     }
 
     fn flush(&self) {
-        let mut writer = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writer.flush();
+        let (queue, work, done) = &*self.shared;
+        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.flush_requested += 1;
+        let ticket = q.flush_requested;
+        work.notify_one();
+        while q.flush_completed < ticket && !q.shutdown {
+            q = done.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for NdjsonWriter {
+    fn drop(&mut self) {
+        {
+            let (queue, work, _) = &*self.shared;
+            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+            work.notify_one();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -827,13 +981,17 @@ mod tests {
     }
 
     #[test]
-    fn ndjson_writer_creates_header_and_flushes_per_line() {
+    fn ndjson_writer_header_is_immediate_and_flush_makes_events_durable() {
         let path = std::env::temp_dir().join(format!(
             "smith85-tracelog-test-{}-{}.ndjson",
             std::process::id(),
             now_us()
         ));
         let writer = NdjsonWriter::create(&path).expect("create journal");
+        // The header is written synchronously: a reader attaching right
+        // after create sees a well-formed journal before any event.
+        let header_only = std::fs::read_to_string(&path).expect("read journal");
+        assert_eq!(header_only.lines().count(), 1, "{header_only}");
         writer.emit(TraceEvent {
             ts_us: 1,
             kind: EventKind::Event,
@@ -844,8 +1002,10 @@ mod tests {
             parent_span_id: 0,
             fields: vec![],
         });
-        // Deliberately do NOT drop the writer: per-line flush must make
-        // the event visible to a concurrent reader ("trace follow").
+        // Deliberately do NOT drop the writer: flush() must block until
+        // the writer thread has made the event visible to a concurrent
+        // reader ("trace follow").
+        writer.flush();
         let contents = std::fs::read_to_string(&path).expect("read journal");
         let lines: Vec<&str> = contents.lines().collect();
         assert_eq!(lines.len(), 2, "{contents}");

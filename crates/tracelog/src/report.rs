@@ -133,6 +133,121 @@ pub fn read_journal<P: AsRef<Path>>(
     Ok((header, events))
 }
 
+/// Merges journals from several processes into one event stream whose
+/// span ids are globally unique and whose cross-process parent links
+/// survive.
+///
+/// Span ids are process-local counters, so two journals routinely reuse
+/// the same ids — across *and within* traces (two processes serving the
+/// same trace advance their counters at similar rates, so a shard's own
+/// span ids regularly collide with the router id its root carries as
+/// wire parent). Each journal's spans are shifted by a per-journal
+/// offset (the first journal keeps its ids), and a `parent_span_id` is
+/// resolved among spans of the *same trace* only: a span's real parent
+/// always shares its trace id, whether the link is intra-process or
+/// arrived over the wire. Within the trace the own journal wins first —
+/// but only if the candidate parent *started no later than the child*
+/// (one process, one monotonic clock, so the comparison is sound; a
+/// same-id span that starts afterwards is a descendant or a stranger,
+/// and accepting it would cycle the tree). A candidate the own journal
+/// cannot legitimately supply is looked up in the other journals, in
+/// argument order — the cross-process case: a shard's root span carries
+/// the router's forwarding span id, which the router's journal defines,
+/// so the shard subtree hangs under the router hop. An id no journal
+/// defines for the trace keeps its own journal's offset and surfaces as
+/// an (unlinked) root. Parent id 0 stays 0.
+///
+/// The merged stream is re-sorted by timestamp (journals share the
+/// wall clock), with starts before point events before ends on ties.
+pub fn merge_journals(journals: &[Vec<TraceEvent>]) -> Vec<TraceEvent> {
+    if journals.len() <= 1 {
+        return journals.first().cloned().unwrap_or_default();
+    }
+    // Per journal, per trace: span id -> start timestamp. (A span from
+    // a truncated journal may only have its end record; its end
+    // timestamp stands in so the span still resolves.)
+    let starts: Vec<HashMap<&str, HashMap<u64, u64>>> = journals
+        .iter()
+        .map(|events| {
+            let mut by_trace: HashMap<&str, HashMap<u64, u64>> = HashMap::new();
+            for e in events {
+                match e.kind {
+                    EventKind::SpanStart => {
+                        by_trace
+                            .entry(&e.trace_id)
+                            .or_default()
+                            .insert(e.span_id, e.ts_us);
+                    }
+                    EventKind::SpanEnd => {
+                        by_trace
+                            .entry(&e.trace_id)
+                            .or_default()
+                            .entry(e.span_id)
+                            .or_insert(e.ts_us);
+                    }
+                    EventKind::Event => {}
+                }
+            }
+            by_trace
+        })
+        .collect();
+    // Disjoint offsets: each journal's ids occupy (offset, offset+max].
+    let mut offsets: Vec<u64> = Vec::with_capacity(journals.len());
+    let mut next = 0u64;
+    for events in journals {
+        offsets.push(next);
+        let max_id = events
+            .iter()
+            .map(|e| e.span_id.max(e.parent_span_id))
+            .max()
+            .unwrap_or(0);
+        next = next.saturating_add(max_id);
+    }
+    let start_of = |journal: usize, trace: &str, id: u64| -> Option<u64> {
+        starts[journal].get(trace).and_then(|m| m.get(&id)).copied()
+    };
+    let resolve_parent = |journal: usize, trace: &str, id: u64, anchor_ts: u64| -> u64 {
+        if id == 0 {
+            return 0;
+        }
+        if start_of(journal, trace, id).is_some_and(|parent_start| parent_start <= anchor_ts) {
+            return id + offsets[journal];
+        }
+        for (other, offset) in offsets.iter().enumerate() {
+            if other != journal && start_of(other, trace, id).is_some() {
+                return id + offset;
+            }
+        }
+        id + offsets[journal]
+    };
+    let mut merged: Vec<TraceEvent> = Vec::new();
+    for (journal, events) in journals.iter().enumerate() {
+        for event in events {
+            let mut event = event.clone();
+            // Anchor the temporal check at the owning span's start, not
+            // this record's timestamp: a span's end record must resolve
+            // to the same parent its start did.
+            let anchor_ts =
+                start_of(journal, &event.trace_id, event.span_id).unwrap_or(event.ts_us);
+            event.parent_span_id =
+                resolve_parent(journal, &event.trace_id, event.parent_span_id, anchor_ts);
+            if event.span_id != 0 {
+                event.span_id += offsets[journal];
+            }
+            merged.push(event);
+        }
+    }
+    merged.sort_by_key(|e| {
+        let rank = match e.kind {
+            EventKind::SpanStart => 0u8,
+            EventKind::Event => 1,
+            EventKind::SpanEnd => 2,
+        };
+        (e.ts_us, rank, e.span_id)
+    });
+    merged
+}
+
 /// One reconstructed span with its children and attached point events.
 #[derive(Debug, Clone)]
 pub struct SpanNode {
@@ -536,6 +651,156 @@ mod tests {
             .map(|t| t.roots[0].children[0].self_us())
             .sum();
         assert_eq!(value, trees_exec_self);
+    }
+
+    fn span_pair(
+        trace: &str,
+        span: u64,
+        parent: u64,
+        name: &str,
+        start: u64,
+        end: u64,
+    ) -> Vec<TraceEvent> {
+        let mk = |ts, kind, fields: Vec<(String, FieldValue)>| TraceEvent {
+            ts_us: ts,
+            kind,
+            severity: Severity::Info,
+            name: name.to_string(),
+            trace_id: Arc::from(trace),
+            span_id: span,
+            parent_span_id: parent,
+            fields,
+        };
+        vec![
+            mk(start, EventKind::SpanStart, vec![]),
+            mk(
+                end,
+                EventKind::SpanEnd,
+                vec![("dur_us".into(), FieldValue::U64(end - start))],
+            ),
+        ]
+    }
+
+    #[test]
+    fn merged_journals_link_shard_roots_under_router_hops() {
+        // Router journal: a root with two hedged forward hops. Span ids
+        // 1..3 in the router's process-local namespace.
+        let mut router = Vec::new();
+        router.extend(span_pair("t1", 1, 0, "router_request", 10, 100));
+        router.extend(span_pair("t1", 2, 1, "router_forward", 20, 60));
+        router.extend(span_pair("t1", 3, 1, "router_forward", 30, 90));
+        // Shard journal: its root carries the router's hedge-hop span id
+        // (3) as wire parent, and its own ids collide with the router's.
+        let mut shard = Vec::new();
+        shard.extend(span_pair("t1", 1, 3, "request", 40, 80));
+        shard.extend(span_pair("t1", 2, 1, "exec", 45, 70));
+
+        let merged = merge_journals(&[router.clone(), shard.clone()]);
+        let trees = build_trees(&merged);
+        assert_eq!(trees.len(), 1, "one trace id, one tree");
+        let tree = &trees[0];
+        assert_eq!(tree.roots.len(), 1, "single linked root, not four");
+        let root = &tree.roots[0];
+        assert_eq!(root.name, "router_request");
+        assert_eq!(root.span_id, 1, "first journal keeps its span ids");
+        assert_eq!(tree.span_count(), 5);
+        // Hedged hops are siblings under the router root.
+        assert_eq!(root.children.len(), 2);
+        assert!(root.children.iter().all(|c| c.name == "router_forward"));
+        // The shard subtree hangs under the hop that actually reached it
+        // (span 3, the later hedge), and its intra-process parentage —
+        // despite the id collision — stays intact.
+        let winner = root.children.iter().find(|c| c.span_id == 3).unwrap();
+        assert_eq!(winner.children.len(), 1);
+        assert_eq!(winner.children[0].name, "request");
+        assert_eq!(winner.children[0].children[0].name, "exec");
+        let loser = root.children.iter().find(|c| c.span_id != 3).unwrap();
+        assert!(loser.children.is_empty(), "unanswered hedge has no subtree");
+
+        // Merge is order-tolerant on the parent link: an id undefined
+        // everywhere becomes an unlinked root instead of vanishing.
+        let stray = span_pair("t1", 7, 42, "orphan", 5, 6);
+        let merged = merge_journals(&[router, shard, stray]);
+        let trees = build_trees(&merged);
+        assert_eq!(trees[0].roots.len(), 2);
+        assert!(trees[0].roots.iter().any(|r| r.name == "orphan"));
+    }
+
+    #[test]
+    fn merged_journals_resolve_wire_parents_per_trace_not_per_journal() {
+        // The failure mode this pins: a busy shard journal holds many
+        // traces, so the router's wire parent id (here 3) is almost
+        // always also *some* unrelated span id in the shard's own
+        // journal — just in a different trace. Journal-scoped
+        // resolution would capture the link locally and the shard
+        // subtree would fall off its router hop.
+        let mut router = Vec::new();
+        router.extend(span_pair("t1", 2, 0, "router_request", 10, 100));
+        router.extend(span_pair("t1", 3, 2, "router_forward", 20, 90));
+        let mut shard = Vec::new();
+        // Unrelated earlier trace in the shard process that happens to
+        // use span id 3.
+        shard.extend(span_pair("t0", 3, 0, "request", 1, 5));
+        // The trace under test: wire parent 3 must resolve to the
+        // router's hop, not to the shard's own (t0) span 3.
+        shard.extend(span_pair("t1", 4, 3, "request", 30, 80));
+        shard.extend(span_pair("t1", 5, 4, "exec", 40, 60));
+
+        let merged = merge_journals(&[router, shard]);
+        let trees = build_trees(&merged);
+        let t1 = trees
+            .iter()
+            .find(|t| &*t.trace_id == "t1")
+            .expect("tree for t1");
+        assert_eq!(t1.roots.len(), 1, "one linked root: {t1:?}");
+        let root = &t1.roots[0];
+        assert_eq!(root.name, "router_request");
+        let hop = &root.children[0];
+        assert_eq!(hop.name, "router_forward");
+        assert_eq!(hop.children.len(), 1, "shard root hangs under the hop");
+        assert_eq!(hop.children[0].name, "request");
+        assert_eq!(hop.children[0].children[0].name, "exec");
+        // The unrelated t0 trace is untouched and still stands alone.
+        let t0 = trees
+            .iter()
+            .find(|t| &*t.trace_id == "t0")
+            .expect("tree for t0");
+        assert_eq!(t0.roots.len(), 1);
+        assert_eq!(t0.roots[0].name, "request");
+    }
+
+    #[test]
+    fn merged_journals_reject_own_descendant_as_wire_parent() {
+        // Same-trace id collision, observed live: the shard's own span
+        // counter passes through the router's forward id (8) while
+        // serving this very trace, so the shard journal defines span 8
+        // in the SAME trace — as a grandchild of the root whose wire
+        // parent is 8. Linking the root to its own grandchild cycles
+        // the tree; the temporal guard (a parent cannot start after its
+        // child) must push resolution to the router journal instead.
+        let mut router = Vec::new();
+        router.extend(span_pair("t1", 7, 0, "router_request", 10, 200));
+        router.extend(span_pair("t1", 8, 7, "router_forward", 20, 190));
+        let mut shard = Vec::new();
+        shard.extend(span_pair("t1", 5, 8, "request", 100, 180));
+        shard.extend(span_pair("t1", 6, 5, "simulate_workload", 110, 170));
+        shard.extend(span_pair("t1", 8, 6, "simulate_unified", 120, 160));
+
+        let merged = merge_journals(&[router, shard]);
+        let trees = build_trees(&merged);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.roots.len(), 1, "one linked root: {tree:?}");
+        assert_eq!(tree.span_count(), 5, "no span may vanish in a cycle");
+        let root = &tree.roots[0];
+        assert_eq!(root.name, "router_request");
+        let hop = &root.children[0];
+        assert_eq!(hop.name, "router_forward");
+        let request = &hop.children[0];
+        assert_eq!(request.name, "request");
+        let workload = &request.children[0];
+        assert_eq!(workload.name, "simulate_workload");
+        assert_eq!(workload.children[0].name, "simulate_unified");
     }
 
     #[test]
